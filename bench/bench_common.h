@@ -1,0 +1,143 @@
+// Shared infrastructure for the experiment benches.
+//
+// Every bench binary regenerates one table or figure of the paper from a
+// fresh simulation of the relevant measurement window(s). Command line:
+//   --scale=<x>   divide volumes by x on top of the calibrated scale
+//                 (ecosystem.h documents kPacketScale/kScanScale)
+//   --year=<y>    restrict multi-year benches to one year
+//   --seed=<s>    override the workload seed
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/analysis_summary.h"
+#include "core/daily_series.h"
+#include "core/pipeline.h"
+#include "core/port_tally.h"
+#include "core/volatility.h"
+#include "enrich/registry.h"
+#include "simgen/ecosystem.h"
+#include "simgen/generator.h"
+#include "telescope/telescope.h"
+
+namespace synscan::bench {
+
+struct Options {
+  double scale = 1.0;
+  std::optional<int> year;
+  std::optional<std::uint64_t> seed;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value_of = [&](std::string_view prefix) -> std::optional<std::string> {
+      if (arg.substr(0, prefix.size()) != prefix) return std::nullopt;
+      return std::string(arg.substr(prefix.size()));
+    };
+    if (const auto v = value_of("--scale=")) {
+      options.scale = std::stod(*v);
+    } else if (const auto v = value_of("--year=")) {
+      options.year = std::stoi(*v);
+    } else if (const auto v = value_of("--seed=")) {
+      options.seed = std::stoull(*v);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --scale=<x> --year=<y> --seed=<s>\n";
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+/// Which streaming observers a bench needs (each costs memory/time).
+struct Observers {
+  bool port_tally = true;
+  bool volatility = false;
+  bool daily_series = false;
+};
+
+/// One simulated measurement window, fully analyzed.
+struct YearRun {
+  simgen::YearConfig config;
+  simgen::GeneratorStats generated;
+  core::PipelineResult result;
+  core::PortTally tally;
+  std::optional<core::VolatilityTracker> volatility;
+  std::optional<core::DailyPortSeries> daily;
+
+  [[nodiscard]] double packets_per_day() const {
+    return static_cast<double>(tally.total_packets()) / config.window_days;
+  }
+  [[nodiscard]] double scans_per_month() const {
+    return static_cast<double>(result.campaigns.size()) / config.window_days * 30.44;
+  }
+};
+
+inline const telescope::Telescope& shared_telescope() {
+  static const auto telescope = telescope::Telescope::paper_default();
+  return telescope;
+}
+
+inline const enrich::InternetRegistry& shared_registry() {
+  return enrich::InternetRegistry::synthetic_default();
+}
+
+/// Runs one window through the pipeline with the requested observers.
+inline YearRun run_window(simgen::YearConfig config, const Observers& observers = {}) {
+  YearRun run;
+  run.config = config;
+  const auto& telescope = shared_telescope();
+
+  core::Pipeline pipeline(telescope);
+  if (observers.port_tally) pipeline.add_observer(run.tally);
+  if (observers.volatility) {
+    run.volatility.emplace(config.start_time);
+    pipeline.add_observer(*run.volatility);
+  }
+  if (observers.daily_series) {
+    run.daily.emplace(config.start_time);
+    pipeline.add_observer(*run.daily);
+  }
+
+  simgen::TrafficGenerator generator(std::move(config), telescope, shared_registry());
+  run.generated = generator.run([&](const net::RawFrame& f) { pipeline.feed_frame(f); });
+  run.result = pipeline.finish();
+  if (run.volatility) {
+    for (const auto& campaign : run.result.campaigns) {
+      run.volatility->on_campaign(campaign);
+    }
+  }
+  return run;
+}
+
+/// Runs a calibrated year.
+inline YearRun run_year(int year, const Options& options, const Observers& observers = {}) {
+  auto config = simgen::year_config(year, options.scale);
+  if (options.seed) config.seed = *options.seed;
+  return run_window(std::move(config), observers);
+}
+
+/// The total downscale applied to packet volumes, for back-conversion
+/// into paper-comparable units.
+inline double packet_upscale(const Options& options) {
+  return simgen::kPacketScale * options.scale;
+}
+inline double scan_upscale(const Options& options) {
+  return simgen::kScanScale * options.scale;
+}
+
+inline void print_banner(std::string_view experiment, std::string_view paper_ref,
+                         const Options& options) {
+  std::cout << "================================================================\n"
+            << experiment << "  (" << paper_ref << ")\n"
+            << "scale: packets 1/" << packet_upscale(options) << ", scans 1/"
+            << scan_upscale(options) << " of the paper's telescope\n"
+            << "================================================================\n";
+}
+
+}  // namespace synscan::bench

@@ -1,0 +1,70 @@
+// §6.4: scan coverage is stable — coverage distributions per tool, the
+// decline of single-source Internet-wide scans, and the sharding mode.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis_campaigns.h"
+#include "report/series.h"
+#include "report/table.h"
+#include "stats/histogram.h"
+
+int main(int argc, char** argv) {
+  using namespace synscan;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_banner("§6.4 — scan coverage and sharding modes", "§6.4", options);
+
+  report::Table table({"year", "masscan full-IPv4 share", "zmap mean coverage",
+                       "masscan mean coverage", "all campaigns"});
+  const int first = options.year.value_or(simgen::kFirstYear);
+  const int last = options.year.value_or(simgen::kLastYear);
+  for (int year = first; year <= last; ++year) {
+    const auto run = bench::run_year(year, options);
+    const auto masscan =
+        core::coverage_sample(run.result.campaigns, fingerprint::Tool::kMasscan);
+    const auto zmap =
+        core::coverage_sample(run.result.campaigns, fingerprint::Tool::kZmap);
+    const auto mean_of = [](const std::vector<double>& v) {
+      if (v.empty()) return 0.0;
+      double sum = 0;
+      for (const auto x : v) sum += x;
+      return sum / static_cast<double>(v.size());
+    };
+    std::size_t full = 0;
+    for (const auto c : masscan) {
+      if (c > 0.9) ++full;
+    }
+    table.add_row({std::to_string(year),
+                   masscan.empty()
+                       ? "-"
+                       : report::percent(static_cast<double>(full) /
+                                         static_cast<double>(masscan.size())),
+                   zmap.empty() ? "-" : report::percent(mean_of(zmap), 2),
+                   masscan.empty() ? "-" : report::percent(mean_of(masscan), 2),
+                   std::to_string(run.result.campaigns.size())});
+  }
+  std::cout << table;
+
+  // The sharding mode: a histogram of ZMap coverage in 2024 shows a spike
+  // near 0.65% — collaborating sources each covering the same slice.
+  const int mode_year = options.year.value_or(2024);
+  const auto run = bench::run_year(mode_year, options);
+  const auto zmap = core::coverage_sample(run.result.campaigns, fingerprint::Tool::kZmap);
+  stats::LinearHistogram hist(0.0, 0.02, 40);  // 0..2% coverage, 0.05% bins
+  for (const auto c : zmap) hist.add(c);
+  std::cout << "\nZMap coverage histogram, " << mode_year
+            << " (bins of 0.05% coverage):\n";
+  for (std::size_t bin = 0; bin < hist.bins(); ++bin) {
+    if (hist.count(bin) == 0) continue;
+    std::cout << "  " << report::percent(hist.bin_left(bin), 2) << " - "
+              << report::percent(hist.bin_left(bin) + 0.0005, 2) << ": "
+              << hist.count(bin) << "\n";
+  }
+  std::cout << "mode at bin starting "
+            << report::percent(hist.bin_left(hist.mode_bin()), 2)
+            << " (paper: a pronounced peak around 0.65% IPv4 coverage — a /24 of\n"
+               "academic scanners collaborating on one scan)\n";
+  std::cout << "\npaper shape: full-IPv4 single-source scans are rare and declining\n"
+               "(>20% of Masscan scans in 2016, dropping afterwards); coverage modes\n"
+               "reveal logical slicing of the target space.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 3: CDF of the number of distinct ports targeted per source IP,
+// per year — the growth of block scanning.
+#include <iostream>
+
+#include "bench_common.h"
+#include "report/series.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace synscan;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 3 — ports scanned per source IP", "§5.1, Fig. 3", options);
+
+  report::Table table({"year", "1 port", "(paper)", ">=3 ports", ">=5 ports",
+                       ">=10 ports"});
+  // Paper anchors: 83% single-port in 2015, 74% in 2020, 65% in 2022.
+  const auto paper_single = [](int year) -> std::string {
+    switch (year) {
+      case 2015:
+        return "83%";
+      case 2020:
+        return "74%";
+      case 2022:
+        return "65%";
+      default:
+        return "-";
+    }
+  };
+
+  std::vector<double> years;
+  std::vector<double> multi_port_share;
+  const int first = options.year.value_or(simgen::kFirstYear);
+  const int last = options.year.value_or(simgen::kLastYear);
+  for (int year = first; year <= last; ++year) {
+    const auto run = bench::run_year(year, options);
+    const stats::Ecdf ecdf(run.tally.ports_per_source_sample());
+    if (ecdf.empty()) continue;
+    const double single = ecdf.fraction_at_or_below(1.0);
+    const double ge3 = 1.0 - ecdf.fraction_at_or_below(2.0);
+    table.add_row({std::to_string(year), report::percent(single), paper_single(year),
+                   report::percent(ge3),
+                   report::percent(1.0 - ecdf.fraction_at_or_below(4.0)),
+                   report::percent(1.0 - ecdf.fraction_at_or_below(9.0))});
+    years.push_back(year);
+    multi_port_share.push_back(ge3);
+  }
+  std::cout << table;
+
+  const auto trend = stats::pearson(years, multi_port_share);
+  std::cout << "\ntrend of the >=3-port share across years: R = "
+            << report::fixed(trend.r, 2) << ", p = " << report::fixed(trend.p_value, 4)
+            << "  (paper: R = 0.88, p < 0.05)\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 4: top-10 ports by traffic per year, with the tool mix of the
+// traffic on each port.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis_tools.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace synscan;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 4 — tool mix on the top-10 traffic ports", "§6.1, Fig. 4",
+                      options);
+
+  const int first = options.year.value_or(simgen::kFirstYear);
+  const int last = options.year.value_or(simgen::kLastYear);
+  for (int year = first; year <= last; ++year) {
+    const auto run = bench::run_year(year, options);
+    const auto mixes = core::port_tool_mix(run.result.campaigns, 10);
+
+    report::Table table({"port", "packets", "masscan", "nmap", "mirai", "zmap",
+                         "other"});
+    for (const auto& mix : mixes) {
+      table.add_row(
+          {std::to_string(mix.port), report::human_count(static_cast<double>(mix.packets)),
+           report::percent(mix.tool_share[fingerprint::tool_index(
+               fingerprint::Tool::kMasscan)]),
+           report::percent(
+               mix.tool_share[fingerprint::tool_index(fingerprint::Tool::kNmap)]),
+           report::percent(
+               mix.tool_share[fingerprint::tool_index(fingerprint::Tool::kMirai)]),
+           report::percent(
+               mix.tool_share[fingerprint::tool_index(fingerprint::Tool::kZmap)]),
+           report::percent(
+               mix.tool_share[fingerprint::tool_index(fingerprint::Tool::kUnknown)] +
+               mix.tool_share[fingerprint::tool_index(fingerprint::Tool::kUnicorn)])});
+    }
+    std::cout << "\n== " << year << " ==\n" << table;
+  }
+  std::cout << "\npaper shape: Mirai dominates the IoT ports in 2017; Masscan carries\n"
+               "most traffic 2018-2022; by 2023/24 the fingerprintable share shrinks.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 6: scanner recurrence — campaigns per source and downtime
+// between campaigns, split by scanner type.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis_recurrence.h"
+#include "report/series.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace synscan;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 6 — scanner recurrence and downtime", "§6.6, Fig. 6",
+                      options);
+
+  const int year = options.year.value_or(2022);
+  const auto run = bench::run_year(year, options);
+  const auto results = core::recurrence_by_type(run.result.campaigns,
+                                                bench::shared_registry());
+
+  report::Table table({"type", "sources", "recurring", ">100 campaigns",
+                       "daily-mode (recurring)", "median downtime"});
+  for (const auto& row : results) {
+    std::string downtime = "-";
+    if (!row.downtime_seconds.empty()) {
+      const double median_h = row.downtime_seconds.value_at_fraction(0.5) / 3600.0;
+      downtime = report::fixed(median_h, 1) + " h";
+    }
+    table.add_row({std::string(enrich::to_string(row.type)),
+                   std::to_string(row.sources), std::to_string(row.recurring_sources),
+                   report::percent(row.over_100_campaigns_fraction, 2),
+                   report::percent(row.daily_mode_fraction),
+                   downtime});
+  }
+  std::cout << "window: " << year << "\n\n" << table;
+
+  std::vector<stats::NamedEcdf> campaign_cdfs;
+  std::vector<stats::NamedEcdf> downtime_cdfs;
+  for (const auto& row : results) {
+    campaign_cdfs.push_back({std::string(enrich::to_string(row.type)),
+                             row.campaigns_per_source});
+    downtime_cdfs.push_back({std::string(enrich::to_string(row.type)),
+                             row.downtime_seconds});
+  }
+  report::print_cdf_summary(std::cout, "\ncampaigns per source (CDF quantiles)",
+                            campaign_cdfs);
+  report::print_cdf_summary(std::cout, "\ndowntime between campaigns, seconds",
+                            downtime_cdfs);
+
+  std::cout << "\npaper shape: only institutional sources recur at scale (a large\n"
+               "share runs >100 campaigns, with a strong scan-every-day mode);\n"
+               "residential and enterprise sources rarely return.\n";
+  return 0;
+}

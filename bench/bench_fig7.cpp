@@ -1,0 +1,59 @@
+// Figure 7: speed and IPv4 coverage of scanner types, averaged per
+// source IP.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis_types.h"
+#include "report/series.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace synscan;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 7 — speed and coverage by scanner type", "§6.8, Fig. 7",
+                      options);
+
+  const int year = options.year.value_or(2022);
+  const auto run = bench::run_year(year, options);
+  const auto rows = core::type_speed_coverage(run.result.campaigns,
+                                              bench::shared_registry());
+
+  report::Table table({"type", "sources", "mean pps", ">1000 pps", "mean coverage"});
+  double institutional_speed = 0.0;
+  double rest_speed_sum = 0.0;
+  std::size_t rest_sources = 0;
+  for (const auto& row : rows) {
+    table.add_row({std::string(enrich::to_string(row.type)),
+                   std::to_string(row.speed_pps.size()),
+                   report::fixed(row.mean_speed_pps, 0),
+                   report::percent(row.fraction_over_1000pps),
+                   report::percent(row.mean_coverage, 2)});
+    if (row.type == enrich::ScannerType::kInstitutional) {
+      institutional_speed = row.mean_speed_pps;
+    } else {
+      rest_speed_sum += row.mean_speed_pps * static_cast<double>(row.speed_pps.size());
+      rest_sources += row.speed_pps.size();
+    }
+  }
+  std::cout << "window: " << year << "\n\n" << table;
+
+  std::vector<stats::NamedEcdf> speed_cdfs;
+  std::vector<stats::NamedEcdf> coverage_cdfs;
+  for (const auto& row : rows) {
+    speed_cdfs.push_back({std::string(enrich::to_string(row.type)), row.speed_pps});
+    coverage_cdfs.push_back({std::string(enrich::to_string(row.type)), row.coverage});
+  }
+  report::print_cdf_summary(std::cout, "\nper-source mean speed (pps)", speed_cdfs);
+  report::print_cdf_summary(std::cout, "\nper-source mean IPv4 coverage (fraction)",
+                            coverage_cdfs);
+
+  if (rest_sources > 0 && institutional_speed > 0) {
+    const double average_other = rest_speed_sum / static_cast<double>(rest_sources);
+    std::cout << "\ninstitutional speed vs average other scanner: "
+              << report::fixed(institutional_speed / average_other, 0)
+              << "x  (paper: institutions scan ~92x faster than the average)\n";
+  }
+  std::cout << "paper shape: 84% of institutional sources exceed 1,000 pps vs ~12% of\n"
+               "residential; enterprise scanners are the most throttled.\n";
+  return 0;
+}

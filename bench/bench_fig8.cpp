@@ -1,0 +1,39 @@
+// Figure 8: port coverage of well-known Internet-wide scanning projects
+// in 2024 (Censys and Palo Alto cover all 65,536 ports; Shadowserver and
+// Rapid7 do not — yet).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis_types.h"
+#include "enrich/known_scanners.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace synscan;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_banner("Figure 8 — known scanners' port coverage in 2024",
+                      "§6.8, Fig. 8", options);
+
+  const int year = options.year.value_or(2024);
+  const auto run = bench::run_year(year, options);
+  const auto coverage = core::org_port_coverage(run.result.campaigns,
+                                                bench::shared_registry());
+
+  report::Table table({"organization", "ports (measured)", "ports (catalog)",
+                       "coverage", "campaigns", "packets"});
+  for (const auto& org : coverage) {
+    const auto* spec = enrich::find_known_scanner(org.organization);
+    const auto catalog_ports =
+        spec == nullptr ? 0u : (year >= 2024 ? spec->ports_2024 : spec->ports_2023);
+    table.add_row({org.organization, std::to_string(org.distinct_ports),
+                   std::to_string(catalog_ports),
+                   report::percent(org.distinct_ports / 65536.0),
+                   std::to_string(org.campaigns),
+                   report::human_count(static_cast<double>(org.packets))});
+  }
+  std::cout << "window: " << year << "\n\n" << table;
+  std::cout << "\nNote: measured ports lag the catalog when the scaled window is too\n"
+               "short for an organization's full sweep to repeat; full-range scanners\n"
+               "still clearly separate from the partial and few-port ones.\n";
+  return 0;
+}

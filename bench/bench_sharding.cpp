@@ -1,0 +1,57 @@
+// §4.1/§6.4 ablation: collaboration (distributed scanning) over the
+// years — logical scans split across multiple hosts, their member
+// counts, and the share of campaigns that belong to one.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/collaboration.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace synscan;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_banner("§4.1/§6.4 — distributed scans (sharding) over the years",
+                      "§4.1, §6.4", options);
+
+  report::Table table({"year", "logical multi-host scans", "largest (members)",
+                       "collaborating campaigns", "share of all campaigns"});
+  const int first = options.year.value_or(simgen::kFirstYear);
+  const int last = options.year.value_or(simgen::kLastYear);
+  std::vector<double> years;
+  std::vector<double> shares;
+  for (int year = first; year <= last; ++year) {
+    const auto run = bench::run_year(year, options);
+    const auto census = core::detect_collaborations(run.result.campaigns);
+    table.add_row({std::to_string(year), std::to_string(census.scans.size()),
+                   census.scans.empty() ? "-"
+                                        : std::to_string(census.scans[0].members),
+                   std::to_string(census.collaborating_campaigns),
+                   report::percent(census.collaborating_fraction())});
+    years.push_back(year);
+    shares.push_back(census.collaborating_fraction());
+
+    if (year == 2024 && !census.scans.empty()) {
+      std::cout << "largest 2024 collaborations:\n";
+      for (std::size_t i = 0; i < std::min<std::size_t>(4, census.scans.size()); ++i) {
+        const auto& scan = census.scans[i];
+        std::cout << "  " << scan.subnet.to_string() << "/24 x" << scan.members
+                  << " on port " << scan.port << " ("
+                  << fingerprint::to_string(scan.tool) << "), joint coverage "
+                  << report::percent(scan.joint_coverage) << ", per member "
+                  << report::percent(scan.mean_member_coverage, 2) << "\n";
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << table;
+
+  if (years.size() >= 3) {
+    const auto trend = stats::pearson(years, shares);
+    std::cout << "\ncollaboration trend: R = " << report::fixed(trend.r, 2)
+              << ", p = " << report::fixed(trend.p_value, 4) << "\n";
+  }
+  std::cout << "\npaper shape: the number of scans split over multiple hosts rises\n"
+               "over the years; per-member coverage modes (e.g. ~0.65% = 1/256 of\n"
+               "IPv4 slices, counting a /24 of collaborators) reveal the slicing.\n";
+  return 0;
+}

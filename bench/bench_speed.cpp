@@ -1,0 +1,72 @@
+// §6.3: scanning-speed distributions per tool and over time — NMap
+// out-paces Masscan on average, the overall speed decreases, the top-100
+// speed increases, and speed correlates with port breadth (§5.3).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis_campaigns.h"
+#include "report/series.h"
+#include "report/table.h"
+#include "stats/descriptive.h"
+#include "stats/hypothesis.h"
+
+int main(int argc, char** argv) {
+  using namespace synscan;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_banner("§6.3 — scanning speed over tools and years", "§6.3, §5.3",
+                      options);
+
+  report::Table table({"year", "median all (pps)", "median nmap", "median masscan",
+                       "median mirai", "median zmap", "top-100 mean"});
+  std::vector<double> years;
+  std::vector<double> top100;
+  std::vector<double> nmap_medians;
+
+  const int first = options.year.value_or(simgen::kFirstYear);
+  const int last = options.year.value_or(simgen::kLastYear);
+  core::SpeedBreadthSample last_breadth;
+  for (int year = first; year <= last; ++year) {
+    const auto run = bench::run_year(year, options);
+    const auto median_of = [&](std::optional<fingerprint::Tool> tool) -> std::string {
+      const auto sample = tool ? core::speed_sample(run.result.campaigns, *tool)
+                               : core::speed_sample(run.result.campaigns);
+      if (sample.size() < 3) return "-";
+      return report::fixed(stats::median(sample), 0);
+    };
+    const double top = core::top_speed_mean(run.result.campaigns, 100);
+    table.add_row({std::to_string(year), median_of(std::nullopt),
+                   median_of(fingerprint::Tool::kNmap),
+                   median_of(fingerprint::Tool::kMasscan),
+                   median_of(fingerprint::Tool::kMirai),
+                   median_of(fingerprint::Tool::kZmap), report::fixed(top, 0)});
+    years.push_back(year);
+    top100.push_back(top);
+    const auto nmap = core::speed_sample(run.result.campaigns, fingerprint::Tool::kNmap);
+    if (nmap.size() >= 3) nmap_medians.push_back(stats::median(nmap));
+    last_breadth = core::speed_breadth_sample(run.result.campaigns);
+  }
+  std::cout << table;
+
+  const auto top_trend = stats::pearson(years, top100);
+  std::cout << "\ntop-100 speed trend: R = " << report::fixed(top_trend.r, 3)
+            << ", p = " << report::fixed(top_trend.p_value, 4)
+            << "  (paper: R = 0.356, p < 0.001 — the top end keeps accelerating)\n";
+
+  if (nmap_medians.size() >= 3) {
+    std::vector<double> nmap_years(nmap_medians.size());
+    for (std::size_t i = 0; i < nmap_years.size(); ++i) {
+      nmap_years[i] = static_cast<double>(i);
+    }
+    const auto nmap_trend = stats::pearson(nmap_years, nmap_medians);
+    std::cout << "NMap speed trend: R = " << report::fixed(nmap_trend.r, 3)
+              << "  (paper: the only tool with an increasing trend, R = 0.12)\n";
+  }
+
+  const auto breadth = stats::pearson(last_breadth.ports, last_breadth.pps);
+  std::cout << "speed vs port breadth (last window): R = "
+            << report::fixed(breadth.r, 3)
+            << "  (paper §5.3: positive, R = 0.88 — faster scans cover more ports)\n";
+  std::cout << "\npaper shape: NMap consistently out-paces Masscan on average; only a\n"
+               "select few at the very top (>1e5 pps) cash in the high-speed tools.\n";
+  return 0;
+}

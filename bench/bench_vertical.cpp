@@ -1,0 +1,37 @@
+// §5.2: vertical scans — campaigns targeting many ports, their counts
+// per year and the speed of the large ones.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis_campaigns.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace synscan;
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_banner("§5.2 — the number of vertical scans is increasing", "§5.2",
+                      options);
+
+  report::Table table({"year", ">10 ports", ">100 ports", ">1000 ports", ">10k ports",
+                       "max ports", "mean speed >1k-port (Mbps)", "mean speed all"});
+  const int first = options.year.value_or(simgen::kFirstYear);
+  const int last = options.year.value_or(simgen::kLastYear);
+  for (int year = first; year <= last; ++year) {
+    const auto run = bench::run_year(year, options);
+    const auto census = core::vertical_scan_census(run.result.campaigns);
+    table.add_row({std::to_string(year), std::to_string(census.over_10_ports),
+                   std::to_string(census.over_100_ports),
+                   std::to_string(census.over_1000_ports),
+                   std::to_string(census.over_10000_ports),
+                   std::to_string(census.max_ports),
+                   report::fixed(census.mean_speed_over_1000_mbps, 1),
+                   report::fixed(census.mean_speed_all_mbps, 1)});
+  }
+  std::cout << table;
+  std::cout << "\npaper anchors (full scale): one >10k-port campaign in 2015 vs 2,134\n"
+               "in 2020; the 2020 maximum covers 54,501 ports (83% of the range); the\n"
+               ">1000-port scans of 2022 average ~0.3 Gbps (~300 Mbps) against an\n"
+               "overall average of 14 Mbps. Counts here scale with 1/scan-scale; the\n"
+               "one-off giants keep their count by design (see DESIGN.md).\n";
+  return 0;
+}

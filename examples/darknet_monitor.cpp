@@ -1,0 +1,79 @@
+// A day in the life of a darknet monitor: streaming campaign detection
+// with a real-time "blocklist feed".
+//
+// The paper's §4.4 conclusion is that blocklists of scanner IPs age out
+// within days and are only useful as a real-time feed. This example
+// shows what that feed looks like: campaigns are announced the moment
+// the tracker closes them, annotated with tool, origin type and speed.
+//
+// Run:  ./darknet_monitor [--year=2022] [--scale=8]
+#include <iostream>
+#include <string_view>
+
+#include "core/tracker.h"
+#include "enrich/registry.h"
+#include "report/table.h"
+#include "simgen/ecosystem.h"
+#include "simgen/generator.h"
+#include "telescope/sensor.h"
+
+using namespace synscan;
+
+int main(int argc, char** argv) {
+  int year = 2022;
+  double scale = 16.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--year=", 0) == 0) year = std::stoi(std::string(arg.substr(7)));
+    if (arg.rfind("--scale=", 0) == 0) scale = std::stod(std::string(arg.substr(8)));
+  }
+
+  const auto& telescope = telescope::Telescope::paper_default();
+  const auto& registry = enrich::InternetRegistry::synthetic_default();
+
+  auto config = simgen::year_config(year, scale);
+  config.window_days = std::min(config.window_days, 3.0);  // a short shift
+
+  telescope::Sensor sensor(telescope);
+  std::uint64_t feed_entries = 0;
+
+  core::CampaignTracker tracker(
+      {}, telescope.monitored_count(), [&](core::Campaign&& campaign) {
+        ++feed_entries;
+        if (feed_entries > 40 && feed_entries % 50 != 0) return;  // keep output sane
+        const auto* record = registry.lookup(campaign.source);
+        std::cout << "[feed] " << campaign.source.to_string() << "  tool="
+                  << fingerprint::to_string(campaign.tool) << "  type="
+                  << enrich::to_string(record ? record->type
+                                              : enrich::ScannerType::kUnknown)
+                  << "  country="
+                  << (record ? record->country.to_string() : std::string("??"))
+                  << "  ports=" << campaign.distinct_ports()
+                  << "  pps=" << report::fixed(campaign.extrapolated_pps, 0)
+                  << "  coverage=" << report::percent(campaign.coverage_fraction, 2)
+                  << "\n";
+      });
+
+  simgen::TrafficGenerator generator(config, telescope, registry);
+  telescope::ScanProbe probe;
+  (void)generator.run([&](const net::RawFrame& frame) {
+    if (sensor.classify(frame, probe) == telescope::FrameClass::kScanProbe) {
+      tracker.feed(probe);
+    }
+  });
+  tracker.finish();
+
+  const auto& counters = sensor.counters();
+  std::cout << "\n--- shift report (" << year << ", " << config.window_days
+            << " days at 1/" << simgen::kPacketScale * scale << " volume) ---\n"
+            << "frames seen:        " << counters.total() << "\n"
+            << "SYN scan probes:    " << counters.scan_probes << "\n"
+            << "backscatter:        " << counters.backscatter << "\n"
+            << "ingress-blocked:    " << counters.ingress_blocked << " (23/445)\n"
+            << "campaigns -> feed:  " << feed_entries << "\n"
+            << "sub-threshold:      " << tracker.counters().subthreshold_flows
+            << " sources (never qualified as Internet-wide scans)\n";
+  std::cout << "\nBy the time a daily blocklist ships, most of these sources are\n"
+               "gone (§6.6): treat the feed as real-time or not at all.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Forensics of the Mirai era (2017): how an IoT botnet looks from a
+// network telescope.
+//
+// Replays the 2017 window and isolates the Mirai-fingerprinted activity:
+// the sequence-number-equals-destination signature, the bot population
+// and its churn, the ports the variants spread to, and what the ingress
+// block on 23/tcp hides (the 2323 alias keeps the botnet visible, §3.2).
+//
+// Run:  ./mirai_outbreak [--scale=8]
+#include <iostream>
+#include <string_view>
+
+#include "core/analysis_campaigns.h"
+#include "core/pipeline.h"
+#include "core/port_tally.h"
+#include "report/table.h"
+#include "simgen/ecosystem.h"
+#include "simgen/generator.h"
+
+using namespace synscan;
+
+int main(int argc, char** argv) {
+  double scale = 8.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) scale = std::stod(std::string(arg.substr(8)));
+  }
+
+  const auto& telescope = telescope::Telescope::paper_default();
+  core::Pipeline pipeline(telescope);
+  core::PortTally tally;
+  pipeline.add_observer(tally);
+
+  simgen::TrafficGenerator generator(simgen::year_config(2017, scale), telescope,
+                                     enrich::InternetRegistry::synthetic_default());
+  (void)generator.run([&](const net::RawFrame& f) { pipeline.feed_frame(f); });
+  const auto result = pipeline.finish();
+
+  const auto shares = core::tool_shares(result.campaigns);
+  std::cout << "2017 window: " << result.campaigns.size() << " campaigns, "
+            << tally.total_packets() << " probes\n\n";
+  std::cout << "Mirai share of scans:   "
+            << report::percent(shares.by_scans.share(fingerprint::Tool::kMirai))
+            << "   (paper: 46.5%)\n";
+  std::cout << "Mirai share of packets: "
+            << report::percent(shares.by_packets.share(fingerprint::Tool::kMirai))
+            << "\n";
+  std::cout << "distinct Mirai bots:    "
+            << core::distinct_sources(result.campaigns, fingerprint::Tool::kMirai)
+            << " source IPs (DHCP churn inflates this count, §4.2)\n";
+  std::cout << "telnet at the ingress:  " << result.sensor.ingress_blocked
+            << " frames to 23/445 dropped; the 2323 alias stays measurable\n\n";
+
+  // Where did the botnet spread?
+  std::unordered_map<std::uint16_t, std::uint64_t> mirai_ports;
+  double mirai_speed_sum = 0.0;
+  std::uint64_t mirai_campaigns = 0;
+  for (const auto& campaign : result.campaigns) {
+    if (campaign.tool != fingerprint::Tool::kMirai) continue;
+    ++mirai_campaigns;
+    mirai_speed_sum += campaign.extrapolated_pps;
+    for (const auto& [port, packets] : campaign.port_packets) {
+      mirai_ports[port] += packets;
+    }
+  }
+
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> ranked(mirai_ports.begin(),
+                                                              mirai_ports.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  report::Table table({"port", "mirai packets", "note"});
+  std::size_t shown = 0;
+  for (const auto& [port, packets] : ranked) {
+    const char* note = port == 2323   ? "telnet alias (the self-propagation port)"
+                       : port == 7547 ? "TR-064/TR-069 (router takeover wave)"
+                       : port == 5358 ? "WSDAPI variant"
+                       : port == 80   ? "HTTP-targeting variants"
+                                      : "";
+    table.add_row({std::to_string(port), std::to_string(packets), note});
+    if (++shown == 8) break;
+  }
+  std::cout << table;
+
+  if (mirai_campaigns > 0) {
+    std::cout << "\nmean Mirai scan rate: "
+              << report::fixed(mirai_speed_sum / static_cast<double>(mirai_campaigns), 0)
+              << " pps — embedded devices are the slowest scanners (§6.3)\n";
+  }
+  std::cout << "\nEvery bot here carries the seq == dest-IP signature; the classifier\n"
+               "needs no payload, just two header fields per packet (§3.3).\n";
+  return 0;
+}

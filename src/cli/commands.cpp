@@ -1,0 +1,309 @@
+#include "cli/commands.h"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "core/analysis_campaigns.h"
+#include "core/analysis_geo.h"
+#include "core/analysis_summary.h"
+#include "core/analysis_types.h"
+#include "core/pipeline.h"
+#include "core/port_tally.h"
+#include "fingerprint/classifier.h"
+#include "pcap/pcap.h"
+#include "pcap/pcapng.h"
+#include "report/json.h"
+#include "report/table.h"
+#include "simgen/ecosystem.h"
+#include "simgen/generator.h"
+
+namespace synscan::cli {
+namespace {
+
+/// Minimal flag parser: "--key=value" flags plus positional arguments.
+class Args {
+ public:
+  explicit Args(const std::vector<std::string>& raw) {
+    for (const auto& arg : raw) {
+      if (arg.rfind("--", 0) == 0) {
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+          flags_[arg.substr(2)] = "true";
+        } else {
+          flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> flag(const std::string& key) const {
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? std::nullopt : std::optional<std::string>(it->second);
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto value = flag(key);
+    return value ? std::stod(*value) : fallback;
+  }
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Replays a capture through the pipeline with all CLI observers.
+struct Analysis {
+  core::PipelineResult result;
+  core::PortTally ports;
+  core::TypeTally types{enrich::InternetRegistry::synthetic_default()};
+  core::GeoTally geo{enrich::InternetRegistry::synthetic_default()};
+  std::uint64_t frames = 0;
+  pcap::ReadStatus final_status = pcap::ReadStatus::kEndOfFile;
+};
+
+const telescope::Telescope& shared_telescope() {
+  static const auto telescope = telescope::Telescope::paper_default();
+  return telescope;
+}
+
+/// Streams every frame of a classic-pcap or pcapng capture to `sink`;
+/// returns the terminal read status.
+template <typename Sink>
+pcap::ReadStatus for_each_frame(const std::string& path, Sink&& sink) {
+  net::RawFrame frame;
+  pcap::ReadStatus status;
+  if (pcap::looks_like_pcapng(path)) {
+    auto reader = pcap::NgReader::open(path);
+    while ((status = reader.next(frame)) == pcap::ReadStatus::kOk) sink(frame);
+    return status;
+  }
+  auto reader = pcap::Reader::open(path);
+  while ((status = reader.next(frame)) == pcap::ReadStatus::kOk) sink(frame);
+  return status;
+}
+
+Analysis analyze_capture(const std::string& path) {
+  Analysis analysis;
+  core::Pipeline pipeline(shared_telescope());
+  pipeline.add_observer(analysis.ports);
+  pipeline.add_observer(analysis.types);
+  pipeline.add_observer(analysis.geo);
+
+  analysis.final_status = for_each_frame(path, [&](const net::RawFrame& frame) {
+    pipeline.feed_frame(frame);
+    ++analysis.frames;
+  });
+  analysis.result = pipeline.finish();
+  return analysis;
+}
+
+void warn_on_truncation(const Analysis& analysis) {
+  if (analysis.final_status == pcap::ReadStatus::kTruncated) {
+    std::cerr << "warning: capture ends mid-record (truncated write?); analyzed the "
+                 "readable prefix\n";
+  } else if (analysis.final_status == pcap::ReadStatus::kBadRecord) {
+    std::cerr << "warning: capture framing is corrupt; analyzed the readable prefix\n";
+  }
+}
+
+}  // namespace
+
+int run_simulate(const std::vector<std::string>& args) {
+  const Args parsed(args);
+  const int year = static_cast<int>(parsed.number("year", 2022));
+  const double scale = parsed.number("scale", 32.0);
+  const auto out = parsed.flag("out");
+  if (!out) throw std::invalid_argument("simulate requires --out=<file>");
+
+  auto config = simgen::year_config(year, scale);
+  if (const auto seed = parsed.flag("seed")) config.seed = std::stoull(*seed);
+  if (const auto days = parsed.flag("days")) {
+    config.window_days = std::min(config.window_days, std::stod(*days));
+  }
+
+  const auto& telescope = shared_telescope();
+  auto writer = pcap::Writer::create(*out);
+  simgen::TrafficGenerator generator(config, telescope,
+                                     enrich::InternetRegistry::synthetic_default());
+  const auto stats = generator.run([&](const net::RawFrame& f) { writer.write(f); });
+  writer.flush();
+
+  std::cout << "wrote " << stats.total_frames << " frames (" << stats.scan_frames
+            << " scan, " << stats.backscatter_frames << " backscatter) to " << *out
+            << "\n"
+            << "window: " << year << ", " << config.window_days << " days at 1/"
+            << simgen::kPacketScale * scale << " packet volume, "
+            << stats.planned_campaigns << " planned campaigns\n";
+  return 0;
+}
+
+int run_analyze(const std::vector<std::string>& args) {
+  const Args parsed(args);
+  if (parsed.positional().empty()) {
+    throw std::invalid_argument("analyze requires a capture path");
+  }
+  const auto top_n = static_cast<std::size_t>(parsed.number("top", 10));
+  auto analysis = analyze_capture(parsed.positional().front());
+  warn_on_truncation(analysis);
+  const auto& campaigns = analysis.result.campaigns;
+
+  std::cout << "frames: " << analysis.frames << ", scan probes "
+            << analysis.result.sensor.scan_probes << ", campaigns " << campaigns.size()
+            << ", sub-threshold sources "
+            << analysis.result.tracker.subthreshold_flows << "\n\n";
+
+  const auto shares = core::tool_shares(campaigns);
+  report::Table tools({"tool", "scans", "scan share", "packet share"});
+  for (const auto tool : fingerprint::kAllTools) {
+    tools.add_row({std::string(fingerprint::to_string(tool)),
+                   std::to_string(shares.by_scans.count(tool)),
+                   report::percent(shares.by_scans.share(tool)),
+                   report::percent(shares.by_packets.share(tool))});
+  }
+  std::cout << "-- tools --\n" << tools << "\n";
+
+  report::Table ports({"port", "packets", "share", "sources"});
+  for (const auto& row : analysis.ports.top_ports_by_packets(top_n)) {
+    ports.add_row({std::to_string(row.port), std::to_string(row.count),
+                   report::percent(row.share),
+                   std::to_string(analysis.ports.sources_on_port(row.port))});
+  }
+  std::cout << "-- top ports by packets --\n" << ports << "\n";
+
+  const auto type_table = core::type_share_table(
+      analysis.types, campaigns, enrich::InternetRegistry::synthetic_default());
+  report::Table types({"scanner type", "sources", "scans", "packets"});
+  for (const auto& row : type_table) {
+    types.add_row({std::string(enrich::to_string(row.type)),
+                   report::percent(row.source_share, 2),
+                   report::percent(row.scan_share, 2),
+                   report::percent(row.packet_share, 2)});
+  }
+  std::cout << "-- scanner types --\n" << types << "\n";
+
+  report::Table countries({"country", "packets", "share"});
+  for (const auto& row : analysis.geo.top_countries(top_n)) {
+    countries.add_row({row.country.to_string(), std::to_string(row.packets),
+                       report::percent(row.share)});
+  }
+  std::cout << "-- origin countries --\n" << countries;
+
+  if (const auto json_path = parsed.flag("json")) {
+    std::ofstream json_out(*json_path, std::ios::trunc);
+    if (!json_out.is_open()) {
+      throw std::runtime_error("cannot write " + *json_path);
+    }
+    report::write_counters_json(json_out, analysis.result);
+    json_out << '\n';
+    report::write_campaigns_jsonl(json_out, campaigns);
+    std::cout << "\nwrote counters + " << campaigns.size() << " campaigns to "
+              << *json_path << " (JSON lines)\n";
+  }
+  return 0;
+}
+
+int run_fingerprint(const std::vector<std::string>& args) {
+  const Args parsed(args);
+  if (parsed.positional().empty()) {
+    throw std::invalid_argument("fingerprint requires a capture path");
+  }
+  const auto& telescope = shared_telescope();
+  telescope::Sensor sensor(telescope);
+  std::map<std::uint32_t, fingerprint::ToolEvidence> evidence;
+
+  telescope::ScanProbe probe;
+  (void)for_each_frame(parsed.positional().front(), [&](const net::RawFrame& frame) {
+    if (sensor.classify(frame, probe) == telescope::FrameClass::kScanProbe) {
+      evidence[probe.source.value()].observe(probe);
+    }
+  });
+
+  report::Table table({"source", "probes", "verdict", "zmap", "masscan", "mirai",
+                       "nmap-pairs", "unicorn-pairs"});
+  std::size_t shown = 0;
+  for (const auto& [source, tool_evidence] : evidence) {
+    if (tool_evidence.probes() < 3) continue;  // skip one-off chatter
+    table.add_row({net::Ipv4Address(source).to_string(),
+                   std::to_string(tool_evidence.probes()),
+                   std::string(fingerprint::to_string(tool_evidence.verdict())),
+                   std::to_string(tool_evidence.matches(fingerprint::Tool::kZmap)),
+                   std::to_string(tool_evidence.matches(fingerprint::Tool::kMasscan)),
+                   std::to_string(tool_evidence.matches(fingerprint::Tool::kMirai)),
+                   std::to_string(tool_evidence.matches(fingerprint::Tool::kNmap)),
+                   std::to_string(tool_evidence.matches(fingerprint::Tool::kUnicorn))});
+    if (++shown == 40) break;
+  }
+  std::cout << table;
+  std::cout << "(" << evidence.size() << " sources total; showing up to 40 with >=3 "
+            << "probes)\n";
+  return 0;
+}
+
+int run_info(const std::vector<std::string>& args) {
+  const Args parsed(args);
+  if (parsed.positional().empty()) {
+    throw std::invalid_argument("info requires a capture path");
+  }
+  const auto& path = parsed.positional().front();
+  auto reader = pcap::Reader::open(path);
+  const auto& info = reader.info();
+  std::cout << "capture:      " << path << "\n"
+            << "byte order:   " << (info.big_endian ? "big" : "little") << "-endian\n"
+            << "timestamps:   " << (info.nanosecond ? "nanosecond" : "microsecond")
+            << "\n"
+            << "version:      " << info.version_major << "." << info.version_minor
+            << "\n"
+            << "snap length:  " << info.snap_length << "\n"
+            << "link type:    "
+            << (info.link_type == pcap::LinkType::kEthernet ? "ethernet" : "other")
+            << "\n";
+
+  const auto& telescope = shared_telescope();
+  telescope::Sensor sensor(telescope);
+  net::RawFrame frame;
+  telescope::ScanProbe probe;
+  net::TimeUs first = 0;
+  net::TimeUs last = 0;
+  bool any = false;
+  pcap::ReadStatus status;
+  while ((status = reader.next(frame)) == pcap::ReadStatus::kOk) {
+    (void)sensor.classify(frame, probe);
+    if (!any) first = frame.timestamp_us;
+    last = frame.timestamp_us;
+    any = true;
+  }
+
+  const auto& counters = sensor.counters();
+  std::cout << "frames:       " << reader.frames_read() << " ("
+            << (status == pcap::ReadStatus::kEndOfFile ? "clean end" : "truncated/corrupt")
+            << ")\n";
+  if (any) {
+    std::cout << "time span:    "
+              << report::fixed(static_cast<double>(last - first) /
+                                   static_cast<double>(net::kMicrosPerDay),
+                               3)
+              << " days\n";
+  }
+  report::Table table({"class", "frames"});
+  table.add_row({"scan probes", std::to_string(counters.scan_probes)});
+  table.add_row({"backscatter", std::to_string(counters.backscatter)});
+  table.add_row({"xmas/null", std::to_string(counters.xmas_or_null)});
+  table.add_row({"other tcp", std::to_string(counters.other_tcp)});
+  table.add_row({"udp", std::to_string(counters.udp)});
+  table.add_row({"icmp", std::to_string(counters.icmp)});
+  table.add_row({"not monitored", std::to_string(counters.not_monitored)});
+  table.add_row({"ingress blocked", std::to_string(counters.ingress_blocked)});
+  table.add_row({"malformed", std::to_string(counters.malformed)});
+  table.add_row({"spoofed source", std::to_string(counters.spoofed_source)});
+  std::cout << table;
+  return 0;
+}
+
+}  // namespace synscan::cli

@@ -1,0 +1,15 @@
+// The synscan CLI subcommands. Each takes its raw argument list and
+// returns a process exit code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace synscan::cli {
+
+int run_simulate(const std::vector<std::string>& args);
+int run_analyze(const std::vector<std::string>& args);
+int run_fingerprint(const std::vector<std::string>& args);
+int run_info(const std::vector<std::string>& args);
+
+}  // namespace synscan::cli

@@ -1,0 +1,63 @@
+// synscan — command-line front-end to the telescope analytics toolkit.
+//
+//   synscan simulate --year=2020 --out=window.pcap [--scale=32] [--seed=7]
+//       Generate a calibrated measurement window as a pcap capture.
+//
+//   synscan analyze <capture.pcap> [--top=10]
+//       Full analysis: sensor statistics, campaign census, tool shares,
+//       top ports, scanner types, country mix.
+//
+//   synscan fingerprint <capture.pcap>
+//       Per-source tool verdicts with evidence counts.
+//
+//   synscan info <capture.pcap>
+//       Capture metadata and frame classification counts.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cli/commands.h"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: synscan <command> [options]\n\n"
+        "commands:\n"
+        "  simulate     generate a calibrated telescope capture (pcap)\n"
+        "  analyze      campaign/tool/port/type analysis of a capture\n"
+        "  fingerprint  per-source scanning-tool attribution\n"
+        "  info         capture metadata and traffic classification\n"
+        "\ncommon options:\n"
+        "  simulate: --year=<2015..2024> --out=<file> [--scale=<x>] [--seed=<n>]\n"
+        "            [--days=<n>]\n"
+        "  analyze:  <capture.pcap> [--top=<n>]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string_view command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "simulate") return synscan::cli::run_simulate(args);
+    if (command == "analyze") return synscan::cli::run_analyze(args);
+    if (command == "fingerprint") return synscan::cli::run_fingerprint(args);
+    if (command == "info") return synscan::cli::run_info(args);
+    if (command == "--help" || command == "-h" || command == "help") {
+      print_usage(std::cout);
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "synscan " << command << ": " << error.what() << "\n";
+    return 1;
+  }
+  std::cerr << "synscan: unknown command '" << command << "'\n";
+  print_usage(std::cerr);
+  return 2;
+}

@@ -1,0 +1,140 @@
+#include "core/analysis_campaigns.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace synscan::core {
+
+ToolShares tool_shares(std::span<const Campaign> campaigns) {
+  ToolShares shares;
+  for (const auto& campaign : campaigns) {
+    shares.by_scans.add(campaign.tool);
+    shares.by_packets.add(campaign.tool, campaign.packets);
+  }
+  return shares;
+}
+
+std::vector<PortCount> top_ports_by_scans(std::span<const Campaign> campaigns,
+                                          std::size_t n) {
+  std::unordered_map<std::uint16_t, std::uint64_t> scans_per_port;
+  for (const auto& campaign : campaigns) {
+    for (const auto& [port, packets] : campaign.port_packets) {
+      ++scans_per_port[port];
+    }
+  }
+  std::vector<PortCount> rows;
+  rows.reserve(scans_per_port.size());
+  for (const auto& [port, count] : scans_per_port) rows.push_back({port, count, 0.0});
+  std::sort(rows.begin(), rows.end(), [](const PortCount& a, const PortCount& b) {
+    return a.count != b.count ? a.count > b.count : a.port < b.port;
+  });
+  if (rows.size() > n) rows.resize(n);
+  for (auto& row : rows) {
+    row.share = campaigns.empty()
+                    ? 0.0
+                    : static_cast<double>(row.count) / static_cast<double>(campaigns.size());
+  }
+  return rows;
+}
+
+std::vector<double> speed_sample(std::span<const Campaign> campaigns,
+                                 fingerprint::Tool tool) {
+  std::vector<double> sample;
+  for (const auto& campaign : campaigns) {
+    if (campaign.tool == tool) sample.push_back(campaign.extrapolated_pps);
+  }
+  return sample;
+}
+
+std::vector<double> speed_sample(std::span<const Campaign> campaigns) {
+  std::vector<double> sample;
+  sample.reserve(campaigns.size());
+  for (const auto& campaign : campaigns) sample.push_back(campaign.extrapolated_pps);
+  return sample;
+}
+
+std::vector<double> coverage_sample(std::span<const Campaign> campaigns,
+                                    fingerprint::Tool tool) {
+  std::vector<double> sample;
+  for (const auto& campaign : campaigns) {
+    if (campaign.tool == tool) sample.push_back(campaign.coverage_fraction);
+  }
+  return sample;
+}
+
+double top_speed_mean(std::span<const Campaign> campaigns, std::size_t n) {
+  auto speeds = speed_sample(campaigns);
+  if (speeds.empty()) return 0.0;
+  const auto take = std::min(n, speeds.size());
+  std::partial_sort(speeds.begin(), speeds.begin() + static_cast<std::ptrdiff_t>(take),
+                    speeds.end(), std::greater<>());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < take; ++i) sum += speeds[i];
+  return sum / static_cast<double>(take);
+}
+
+VerticalScanCensus vertical_scan_census(std::span<const Campaign> campaigns) {
+  VerticalScanCensus census;
+  census.total_campaigns = campaigns.size();
+  double speed_sum_1000 = 0.0;
+  double speed_sum_all = 0.0;
+  std::uint64_t over_1000 = 0;
+  for (const auto& campaign : campaigns) {
+    const auto ports = campaign.distinct_ports();
+    census.max_ports = std::max(census.max_ports, static_cast<std::uint32_t>(ports));
+    if (ports > 10) ++census.over_10_ports;
+    if (ports > 100) ++census.over_100_ports;
+    if (ports > 1000) {
+      ++census.over_1000_ports;
+      ++over_1000;
+      speed_sum_1000 += campaign.speed_mbps();
+    }
+    if (ports > 10000) ++census.over_10000_ports;
+    speed_sum_all += campaign.speed_mbps();
+  }
+  if (over_1000 > 0) {
+    census.mean_speed_over_1000_mbps = speed_sum_1000 / static_cast<double>(over_1000);
+  }
+  if (!campaigns.empty()) {
+    census.mean_speed_all_mbps = speed_sum_all / static_cast<double>(campaigns.size());
+  }
+  return census;
+}
+
+SpeedBreadthSample speed_breadth_sample(std::span<const Campaign> campaigns) {
+  SpeedBreadthSample sample;
+  sample.ports.reserve(campaigns.size());
+  sample.pps.reserve(campaigns.size());
+  for (const auto& campaign : campaigns) {
+    sample.ports.push_back(static_cast<double>(campaign.distinct_ports()));
+    sample.pps.push_back(campaign.extrapolated_pps);
+  }
+  return sample;
+}
+
+std::vector<std::uint64_t> campaigns_per_day(std::span<const Campaign> campaigns,
+                                             net::TimeUs origin, fingerprint::Tool tool) {
+  std::vector<std::uint64_t> days;
+  for (const auto& campaign : campaigns) {
+    if (campaign.tool != tool) continue;
+    const auto day = campaign.first_seen_us <= origin
+                         ? std::size_t{0}
+                         : static_cast<std::size_t>((campaign.first_seen_us - origin) /
+                                                    net::kMicrosPerDay);
+    if (day >= days.size()) days.resize(day + 1, 0);
+    ++days[day];
+  }
+  return days;
+}
+
+std::uint64_t distinct_sources(std::span<const Campaign> campaigns,
+                               fingerprint::Tool tool) {
+  std::unordered_set<std::uint32_t> sources;
+  for (const auto& campaign : campaigns) {
+    if (campaign.tool == tool) sources.insert(campaign.source.value());
+  }
+  return sources.size();
+}
+
+}  // namespace synscan::core

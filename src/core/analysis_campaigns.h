@@ -1,0 +1,78 @@
+// Campaign-level aggregations: tool shares, port-by-scans rankings,
+// speed and coverage distributions, vertical-scan census (§5.2, §6.1,
+// §6.3, §6.4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/port_tally.h"
+#include "fingerprint/classifier.h"
+#include "stats/ecdf.h"
+
+namespace synscan::core {
+
+/// Tool shares weighted by campaigns and by packets (the two views of
+/// Table 1 / §6.1: "54% of scans", "92% of packets").
+struct ToolShares {
+  fingerprint::ToolTally by_scans;
+  fingerprint::ToolTally by_packets;
+};
+
+[[nodiscard]] ToolShares tool_shares(std::span<const Campaign> campaigns);
+
+/// Top `n` ports ranked by the number of campaigns targeting them; the
+/// share denominator is the total campaign count.
+[[nodiscard]] std::vector<PortCount> top_ports_by_scans(std::span<const Campaign> campaigns,
+                                                        std::size_t n);
+
+/// Inferred Internet-wide speed sample (pps) of campaigns attributed to
+/// `tool`; pass kUnknown to sample custom tooling.
+[[nodiscard]] std::vector<double> speed_sample(std::span<const Campaign> campaigns,
+                                               fingerprint::Tool tool);
+
+/// Speed sample over all campaigns.
+[[nodiscard]] std::vector<double> speed_sample(std::span<const Campaign> campaigns);
+
+/// IPv4-coverage sample (fraction in [0,1]) per campaign for one tool.
+[[nodiscard]] std::vector<double> coverage_sample(std::span<const Campaign> campaigns,
+                                                  fingerprint::Tool tool);
+
+/// Mean speed of the `n` fastest campaigns (the §6.3 top-100 trend).
+[[nodiscard]] double top_speed_mean(std::span<const Campaign> campaigns, std::size_t n);
+
+/// Vertical-scan census (§5.2): how many campaigns target more than each
+/// port-count threshold, and how fast the big ones go.
+struct VerticalScanCensus {
+  std::uint64_t total_campaigns = 0;
+  std::uint64_t over_10_ports = 0;
+  std::uint64_t over_100_ports = 0;
+  std::uint64_t over_1000_ports = 0;
+  std::uint64_t over_10000_ports = 0;
+  std::uint32_t max_ports = 0;           ///< largest port breadth seen
+  double mean_speed_over_1000_mbps = 0;  ///< mean wire speed of >1000-port scans
+  double mean_speed_all_mbps = 0;
+};
+
+[[nodiscard]] VerticalScanCensus vertical_scan_census(std::span<const Campaign> campaigns);
+
+/// Correlation inputs for the §5.3 claim that scan speed correlates with
+/// port breadth: pairs (ports targeted, pps), one per campaign.
+struct SpeedBreadthSample {
+  std::vector<double> ports;
+  std::vector<double> pps;
+};
+[[nodiscard]] SpeedBreadthSample speed_breadth_sample(std::span<const Campaign> campaigns);
+
+/// Campaigns grouped per day-index (relative to `origin`), per tool —
+/// feeds the §4.1 "minimum ZMap scans per day" comparison.
+[[nodiscard]] std::vector<std::uint64_t> campaigns_per_day(
+    std::span<const Campaign> campaigns, net::TimeUs origin, fingerprint::Tool tool);
+
+/// Distinct sources participating in campaigns of one tool.
+[[nodiscard]] std::uint64_t distinct_sources(std::span<const Campaign> campaigns,
+                                             fingerprint::Tool tool);
+
+}  // namespace synscan::core

@@ -1,0 +1,133 @@
+#include "core/analysis_geo.h"
+
+#include <algorithm>
+
+namespace synscan::core {
+namespace {
+
+constexpr std::uint32_t port_country_key(std::uint16_t port,
+                                         enrich::CountryCode country) noexcept {
+  return (static_cast<std::uint32_t>(port) << 16) | country.packed();
+}
+
+std::vector<GeoTally::CountryShare> rank(
+    const std::unordered_map<enrich::CountryCode, std::uint64_t>& counts,
+    std::uint64_t total, std::size_t n) {
+  std::vector<GeoTally::CountryShare> rows;
+  rows.reserve(counts.size());
+  for (const auto& [country, packets] : counts) rows.push_back({country, packets, 0.0});
+  std::sort(rows.begin(), rows.end(),
+            [](const GeoTally::CountryShare& a, const GeoTally::CountryShare& b) {
+              return a.packets != b.packets ? a.packets > b.packets
+                                            : a.country < b.country;
+            });
+  if (rows.size() > n) rows.resize(n);
+  for (auto& row : rows) {
+    row.share =
+        total == 0 ? 0.0 : static_cast<double>(row.packets) / static_cast<double>(total);
+  }
+  return rows;
+}
+
+}  // namespace
+
+void GeoTally::on_probe(const telescope::ScanProbe& probe) {
+  const auto country = registry_->country_of(probe.source);
+  ++total_;
+  ++packets_per_country_[country];
+  ++packets_per_port_country_[port_country_key(probe.destination_port, country)];
+  ++packets_per_port_[probe.destination_port];
+}
+
+std::vector<GeoTally::CountryShare> GeoTally::top_countries(std::size_t n) const {
+  return rank(packets_per_country_, total_, n);
+}
+
+double GeoTally::country_share(enrich::CountryCode country) const {
+  const auto it = packets_per_country_.find(country);
+  if (it == packets_per_country_.end() || total_ == 0) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+std::unordered_map<enrich::CountryCode, std::uint32_t> GeoTally::dominated_ports(
+    double threshold, std::uint64_t min_packets) const {
+  std::unordered_map<enrich::CountryCode, std::uint32_t> dominated;
+  for (const auto& [port, port_total] : packets_per_port_) {
+    if (port_total < min_packets) continue;
+    for (const auto& [country, packets] : packets_per_country_) {
+      const auto it = packets_per_port_country_.find(port_country_key(port, country));
+      if (it == packets_per_port_country_.end()) continue;
+      if (static_cast<double>(it->second) >
+          threshold * static_cast<double>(port_total)) {
+        ++dominated[country];
+        break;  // at most one country can exceed a >50% threshold
+      }
+    }
+  }
+  return dominated;
+}
+
+std::vector<GeoTally::CountryShare> GeoTally::port_country_mix(std::uint16_t port,
+                                                               std::size_t n) const {
+  std::unordered_map<enrich::CountryCode, std::uint64_t> counts;
+  std::uint64_t port_total = 0;
+  for (const auto& [country, unused] : packets_per_country_) {
+    const auto it = packets_per_port_country_.find(port_country_key(port, country));
+    if (it == packets_per_port_country_.end()) continue;
+    counts[country] = it->second;
+    port_total += it->second;
+  }
+  return rank(counts, port_total, n);
+}
+
+std::vector<GeoTally::NormalizedIntensity> GeoTally::normalized_intensity(
+    const enrich::InternetRegistry& registry, std::size_t n) const {
+  std::unordered_map<enrich::CountryCode, std::uint64_t> addresses;
+  for (const auto& record : registry.records()) {
+    addresses[record.country] += record.prefix.size();
+  }
+  std::vector<NormalizedIntensity> rows;
+  for (const auto& [country, packets] : packets_per_country_) {
+    const auto it = addresses.find(country);
+    if (it == addresses.end() || it->second == 0) continue;
+    NormalizedIntensity row;
+    row.country = country;
+    row.packets = packets;
+    row.addresses = it->second;
+    row.packets_per_k_addresses =
+        static_cast<double>(packets) * 1000.0 / static_cast<double>(it->second);
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const NormalizedIntensity& a, const NormalizedIntensity& b) {
+              return a.packets_per_k_addresses > b.packets_per_k_addresses;
+            });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+std::vector<GeoTally::CountryShare> campaign_country_shares(
+    std::span<const Campaign> campaigns, const enrich::InternetRegistry& registry,
+    std::size_t n) {
+  std::unordered_map<enrich::CountryCode, std::uint64_t> counts;
+  for (const auto& campaign : campaigns) {
+    ++counts[registry.country_of(campaign.source)];
+  }
+  std::vector<GeoTally::CountryShare> rows;
+  rows.reserve(counts.size());
+  for (const auto& [country, scans] : counts) rows.push_back({country, scans, 0.0});
+  std::sort(rows.begin(), rows.end(),
+            [](const GeoTally::CountryShare& a, const GeoTally::CountryShare& b) {
+              return a.packets != b.packets ? a.packets > b.packets
+                                            : a.country < b.country;
+            });
+  if (rows.size() > n) rows.resize(n);
+  for (auto& row : rows) {
+    row.share = campaigns.empty() ? 0.0
+                                  : static_cast<double>(row.packets) /
+                                        static_cast<double>(campaigns.size());
+  }
+  return rows;
+}
+
+}  // namespace synscan::core

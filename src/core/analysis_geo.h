@@ -1,0 +1,78 @@
+// Geographic attribution (§4.2, §5.4): country shares of scanning and
+// country-port targeting bias.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/observers.h"
+#include "enrich/registry.h"
+
+namespace synscan::core {
+
+/// Streaming accumulator of per-country and per-(port, country) traffic.
+class GeoTally final : public ProbeObserver {
+ public:
+  explicit GeoTally(const enrich::InternetRegistry& registry) : registry_(&registry) {}
+
+  void on_probe(const telescope::ScanProbe& probe) override;
+
+  /// A country's share of the total packet volume.
+  struct CountryShare {
+    enrich::CountryCode country;
+    std::uint64_t packets = 0;
+    double share = 0.0;
+  };
+
+  /// Countries ranked by packet volume.
+  [[nodiscard]] std::vector<CountryShare> top_countries(std::size_t n) const;
+
+  /// Packet share of one country.
+  [[nodiscard]] double country_share(enrich::CountryCode country) const;
+
+  /// Ports where a single country originates more than `threshold` of
+  /// the packets (the §5.4 "China > 80% on 14,444 ports" census).
+  /// Returns, per country, the number of such dominated ports; only
+  /// ports with at least `min_packets` are considered.
+  [[nodiscard]] std::unordered_map<enrich::CountryCode, std::uint32_t> dominated_ports(
+      double threshold = 0.8, std::uint64_t min_packets = 10) const;
+
+  /// The country mix on one port, ranked by packets.
+  [[nodiscard]] std::vector<CountryShare> port_country_mix(std::uint16_t port,
+                                                           std::size_t n) const;
+
+  /// §4.2: packets normalized by a country's allocated address space
+  /// (packets per thousand addresses). Under this lens the historically
+  /// "aggressive" countries stop standing out and the Netherlands — with
+  /// its small allocation but big hosting business — tops the list.
+  struct NormalizedIntensity {
+    enrich::CountryCode country;
+    std::uint64_t packets = 0;
+    std::uint64_t addresses = 0;
+    double packets_per_k_addresses = 0.0;
+  };
+  [[nodiscard]] std::vector<NormalizedIntensity> normalized_intensity(
+      const enrich::InternetRegistry& registry, std::size_t n) const;
+
+  [[nodiscard]] std::uint64_t total_packets() const noexcept { return total_; }
+
+ private:
+  const enrich::InternetRegistry* registry_;
+  std::unordered_map<enrich::CountryCode, std::uint64_t> packets_per_country_;
+  // (port << 16) | packed country works poorly since packed country is
+  // 16 bits of char data; key is (port << 16) ^ packed, collision-free
+  // because port and packed occupy disjoint halves of the 32-bit key.
+  std::unordered_map<std::uint32_t, std::uint64_t> packets_per_port_country_;
+  std::unordered_map<std::uint16_t, std::uint64_t> packets_per_port_;
+  std::uint64_t total_ = 0;
+};
+
+/// Country shares weighted by campaigns instead of packets.
+[[nodiscard]] std::vector<GeoTally::CountryShare> campaign_country_shares(
+    std::span<const Campaign> campaigns, const enrich::InternetRegistry& registry,
+    std::size_t n);
+
+}  // namespace synscan::core

@@ -1,0 +1,81 @@
+#include "core/analysis_recurrence.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "stats/descriptive.h"
+
+namespace synscan::core {
+
+std::vector<RecurrenceResult> recurrence_by_type(std::span<const Campaign> campaigns,
+                                                 const enrich::InternetRegistry& registry) {
+  struct SourceCampaign {
+    net::TimeUs start;
+    net::TimeUs end;
+  };
+  std::unordered_map<std::uint32_t, std::vector<SourceCampaign>> per_source;
+  for (const auto& campaign : campaigns) {
+    per_source[campaign.source.value()].push_back(
+        {campaign.first_seen_us, campaign.last_seen_us});
+  }
+
+  struct Accumulator {
+    std::vector<double> campaign_counts;
+    std::vector<double> downtimes;
+    std::uint64_t sources = 0;
+    std::uint64_t recurring = 0;
+    std::uint64_t daily_mode = 0;
+    std::uint64_t over_100 = 0;
+  };
+  std::array<Accumulator, enrich::kScannerTypeCount> accumulators;
+
+  for (auto& [source, list] : per_source) {
+    std::sort(list.begin(), list.end(),
+              [](const SourceCampaign& a, const SourceCampaign& b) {
+                return a.start < b.start;
+              });
+    const auto type = registry.type_of(net::Ipv4Address(source));
+    auto& acc = accumulators[enrich::scanner_type_index(type)];
+    ++acc.sources;
+    acc.campaign_counts.push_back(static_cast<double>(list.size()));
+    if (list.size() > 100) ++acc.over_100;
+    if (list.size() < 2) continue;
+    ++acc.recurring;
+
+    std::vector<double> gaps;
+    gaps.reserve(list.size() - 1);
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const auto gap_us = std::max<net::TimeUs>(0, list[i].start - list[i - 1].end);
+      const auto gap_s =
+          static_cast<double>(gap_us) / static_cast<double>(net::kMicrosPerSecond);
+      gaps.push_back(gap_s);
+      acc.downtimes.push_back(gap_s);
+    }
+    const double median_gap_days =
+        stats::median(gaps) / (24.0 * 3600.0);
+    if (median_gap_days >= 0.5 && median_gap_days <= 1.5) ++acc.daily_mode;
+  }
+
+  std::vector<RecurrenceResult> results;
+  for (const auto type : enrich::kAllScannerTypes) {
+    auto& acc = accumulators[enrich::scanner_type_index(type)];
+    RecurrenceResult result;
+    result.type = type;
+    result.sources = acc.sources;
+    result.recurring_sources = acc.recurring;
+    if (acc.sources > 0) {
+      result.over_100_campaigns_fraction =
+          static_cast<double>(acc.over_100) / static_cast<double>(acc.sources);
+    }
+    if (acc.recurring > 0) {
+      result.daily_mode_fraction =
+          static_cast<double>(acc.daily_mode) / static_cast<double>(acc.recurring);
+    }
+    result.campaigns_per_source = stats::Ecdf(std::move(acc.campaign_counts));
+    result.downtime_seconds = stats::Ecdf(std::move(acc.downtimes));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace synscan::core

@@ -1,0 +1,37 @@
+// Scanner recurrence (§6.6, Fig. 6): how often source IPs come back to
+// scan again, and how long they stay away, split by scanner type.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/campaign.h"
+#include "enrich/registry.h"
+#include "stats/ecdf.h"
+
+namespace synscan::core {
+
+/// Per-scanner-type recurrence distributions.
+struct RecurrenceResult {
+  enrich::ScannerType type = enrich::ScannerType::kUnknown;
+  /// ECDF of campaigns-per-source.
+  stats::Ecdf campaigns_per_source;
+  /// ECDF of downtime (seconds) between the end of one campaign and the
+  /// start of the next, per recurring source.
+  stats::Ecdf downtime_seconds;
+  std::uint64_t sources = 0;
+  std::uint64_t recurring_sources = 0;  ///< sources with >= 2 campaigns
+  /// Fraction of recurring sources whose *median* downtime falls within
+  /// [0.5, 1.5] days — the "scans the Internet every day" mode.
+  double daily_mode_fraction = 0.0;
+  /// Fraction of sources with more than 100 campaigns (the paper: a
+  /// large share of research scanners performs over 100 campaigns).
+  double over_100_campaigns_fraction = 0.0;
+};
+
+/// Groups campaigns by source, sorts each source's campaigns by start
+/// time and derives the Fig. 6 distributions per scanner type.
+[[nodiscard]] std::vector<RecurrenceResult> recurrence_by_type(
+    std::span<const Campaign> campaigns, const enrich::InternetRegistry& registry);
+
+}  // namespace synscan::core

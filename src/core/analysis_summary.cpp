@@ -1,0 +1,31 @@
+#include "core/analysis_summary.h"
+
+namespace synscan::core {
+
+YearlySummary yearly_summary(int year, double window_days, const PortTally& tally,
+                             std::span<const Campaign> campaigns, std::size_t top_n) {
+  YearlySummary summary;
+  summary.year = year;
+  summary.window_days = window_days;
+  summary.total_packets = tally.total_packets();
+  summary.packets_per_day =
+      window_days > 0 ? static_cast<double>(summary.total_packets) / window_days : 0.0;
+  summary.total_scans = campaigns.size();
+  summary.scans_per_month =
+      window_days > 0
+          ? static_cast<double>(summary.total_scans) / window_days * 30.44
+          : 0.0;
+  summary.distinct_sources = tally.total_sources();
+  summary.mean_packets_per_scan =
+      campaigns.empty()
+          ? 0.0
+          : static_cast<double>(summary.total_packets) /
+                static_cast<double>(campaigns.size());
+  summary.top_ports_by_packets = tally.top_ports_by_packets(top_n);
+  summary.top_ports_by_sources = tally.top_ports_by_sources(top_n);
+  summary.top_ports_by_scans = top_ports_by_scans(campaigns, top_n);
+  summary.tools = tool_shares(campaigns);
+  return summary;
+}
+
+}  // namespace synscan::core

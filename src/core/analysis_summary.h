@@ -1,0 +1,38 @@
+// Assembly of the Table 1 yearly ecosystem summary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/analysis_campaigns.h"
+#include "core/campaign.h"
+#include "core/port_tally.h"
+
+namespace synscan::core {
+
+/// One Table 1 column: the ecosystem metrics of a measurement window.
+struct YearlySummary {
+  int year = 0;
+  double window_days = 0.0;
+  std::uint64_t total_packets = 0;
+  double packets_per_day = 0.0;
+  std::uint64_t total_scans = 0;
+  double scans_per_month = 0.0;
+  std::uint64_t distinct_sources = 0;
+  double mean_packets_per_scan = 0.0;
+  std::vector<PortCount> top_ports_by_packets;
+  std::vector<PortCount> top_ports_by_sources;
+  std::vector<PortCount> top_ports_by_scans;
+  ToolShares tools;
+};
+
+/// Builds the yearly summary from a window's probe tallies and finalized
+/// campaigns. `window_days` is the measurement period length (29–61 days
+/// in the paper).
+[[nodiscard]] YearlySummary yearly_summary(int year, double window_days,
+                                           const PortTally& tally,
+                                           std::span<const Campaign> campaigns,
+                                           std::size_t top_n = 5);
+
+}  // namespace synscan::core

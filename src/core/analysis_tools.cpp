@@ -1,0 +1,71 @@
+#include "core/analysis_tools.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace synscan::core {
+
+std::vector<PortToolMix> port_tool_mix(std::span<const Campaign> campaigns, std::size_t n) {
+  struct Mix {
+    std::uint64_t total = 0;
+    std::array<std::uint64_t, fingerprint::kToolCount> per_tool{};
+  };
+  std::unordered_map<std::uint16_t, Mix> mixes;
+  for (const auto& campaign : campaigns) {
+    const auto tool = fingerprint::tool_index(campaign.tool);
+    for (const auto& [port, packets] : campaign.port_packets) {
+      auto& mix = mixes[port];
+      mix.total += packets;
+      mix.per_tool[tool] += packets;
+    }
+  }
+
+  std::vector<std::pair<std::uint16_t, Mix>> rows(mixes.begin(), mixes.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total != b.second.total ? a.second.total > b.second.total
+                                            : a.first < b.first;
+  });
+  if (rows.size() > n) rows.resize(n);
+
+  std::vector<PortToolMix> out;
+  out.reserve(rows.size());
+  for (const auto& [port, mix] : rows) {
+    PortToolMix row;
+    row.port = port;
+    row.packets = mix.total;
+    for (std::size_t i = 0; i < fingerprint::kToolCount; ++i) {
+      row.tool_share[i] = mix.total == 0 ? 0.0
+                                         : static_cast<double>(mix.per_tool[i]) /
+                                               static_cast<double>(mix.total);
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<ToolCountryShare> tool_country_mix(std::span<const Campaign> campaigns,
+                                               const enrich::InternetRegistry& registry,
+                                               fingerprint::Tool tool, std::size_t n) {
+  std::unordered_map<enrich::CountryCode, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const auto& campaign : campaigns) {
+    if (campaign.tool != tool) continue;
+    ++counts[registry.country_of(campaign.source)];
+    ++total;
+  }
+  std::vector<ToolCountryShare> rows;
+  rows.reserve(counts.size());
+  for (const auto& [country, scans] : counts) rows.push_back({country, scans, 0.0});
+  std::sort(rows.begin(), rows.end(),
+            [](const ToolCountryShare& a, const ToolCountryShare& b) {
+              return a.scans != b.scans ? a.scans > b.scans : a.country < b.country;
+            });
+  if (rows.size() > n) rows.resize(n);
+  for (auto& row : rows) {
+    row.share =
+        total == 0 ? 0.0 : static_cast<double>(row.scans) / static_cast<double>(total);
+  }
+  return rows;
+}
+
+}  // namespace synscan::core

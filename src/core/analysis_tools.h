@@ -1,0 +1,43 @@
+// Tool-usage analyses: the per-port tool mix of Fig. 4 and the
+// tool-country bias of §6.5.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/campaign.h"
+#include "enrich/registry.h"
+#include "fingerprint/tool.h"
+
+namespace synscan::core {
+
+/// Traffic mix of one port across the fingerprinted tools.
+struct PortToolMix {
+  std::uint16_t port = 0;
+  std::uint64_t packets = 0;
+  /// Packet share per tool on this port (indexed by tool_index).
+  std::array<double, fingerprint::kToolCount> tool_share{};
+};
+
+/// Per-port tool mixes for the `n` ports with the most campaign traffic
+/// (Fig. 4 uses the top 10). Packet attribution is campaign-level: each
+/// campaign's per-port packets are charged to the campaign's tool.
+[[nodiscard]] std::vector<PortToolMix> port_tool_mix(std::span<const Campaign> campaigns,
+                                                     std::size_t n);
+
+/// Country mix of campaigns run with one tool (§6.5: ZMap almost
+/// exclusively from China and the US; Russia running >80% of Masscan
+/// scans in 2018).
+struct ToolCountryShare {
+  enrich::CountryCode country;
+  std::uint64_t scans = 0;
+  double share = 0.0;
+};
+
+[[nodiscard]] std::vector<ToolCountryShare> tool_country_mix(
+    std::span<const Campaign> campaigns, const enrich::InternetRegistry& registry,
+    fingerprint::Tool tool, std::size_t n);
+
+}  // namespace synscan::core

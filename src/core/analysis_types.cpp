@@ -1,0 +1,175 @@
+#include "core/analysis_types.h"
+
+#include <algorithm>
+
+namespace synscan::core {
+namespace {
+
+constexpr std::uint32_t port_type_key(std::uint16_t port, enrich::ScannerType type) noexcept {
+  return (static_cast<std::uint32_t>(port) << 3) |
+         static_cast<std::uint32_t>(enrich::scanner_type_index(type));
+}
+
+}  // namespace
+
+void TypeTally::on_probe(const telescope::ScanProbe& probe) {
+  const auto type = registry_->type_of(probe.source);
+  const auto index = enrich::scanner_type_index(type);
+  ++total_packets_;
+  ++packets_[index];
+  sources_[index].insert(probe.source.value());
+  ++port_type_packets_[port_type_key(probe.destination_port, type)];
+  ++port_packets_[probe.destination_port];
+}
+
+std::uint64_t TypeTally::total_sources() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& set : sources_) total += set.size();
+  return total;
+}
+
+std::array<double, enrich::kScannerTypeCount> TypeTally::port_type_mix(
+    std::uint16_t port) const {
+  std::array<double, enrich::kScannerTypeCount> mix{};
+  const auto it = port_packets_.find(port);
+  if (it == port_packets_.end() || it->second == 0) return mix;
+  const auto total = static_cast<double>(it->second);
+  for (const auto type : enrich::kAllScannerTypes) {
+    const auto pt = port_type_packets_.find(port_type_key(port, type));
+    if (pt != port_type_packets_.end()) {
+      mix[enrich::scanner_type_index(type)] = static_cast<double>(pt->second) / total;
+    }
+  }
+  return mix;
+}
+
+std::vector<std::uint16_t> TypeTally::top_ports(std::size_t n) const {
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> rows(port_packets_.begin(),
+                                                            port_packets_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (rows.size() > n) rows.resize(n);
+  std::vector<std::uint16_t> ports;
+  ports.reserve(rows.size());
+  for (const auto& [port, packets] : rows) ports.push_back(port);
+  return ports;
+}
+
+std::vector<TypeShareRow> type_share_table(const TypeTally& tally,
+                                           std::span<const Campaign> campaigns,
+                                           const enrich::InternetRegistry& registry) {
+  std::array<std::uint64_t, enrich::kScannerTypeCount> scans{};
+  for (const auto& campaign : campaigns) {
+    ++scans[enrich::scanner_type_index(registry.type_of(campaign.source))];
+  }
+
+  const auto total_sources = tally.total_sources();
+  const auto total_packets = tally.total_packets();
+  const auto total_scans = campaigns.size();
+
+  std::vector<TypeShareRow> rows;
+  for (const auto type : enrich::kAllScannerTypes) {
+    TypeShareRow row;
+    row.type = type;
+    const auto index = enrich::scanner_type_index(type);
+    row.source_share = total_sources == 0
+                           ? 0.0
+                           : static_cast<double>(tally.sources(type)) /
+                                 static_cast<double>(total_sources);
+    row.scan_share = total_scans == 0 ? 0.0
+                                      : static_cast<double>(scans[index]) /
+                                            static_cast<double>(total_scans);
+    row.packet_share = total_packets == 0
+                           ? 0.0
+                           : static_cast<double>(tally.packets(type)) /
+                                 static_cast<double>(total_packets);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<TypeSpeedCoverage> type_speed_coverage(
+    std::span<const Campaign> campaigns, const enrich::InternetRegistry& registry) {
+  // Average speed and coverage per source IP first (the figure plots
+  // per-source averages, not per-campaign points).
+  struct SourceAgg {
+    double speed_sum = 0.0;
+    double coverage_sum = 0.0;
+    std::uint64_t campaigns = 0;
+    enrich::ScannerType type = enrich::ScannerType::kUnknown;
+  };
+  std::unordered_map<std::uint32_t, SourceAgg> per_source;
+  for (const auto& campaign : campaigns) {
+    auto& agg = per_source[campaign.source.value()];
+    if (agg.campaigns == 0) agg.type = registry.type_of(campaign.source);
+    agg.speed_sum += campaign.extrapolated_pps;
+    agg.coverage_sum += campaign.coverage_fraction;
+    ++agg.campaigns;
+  }
+
+  std::array<std::vector<double>, enrich::kScannerTypeCount> speeds;
+  std::array<std::vector<double>, enrich::kScannerTypeCount> coverages;
+  for (const auto& [source, agg] : per_source) {
+    const auto index = enrich::scanner_type_index(agg.type);
+    speeds[index].push_back(agg.speed_sum / static_cast<double>(agg.campaigns));
+    coverages[index].push_back(agg.coverage_sum / static_cast<double>(agg.campaigns));
+  }
+
+  std::vector<TypeSpeedCoverage> rows;
+  for (const auto type : enrich::kAllScannerTypes) {
+    const auto index = enrich::scanner_type_index(type);
+    TypeSpeedCoverage row;
+    row.type = type;
+    if (!speeds[index].empty()) {
+      double speed_sum = 0.0;
+      double coverage_sum = 0.0;
+      std::size_t over_1000 = 0;
+      for (const auto s : speeds[index]) {
+        speed_sum += s;
+        if (s > 1000.0) ++over_1000;
+      }
+      for (const auto c : coverages[index]) coverage_sum += c;
+      const auto n = static_cast<double>(speeds[index].size());
+      row.mean_speed_pps = speed_sum / n;
+      row.mean_coverage = coverage_sum / n;
+      row.fraction_over_1000pps = static_cast<double>(over_1000) / n;
+    }
+    row.speed_pps = stats::Ecdf(std::move(speeds[index]));
+    row.coverage = stats::Ecdf(std::move(coverages[index]));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<OrgPortCoverage> org_port_coverage(std::span<const Campaign> campaigns,
+                                               const enrich::InternetRegistry& registry) {
+  struct OrgAgg {
+    std::unordered_set<std::uint16_t> ports;
+    std::uint64_t campaigns = 0;
+    std::uint64_t packets = 0;
+  };
+  std::unordered_map<std::string, OrgAgg> per_org;
+  for (const auto& campaign : campaigns) {
+    const auto* record = registry.lookup(campaign.source);
+    if (record == nullptr || record->type != enrich::ScannerType::kInstitutional) continue;
+    auto& agg = per_org[record->organization];
+    for (const auto& [port, packets] : campaign.port_packets) agg.ports.insert(port);
+    ++agg.campaigns;
+    agg.packets += campaign.packets;
+  }
+
+  std::vector<OrgPortCoverage> rows;
+  rows.reserve(per_org.size());
+  for (auto& [org, agg] : per_org) {
+    rows.push_back({org, static_cast<std::uint32_t>(agg.ports.size()), agg.campaigns,
+                    agg.packets});
+  }
+  std::sort(rows.begin(), rows.end(), [](const OrgPortCoverage& a, const OrgPortCoverage& b) {
+    return a.distinct_ports != b.distinct_ports ? a.distinct_ports > b.distinct_ports
+                                                : a.organization < b.organization;
+  });
+  return rows;
+}
+
+}  // namespace synscan::core

@@ -1,0 +1,52 @@
+#include "core/blocklist.h"
+
+namespace synscan::core {
+
+Blocklist Blocklist::harvest(std::span<const Campaign> campaigns, net::TimeUs from,
+                             net::TimeUs to) {
+  Blocklist list;
+  for (const auto& campaign : campaigns) {
+    if (campaign.last_seen_us >= from && campaign.last_seen_us < to) {
+      list.add(campaign.source);
+    }
+  }
+  return list;
+}
+
+BlocklistEffectiveness evaluate_blocklist(const Blocklist& list,
+                                          std::span<const Campaign> campaigns,
+                                          net::TimeUs from, net::TimeUs to) {
+  BlocklistEffectiveness effectiveness;
+  effectiveness.list_size = list.size();
+  for (const auto& campaign : campaigns) {
+    if (campaign.first_seen_us < from || campaign.first_seen_us >= to) continue;
+    ++effectiveness.eval_campaigns;
+    effectiveness.eval_packets += campaign.packets;
+    if (list.contains(campaign.source)) {
+      ++effectiveness.blocked_campaigns;
+      effectiveness.blocked_packets += campaign.packets;
+    }
+  }
+  return effectiveness;
+}
+
+std::vector<double> blocklist_decay_curve(std::span<const Campaign> campaigns,
+                                          net::TimeUs origin, std::size_t harvest_day,
+                                          std::size_t lag_days, std::size_t eval_days) {
+  const auto day = [&](std::size_t index) {
+    return origin + static_cast<net::TimeUs>(index) * net::kMicrosPerDay;
+  };
+  const auto list =
+      Blocklist::harvest(campaigns, day(harvest_day), day(harvest_day + 1));
+
+  std::vector<double> curve;
+  curve.reserve(eval_days);
+  for (std::size_t offset = 0; offset < eval_days; ++offset) {
+    const auto start = harvest_day + 1 + lag_days + offset;
+    const auto result = evaluate_blocklist(list, campaigns, day(start), day(start + 1));
+    curve.push_back(result.campaign_block_rate());
+  }
+  return curve;
+}
+
+}  // namespace synscan::core

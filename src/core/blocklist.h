@@ -1,0 +1,71 @@
+// Blocklist-effectiveness evaluation.
+//
+// §4.4 and §6.6 argue that lists of observed scanner IPs age out almost
+// immediately: non-institutional sources rarely return, so by the time
+// a list is distributed, its entries are dead. This module quantifies
+// that claim: build a blocklist from the campaigns of a training window,
+// then measure how much of a later window's scanning it would actually
+// have blocked.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+
+#include "core/campaign.h"
+
+namespace synscan::core {
+
+/// A set of source IPs harvested from observed campaigns.
+class Blocklist {
+ public:
+  Blocklist() = default;
+
+  /// Builds from all campaigns that *ended* inside [from, to).
+  static Blocklist harvest(std::span<const Campaign> campaigns, net::TimeUs from,
+                           net::TimeUs to);
+
+  void add(net::Ipv4Address source) { entries_.insert(source.value()); }
+  [[nodiscard]] bool contains(net::Ipv4Address source) const {
+    return entries_.contains(source.value());
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::unordered_set<std::uint32_t> entries_;
+};
+
+/// How well a blocklist performs against a later evaluation window.
+struct BlocklistEffectiveness {
+  std::size_t list_size = 0;
+  std::uint64_t eval_campaigns = 0;
+  std::uint64_t blocked_campaigns = 0;   ///< campaigns whose source is listed
+  std::uint64_t eval_packets = 0;
+  std::uint64_t blocked_packets = 0;
+
+  [[nodiscard]] double campaign_block_rate() const noexcept {
+    return eval_campaigns == 0 ? 0.0
+                               : static_cast<double>(blocked_campaigns) /
+                                     static_cast<double>(eval_campaigns);
+  }
+  [[nodiscard]] double packet_block_rate() const noexcept {
+    return eval_packets == 0 ? 0.0
+                             : static_cast<double>(blocked_packets) /
+                                   static_cast<double>(eval_packets);
+  }
+};
+
+/// Evaluates `list` against the campaigns that *started* in [from, to).
+[[nodiscard]] BlocklistEffectiveness evaluate_blocklist(
+    const Blocklist& list, std::span<const Campaign> campaigns, net::TimeUs from,
+    net::TimeUs to);
+
+/// The full decay experiment: harvest from day `harvest_day`, deploy
+/// after `lag_days`, evaluate one day at a time for `eval_days`.
+/// Returns the per-day campaign block rates — the "blocklists age out"
+/// curve.
+[[nodiscard]] std::vector<double> blocklist_decay_curve(
+    std::span<const Campaign> campaigns, net::TimeUs origin, std::size_t harvest_day,
+    std::size_t lag_days, std::size_t eval_days);
+
+}  // namespace synscan::core

@@ -1,0 +1,56 @@
+// The scan-campaign record — the unit of analysis of the whole paper.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fingerprint/tool.h"
+#include "net/packet.h"
+
+namespace synscan::core {
+
+/// A finalized scan campaign: a sequence of probes from one source that
+/// met the §3.4 thresholds (>= 100 distinct dark destinations at an
+/// inferred Internet-wide rate of >= 100 pps, with no gap above 1 hour).
+struct Campaign {
+  std::uint64_t id = 0;
+  net::Ipv4Address source;
+  net::TimeUs first_seen_us = 0;
+  net::TimeUs last_seen_us = 0;
+  std::uint64_t packets = 0;
+  std::uint32_t distinct_destinations = 0;
+  /// Probe count per targeted destination port.
+  std::unordered_map<std::uint16_t, std::uint64_t> port_packets;
+  fingerprint::Tool tool = fingerprint::Tool::kUnknown;
+
+  // Derived at finalization time from the telescope's geometric model:
+  double extrapolated_pps = 0.0;       ///< inferred Internet-wide probe rate
+  double coverage_fraction = 0.0;      ///< inferred fraction of IPv4 covered
+  double extrapolated_packets = 0.0;   ///< inferred Internet-wide probe count
+
+  /// Campaign lifetime in seconds, floored at 1 s so single-burst
+  /// campaigns have a defined rate.
+  [[nodiscard]] double duration_seconds() const noexcept {
+    const auto us = last_seen_us - first_seen_us;
+    return us < net::kMicrosPerSecond
+               ? 1.0
+               : static_cast<double>(us) / static_cast<double>(net::kMicrosPerSecond);
+  }
+
+  /// Number of distinct destination ports targeted.
+  [[nodiscard]] std::size_t distinct_ports() const noexcept { return port_packets.size(); }
+
+  /// Whether the campaign probed `port` at least once.
+  [[nodiscard]] bool targets_port(std::uint16_t port) const noexcept {
+    return port_packets.contains(port);
+  }
+
+  /// Estimated wire speed in megabits/second, assuming minimum-size SYN
+  /// frames (60 bytes on the wire).
+  [[nodiscard]] double speed_mbps() const noexcept {
+    return extrapolated_pps * 60.0 * 8.0 / 1e6;
+  }
+};
+
+}  // namespace synscan::core

@@ -1,0 +1,96 @@
+#include "core/collaboration.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace synscan::core {
+namespace {
+
+/// The primary port of a campaign: the one with the most packets.
+std::uint16_t primary_port(const Campaign& campaign) {
+  std::uint16_t best_port = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [port, packets] : campaign.port_packets) {
+    if (packets > best_count || (packets == best_count && port < best_port)) {
+      best_count = packets;
+      best_port = port;
+    }
+  }
+  return best_port;
+}
+
+}  // namespace
+
+CollaborationCensus detect_collaborations(std::span<const Campaign> campaigns,
+                                          const CollaborationConfig& config) {
+  CollaborationCensus census;
+  census.total_campaigns = campaigns.size();
+  if (campaigns.empty()) return census;
+
+  const int shift = 32 - config.source_prefix;
+
+  // Group key: (source prefix, primary port, tool). Within each group,
+  // sort by start time and cut clusters at start_window boundaries.
+  struct Member {
+    const Campaign* campaign;
+    net::TimeUs start;
+  };
+  std::map<std::tuple<std::uint32_t, std::uint16_t, fingerprint::Tool>,
+           std::vector<Member>>
+      groups;
+  for (const auto& campaign : campaigns) {
+    const auto prefix =
+        shift >= 32 ? 0u : campaign.source.value() >> shift;
+    groups[{prefix, primary_port(campaign), campaign.tool}].push_back(
+        {&campaign, campaign.first_seen_us});
+  }
+
+  for (auto& [key, members] : groups) {
+    if (members.size() < config.min_members) continue;
+    std::sort(members.begin(), members.end(),
+              [](const Member& a, const Member& b) { return a.start < b.start; });
+
+    std::size_t begin = 0;
+    while (begin < members.size()) {
+      std::size_t end = begin + 1;
+      while (end < members.size() &&
+             members[end].start - members[begin].start <= config.start_window) {
+        ++end;
+      }
+      const auto size = end - begin;
+      if (size >= config.min_members) {
+        LogicalScan scan;
+        scan.members = static_cast<std::uint32_t>(size);
+        const int prefix_shift = 32 - config.source_prefix;
+        scan.subnet = net::Ipv4Address(
+            prefix_shift >= 32
+                ? 0u
+                : (members[begin].campaign->source.value() >> prefix_shift)
+                      << prefix_shift);
+        scan.port = std::get<1>(key);
+        scan.tool = std::get<2>(key);
+        scan.first_start = members[begin].start;
+        double coverage_sum = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          scan.campaign_ids.push_back(members[i].campaign->id);
+          coverage_sum += members[i].campaign->coverage_fraction;
+        }
+        scan.joint_coverage = std::min(1.0, coverage_sum);
+        scan.mean_member_coverage = coverage_sum / static_cast<double>(size);
+        census.collaborating_campaigns += size;
+        census.scans.push_back(std::move(scan));
+      }
+      begin = end;
+    }
+  }
+
+  std::sort(census.scans.begin(), census.scans.end(),
+            [](const LogicalScan& a, const LogicalScan& b) {
+              return a.members != b.members ? a.members > b.members
+                                            : a.first_start < b.first_start;
+            });
+  return census;
+}
+
+}  // namespace synscan::core

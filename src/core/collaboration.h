@@ -1,0 +1,62 @@
+// Distributed-scan (collaboration) detection.
+//
+// §4.1 and §6.4 observe that scans are increasingly split over multiple
+// hosts: ZMap's sharding, /24s of academic scanners covering the same
+// slice, botnets dividing the target space. Following the approach of
+// Griffioen & Doerr (NOMS 2020), this module clusters finalized
+// campaigns into *logical scans*: campaigns whose sources sit in the
+// same /24, that started within a small window of each other, target
+// the same port set, and carry the same tool fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace synscan::core {
+
+/// Clustering parameters.
+struct CollaborationConfig {
+  /// Campaigns must start within this window of the cluster's first.
+  net::TimeUs start_window = 2 * net::kMicrosPerHour;
+  /// Minimum members for a cluster to count as a collaboration.
+  std::uint32_t min_members = 3;
+  /// Group sources by this prefix length (24 = classic shard subnets).
+  int source_prefix = 24;
+};
+
+/// One detected logical scan spread over several hosts.
+struct LogicalScan {
+  std::vector<std::uint64_t> campaign_ids;
+  std::uint32_t members = 0;
+  net::Ipv4Address subnet;          ///< base of the shared source prefix
+  std::uint16_t port = 0;           ///< primary targeted port
+  net::TimeUs first_start = 0;
+  double joint_coverage = 0.0;      ///< sum of member coverage, capped at 1
+  double mean_member_coverage = 0.0;
+  fingerprint::Tool tool = fingerprint::Tool::kUnknown;
+};
+
+/// Summary statistics over a window.
+struct CollaborationCensus {
+  std::vector<LogicalScan> scans;
+  std::uint64_t collaborating_campaigns = 0;  ///< campaigns inside clusters
+  std::uint64_t total_campaigns = 0;
+
+  /// Fraction of campaigns that are part of a multi-host logical scan —
+  /// the §4.1 "increase in collaborating scanners" metric.
+  [[nodiscard]] double collaborating_fraction() const noexcept {
+    return total_campaigns == 0 ? 0.0
+                                : static_cast<double>(collaborating_campaigns) /
+                                      static_cast<double>(total_campaigns);
+  }
+};
+
+/// Clusters campaigns into logical scans. O(n log n) in the number of
+/// campaigns.
+[[nodiscard]] CollaborationCensus detect_collaborations(
+    std::span<const Campaign> campaigns, const CollaborationConfig& config = {});
+
+}  // namespace synscan::core

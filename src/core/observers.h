@@ -1,0 +1,20 @@
+// Streaming probe observers.
+//
+// Several analyses need probe-level aggregates that would be too large to
+// recompute from stored probes (the paper's dataset is 45 billion
+// packets). Observers attach to the pipeline and accumulate during the
+// single pass over the traffic.
+#pragma once
+
+#include "telescope/sensor.h"
+
+namespace synscan::core {
+
+/// Interface for streaming consumers of qualified scan probes.
+class ProbeObserver {
+ public:
+  virtual ~ProbeObserver() = default;
+  virtual void on_probe(const telescope::ScanProbe& probe) = 0;
+};
+
+}  // namespace synscan::core

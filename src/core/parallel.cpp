@@ -1,0 +1,133 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace synscan::core {
+
+ParallelAnalyzer::ParallelAnalyzer(const telescope::Telescope& telescope,
+                                   std::size_t workers, TrackerConfig tracker_config) {
+  if (workers == 0) throw std::invalid_argument("ParallelAnalyzer: workers must be >= 1");
+  workers_.reserve(workers);
+  pending_.resize(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(telescope, tracker_config));
+  }
+  for (const auto& worker : workers_) {
+    worker->thread = std::thread([w = worker.get()] {
+      std::vector<Item> batch;
+      for (;;) {
+        {
+          std::unique_lock lock(w->mutex);
+          w->ready.wait(lock, [w] { return !w->queue.empty() || w->done; });
+          if (w->queue.empty() && w->done) return;
+          batch.swap(w->queue);
+        }
+        for (const auto& item : batch) {
+          w->pipeline.feed_decoded(item.timestamp_us, item.frame);
+        }
+        batch.clear();
+      }
+    });
+  }
+}
+
+ParallelAnalyzer::~ParallelAnalyzer() {
+  if (!finished_) {
+    // Abandon cleanly: wake workers and join.
+    for (const auto& worker : workers_) {
+      {
+        const std::lock_guard lock(worker->mutex);
+        worker->done = true;
+      }
+      worker->ready.notify_one();
+    }
+    for (const auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+  }
+}
+
+void ParallelAnalyzer::flush(std::size_t index) {
+  auto& batch = pending_[index];
+  if (batch.empty()) return;
+  auto& worker = *workers_[index];
+  {
+    const std::lock_guard lock(worker.mutex);
+    worker.queue.insert(worker.queue.end(), std::make_move_iterator(batch.begin()),
+                        std::make_move_iterator(batch.end()));
+  }
+  worker.ready.notify_one();
+  batch.clear();
+}
+
+void ParallelAnalyzer::feed_frame(const net::RawFrame& frame) {
+  auto decoded = net::decode_frame(frame.bytes);
+  if (!decoded) {
+    ++undecodable_;
+    return;
+  }
+  // Same-source frames must land on the same worker (campaigns are
+  // per-source); any stable hash works.
+  const auto source = decoded->ip.source.value();
+  const auto index = static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(source) * 0x9e3779b97f4a7c15ull) >> 32) %
+      workers_.size();
+  pending_[index].push_back({frame.timestamp_us, std::move(*decoded)});
+  if (pending_[index].size() >= kBatch) flush(index);
+}
+
+PipelineResult ParallelAnalyzer::finish() {
+  if (finished_) throw std::logic_error("ParallelAnalyzer::finish called twice");
+  finished_ = true;
+
+  for (std::size_t i = 0; i < workers_.size(); ++i) flush(i);
+  for (const auto& worker : workers_) {
+    {
+      const std::lock_guard lock(worker->mutex);
+      worker->done = true;
+    }
+    worker->ready.notify_one();
+  }
+  for (const auto& worker : workers_) worker->thread.join();
+
+  PipelineResult merged;
+  for (const auto& worker : workers_) {
+    auto result = worker->pipeline.finish();
+    merged.campaigns.insert(merged.campaigns.end(),
+                            std::make_move_iterator(result.campaigns.begin()),
+                            std::make_move_iterator(result.campaigns.end()));
+
+    merged.sensor.scan_probes += result.sensor.scan_probes;
+    merged.sensor.backscatter += result.sensor.backscatter;
+    merged.sensor.xmas_or_null += result.sensor.xmas_or_null;
+    merged.sensor.other_tcp += result.sensor.other_tcp;
+    merged.sensor.udp += result.sensor.udp;
+    merged.sensor.icmp += result.sensor.icmp;
+    merged.sensor.not_monitored += result.sensor.not_monitored;
+    merged.sensor.ingress_blocked += result.sensor.ingress_blocked;
+    merged.sensor.malformed += result.sensor.malformed;
+    merged.sensor.spoofed_source += result.sensor.spoofed_source;
+
+    merged.tracker.probes += result.tracker.probes;
+    merged.tracker.campaigns += result.tracker.campaigns;
+    merged.tracker.subthreshold_flows += result.tracker.subthreshold_flows;
+    merged.tracker.subthreshold_packets += result.tracker.subthreshold_packets;
+  }
+  merged.sensor.malformed += undecodable_;
+
+  // Deterministic order regardless of worker count: by first packet,
+  // then source. Campaign ids are re-issued to stay unique and ordered.
+  std::sort(merged.campaigns.begin(), merged.campaigns.end(),
+            [](const Campaign& a, const Campaign& b) {
+              if (a.first_seen_us != b.first_seen_us) {
+                return a.first_seen_us < b.first_seen_us;
+              }
+              return a.source < b.source;
+            });
+  std::uint64_t next_id = 1;
+  for (auto& campaign : merged.campaigns) campaign.id = next_id++;
+  return merged;
+}
+
+}  // namespace synscan::core

@@ -1,0 +1,76 @@
+// Multi-threaded analysis driver.
+//
+// A telescope receives a terabyte of traffic per month (§3.2); replaying
+// archives at that volume wants more than one core. Campaign tracking is
+// embarrassingly parallel across *sources* — a campaign never spans two
+// source addresses — so the driver decodes frames on the feeding thread
+// and dispatches each to a worker chosen by source-address hash. Each
+// worker runs its own sensor-equivalent classification and campaign
+// tracker; `finish()` joins the workers and merges campaigns and
+// counters into one result, ordered deterministically.
+//
+// Streaming observers are per-worker and not supported here; run them in
+// a serial pass, or use the per-worker results. Equivalence with the
+// serial `Pipeline` is covered by tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "telescope/telescope.h"
+
+namespace synscan::core {
+
+class ParallelAnalyzer {
+ public:
+  /// `workers` must be >= 1. The telescope must outlive the analyzer.
+  ParallelAnalyzer(const telescope::Telescope& telescope, std::size_t workers,
+                   TrackerConfig tracker_config = {});
+  ParallelAnalyzer(const telescope::Telescope&&, std::size_t, TrackerConfig = {}) =
+      delete;
+
+  ~ParallelAnalyzer();
+  ParallelAnalyzer(const ParallelAnalyzer&) = delete;
+  ParallelAnalyzer& operator=(const ParallelAnalyzer&) = delete;
+
+  /// Decodes and dispatches one frame. Call from one thread only.
+  void feed_frame(const net::RawFrame& frame);
+
+  /// Flushes queues, joins workers and merges everything. Call once.
+  [[nodiscard]] PipelineResult finish();
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_.size(); }
+
+ private:
+  struct Item {
+    net::TimeUs timestamp_us;
+    net::DecodedFrame frame;
+  };
+
+  struct Worker {
+    explicit Worker(const telescope::Telescope& telescope, TrackerConfig config)
+        : pipeline(telescope, config) {}
+
+    Pipeline pipeline;
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::vector<Item> queue;
+    bool done = false;
+    std::thread thread;
+  };
+
+  void flush(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::vector<Item>> pending_;  ///< feeder-side batches
+  std::uint64_t undecodable_ = 0;
+  bool finished_ = false;
+
+  static constexpr std::size_t kBatch = 256;
+};
+
+}  // namespace synscan::core

@@ -1,0 +1,43 @@
+#include "core/pipeline.h"
+
+namespace synscan::core {
+
+Pipeline::Pipeline(const telescope::Telescope& telescope, TrackerConfig tracker_config)
+    : telescope_(&telescope),
+      sensor_(telescope),
+      tracker_(tracker_config, telescope.monitored_count(),
+               [this](Campaign&& campaign) { campaigns_.push_back(std::move(campaign)); }) {}
+
+void Pipeline::add_observer(ProbeObserver& observer) { observers_.push_back(&observer); }
+
+void Pipeline::feed_frame(const net::RawFrame& frame) {
+  telescope::ScanProbe probe;
+  if (sensor_.classify(frame, probe) == telescope::FrameClass::kScanProbe) {
+    feed_probe(probe);
+  }
+}
+
+void Pipeline::feed_decoded(net::TimeUs timestamp_us, const net::DecodedFrame& frame) {
+  telescope::ScanProbe probe;
+  if (sensor_.classify_decoded(timestamp_us, frame, probe) ==
+      telescope::FrameClass::kScanProbe) {
+    feed_probe(probe);
+  }
+}
+
+void Pipeline::feed_probe(const telescope::ScanProbe& probe) {
+  for (auto* observer : observers_) observer->on_probe(probe);
+  tracker_.feed(probe);
+}
+
+PipelineResult Pipeline::finish() {
+  tracker_.finish();
+  PipelineResult result;
+  result.campaigns = std::move(campaigns_);
+  result.sensor = sensor_.counters();
+  result.tracker = tracker_.counters();
+  campaigns_.clear();
+  return result;
+}
+
+}  // namespace synscan::core

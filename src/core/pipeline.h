@@ -1,0 +1,59 @@
+// The end-to-end pipeline: frames -> sensor -> campaign tracker and
+// streaming observers -> finalized campaigns.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/observers.h"
+#include "core/tracker.h"
+#include "telescope/sensor.h"
+#include "telescope/telescope.h"
+
+namespace synscan::core {
+
+/// Everything a pipeline run produces.
+struct PipelineResult {
+  std::vector<Campaign> campaigns;
+  telescope::SensorCounters sensor;
+  TrackerCounters tracker;
+};
+
+/// Single-pass analysis driver. Attach observers, feed frames (or
+/// pre-sensed probes), then call `finish()` exactly once.
+class Pipeline {
+ public:
+  Pipeline(const telescope::Telescope& telescope, TrackerConfig tracker_config = {});
+  /// The pipeline keeps a pointer; a temporary telescope would dangle.
+  Pipeline(const telescope::Telescope&&, TrackerConfig = {}) = delete;
+
+  /// Registers a streaming observer; not owned, must outlive the run.
+  void add_observer(ProbeObserver& observer);
+
+  /// Feeds one raw frame through sensor, observers and tracker.
+  void feed_frame(const net::RawFrame& frame);
+
+  /// Feeds an already decoded frame (generator fast path).
+  void feed_decoded(net::TimeUs timestamp_us, const net::DecodedFrame& frame);
+
+  /// Feeds a probe that already passed a sensor (e.g. loaded from a
+  /// probe log). Observers and tracker see it; sensor counters do not.
+  void feed_probe(const telescope::ScanProbe& probe);
+
+  /// Flushes the tracker and returns all results.
+  [[nodiscard]] PipelineResult finish();
+
+  [[nodiscard]] const telescope::Telescope& telescope() const noexcept { return *telescope_; }
+  [[nodiscard]] const telescope::SensorCounters& sensor_counters() const noexcept {
+    return sensor_.counters();
+  }
+
+ private:
+  const telescope::Telescope* telescope_;
+  telescope::Sensor sensor_;
+  std::vector<Campaign> campaigns_;
+  CampaignTracker tracker_;
+  std::vector<ProbeObserver*> observers_;
+};
+
+}  // namespace synscan::core

@@ -1,0 +1,100 @@
+#include "core/port_tally.h"
+
+#include <algorithm>
+
+namespace synscan::core {
+
+void PortTally::on_probe(const telescope::ScanProbe& probe) {
+  ++total_packets_;
+  ++packets_per_port_[probe.destination_port];
+  const std::uint64_t pair_key =
+      (static_cast<std::uint64_t>(probe.destination_port) << 32) | probe.source.value();
+  if (seen_port_source_.insert(pair_key).second) {
+    ++sources_per_port_[probe.destination_port];
+  }
+  ports_per_source_[probe.source.value()].insert(probe.destination_port);
+}
+
+namespace {
+
+std::vector<PortCount> top_n(const std::unordered_map<std::uint16_t, std::uint64_t>& counts,
+                             std::size_t n, std::uint64_t denominator) {
+  std::vector<PortCount> rows;
+  rows.reserve(counts.size());
+  for (const auto& [port, count] : counts) rows.push_back({port, count, 0.0});
+  std::sort(rows.begin(), rows.end(), [](const PortCount& a, const PortCount& b) {
+    return a.count != b.count ? a.count > b.count : a.port < b.port;
+  });
+  if (rows.size() > n) rows.resize(n);
+  for (auto& row : rows) {
+    row.share = denominator == 0
+                    ? 0.0
+                    : static_cast<double>(row.count) / static_cast<double>(denominator);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<PortCount> PortTally::top_ports_by_packets(std::size_t n) const {
+  return top_n(packets_per_port_, n, total_packets_);
+}
+
+std::vector<PortCount> PortTally::top_ports_by_sources(std::size_t n) const {
+  return top_n(sources_per_port_, n, total_sources());
+}
+
+std::uint64_t PortTally::packets_on_port(std::uint16_t port) const {
+  const auto it = packets_per_port_.find(port);
+  return it == packets_per_port_.end() ? 0 : it->second;
+}
+
+std::uint64_t PortTally::sources_on_port(std::uint16_t port) const {
+  const auto it = sources_per_port_.find(port);
+  return it == sources_per_port_.end() ? 0 : it->second;
+}
+
+std::size_t PortTally::ports_with_at_least(std::uint64_t min_packets) const {
+  std::size_t count = 0;
+  for (const auto& [port, packets] : packets_per_port_) {
+    if (packets >= min_packets) ++count;
+  }
+  return count;
+}
+
+double PortTally::privileged_port_coverage(double noise_floor) const {
+  std::uint64_t privileged_total = 0;
+  for (const auto& [port, packets] : packets_per_port_) {
+    if (port >= 1 && port <= 1023) privileged_total += packets;
+  }
+  if (privileged_total == 0) return 0.0;
+  const double threshold =
+      noise_floor * static_cast<double>(privileged_total) / 1023.0;
+  std::size_t above = 0;
+  for (const auto& [port, packets] : packets_per_port_) {
+    if (port >= 1 && port <= 1023 && static_cast<double>(packets) > threshold) ++above;
+  }
+  return static_cast<double>(above) / 1023.0;
+}
+
+std::vector<double> PortTally::ports_per_source_sample() const {
+  std::vector<double> sample;
+  sample.reserve(ports_per_source_.size());
+  for (const auto& [source, ports] : ports_per_source_) {
+    sample.push_back(static_cast<double>(ports.size()));
+  }
+  return sample;
+}
+
+double PortTally::co_scan_fraction(std::uint16_t a, std::uint16_t b) const {
+  std::uint64_t scans_a = 0;
+  std::uint64_t scans_both = 0;
+  for (const auto& [source, ports] : ports_per_source_) {
+    if (!ports.contains(a)) continue;
+    ++scans_a;
+    if (ports.contains(b)) ++scans_both;
+  }
+  return scans_a == 0 ? 0.0 : static_cast<double>(scans_both) / static_cast<double>(scans_a);
+}
+
+}  // namespace synscan::core

@@ -1,0 +1,105 @@
+#include "core/tracker.h"
+
+#include <stdexcept>
+
+namespace synscan::core {
+
+CampaignTracker::CampaignTracker(TrackerConfig config, std::uint64_t monitored_addresses,
+                                 Sink sink)
+    : config_(config), model_(monitored_addresses), sink_(std::move(sink)) {
+  if (!sink_) throw std::invalid_argument("CampaignTracker: sink must be callable");
+}
+
+void CampaignTracker::feed(const telescope::ScanProbe& probe) {
+  ++counters_.probes;
+  now_ = std::max(now_, probe.timestamp_us);
+
+  auto [it, inserted] = flows_.try_emplace(probe.source);
+  Flow& flow = it->second;
+  if (inserted) {
+    flow.first_seen_us = probe.timestamp_us;
+    flow.evidence = fingerprint::ToolEvidence(config_.classifier);
+  } else if (probe.timestamp_us - flow.last_seen_us > config_.expiry) {
+    // The source went quiet for longer than the expiry: that scan is
+    // over; what follows is a new one.
+    close_flow(it->first, flow);
+    flow = Flow{};
+    flow.first_seen_us = probe.timestamp_us;
+    flow.evidence = fingerprint::ToolEvidence(config_.classifier);
+  }
+
+  flow.last_seen_us = std::max(flow.last_seen_us, probe.timestamp_us);
+  ++flow.packets;
+  flow.destinations.insert(probe.destination.value());
+  ++flow.port_packets[probe.destination_port];
+  flow.evidence.observe(probe);
+
+  if (++feeds_since_sweep_ >= config_.sweep_interval) {
+    feeds_since_sweep_ = 0;
+    sweep(now_);
+  }
+}
+
+void CampaignTracker::close_flow(net::Ipv4Address source, Flow& flow) {
+  const auto hits = static_cast<double>(flow.packets);
+  const double duration = [&] {
+    const auto us = flow.last_seen_us - flow.first_seen_us;
+    return us < net::kMicrosPerSecond
+               ? 1.0
+               : static_cast<double>(us) / static_cast<double>(net::kMicrosPerSecond);
+  }();
+  const double pps = model_.extrapolate_pps(hits, duration);
+
+  if (flow.destinations.size() >= config_.min_distinct_destinations &&
+      pps >= config_.min_internet_pps) {
+    Campaign campaign;
+    campaign.id = next_id_++;
+    campaign.source = source;
+    campaign.first_seen_us = flow.first_seen_us;
+    campaign.last_seen_us = flow.last_seen_us;
+    campaign.packets = flow.packets;
+    campaign.distinct_destinations = static_cast<std::uint32_t>(flow.destinations.size());
+    campaign.port_packets = std::move(flow.port_packets);
+    campaign.tool = flow.evidence.verdict();
+    campaign.extrapolated_pps = pps;
+    campaign.extrapolated_packets = model_.extrapolate_probes(hits);
+    campaign.coverage_fraction =
+        model_.coverage_fraction(static_cast<double>(flow.destinations.size()));
+    ++counters_.campaigns;
+    sink_(std::move(campaign));
+  } else {
+    ++counters_.subthreshold_flows;
+    counters_.subthreshold_packets += flow.packets;
+  }
+}
+
+void CampaignTracker::sweep(net::TimeUs now) {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second.last_seen_us > config_.expiry) {
+      close_flow(it->first, it->second);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CampaignTracker::finish() {
+  for (auto& [source, flow] : flows_) {
+    close_flow(source, flow);
+  }
+  flows_.clear();
+}
+
+std::vector<Campaign> CampaignTracker::collect(
+    TrackerConfig config, std::uint64_t monitored_addresses,
+    std::span<const telescope::ScanProbe> probes) {
+  std::vector<Campaign> campaigns;
+  CampaignTracker tracker(config, monitored_addresses,
+                          [&](Campaign&& c) { campaigns.push_back(std::move(c)); });
+  for (const auto& probe : probes) tracker.feed(probe);
+  tracker.finish();
+  return campaigns;
+}
+
+}  // namespace synscan::core

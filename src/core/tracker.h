@@ -1,0 +1,97 @@
+// The campaign tracker: per-source scan state with threshold-based
+// qualification and inactivity expiry (§3.4).
+//
+// Definition implemented here (extending Durumeric et al.): a scan is a
+// probe sequence from one source address that hits at least
+// `min_distinct_destinations` dark addresses at an inferred Internet-wide
+// rate of at least `min_internet_pps`, and expires after
+// `expiry` without a packet. Expired or stream-end state that meets the
+// thresholds is emitted as a Campaign; everything else is counted as
+// sub-threshold noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/campaign.h"
+#include "fingerprint/classifier.h"
+#include "stats/telescope_model.h"
+#include "telescope/sensor.h"
+
+namespace synscan::core {
+
+/// Tracker thresholds; defaults are the paper's.
+struct TrackerConfig {
+  std::uint32_t min_distinct_destinations = 100;
+  double min_internet_pps = 100.0;
+  net::TimeUs expiry = net::kMicrosPerHour;
+  /// Sweep for expired sources every this many fed probes.
+  std::uint64_t sweep_interval = 1 << 16;
+  fingerprint::ClassifierConfig classifier;
+};
+
+/// Counters describing everything the tracker saw, including traffic
+/// that never qualified as a campaign.
+struct TrackerCounters {
+  std::uint64_t probes = 0;
+  std::uint64_t campaigns = 0;
+  std::uint64_t subthreshold_flows = 0;  ///< expired flows that did not qualify
+  std::uint64_t subthreshold_packets = 0;
+};
+
+/// Streaming campaign detector. Feed probes in timestamp order; expired
+/// qualifying flows are emitted through the sink as they close, and
+/// `finish()` flushes everything still open.
+class CampaignTracker {
+ public:
+  using Sink = std::function<void(Campaign&&)>;
+
+  /// `monitored_addresses` parameterizes the geometric extrapolation
+  /// model (usually `telescope.monitored_count()`).
+  CampaignTracker(TrackerConfig config, std::uint64_t monitored_addresses, Sink sink);
+
+  /// Feeds the next probe. Probes may arrive slightly out of order; the
+  /// tracker uses the maximum timestamp seen as "now" for expiry.
+  void feed(const telescope::ScanProbe& probe);
+
+  /// Flushes all open flows (end of measurement window).
+  void finish();
+
+  [[nodiscard]] const TrackerCounters& counters() const noexcept { return counters_; }
+
+  /// Number of currently open (unexpired) flows.
+  [[nodiscard]] std::size_t open_flows() const noexcept { return flows_.size(); }
+
+  /// Convenience: run a full probe vector through a fresh tracker and
+  /// return the campaigns.
+  [[nodiscard]] static std::vector<Campaign> collect(
+      TrackerConfig config, std::uint64_t monitored_addresses,
+      std::span<const telescope::ScanProbe> probes);
+
+ private:
+  struct Flow {
+    net::TimeUs first_seen_us = 0;
+    net::TimeUs last_seen_us = 0;
+    std::uint64_t packets = 0;
+    std::unordered_set<std::uint32_t> destinations;
+    std::unordered_map<std::uint16_t, std::uint64_t> port_packets;
+    fingerprint::ToolEvidence evidence;
+  };
+
+  void close_flow(net::Ipv4Address source, Flow& flow);
+  void sweep(net::TimeUs now);
+
+  TrackerConfig config_;
+  stats::TelescopeModel model_;
+  Sink sink_;
+  std::unordered_map<net::Ipv4Address, Flow> flows_;
+  TrackerCounters counters_;
+  net::TimeUs now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t feeds_since_sweep_ = 0;
+};
+
+}  // namespace synscan::core

@@ -1,0 +1,54 @@
+// Week-over-week volatility per /16 source netblock (§4.4, Fig. 2).
+//
+// For every /16 netblock on the Internet that sent traffic, this
+// accumulator builds weekly series of (a) packets, (b) distinct source
+// IPs and (c) campaigns launched, and reduces each series to
+// "change factors" — max(cur/prev, prev/cur) for consecutive weeks. The
+// figure is the CDF of those factors pooled over all netblocks.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/campaign.h"
+#include "core/observers.h"
+#include "stats/ecdf.h"
+
+namespace synscan::core {
+
+class VolatilityTracker final : public ProbeObserver {
+ public:
+  /// `origin` anchors week boundaries (the start of the measurement
+  /// window); `week` overrides the bucket width for tests.
+  explicit VolatilityTracker(net::TimeUs origin, net::TimeUs week = net::kMicrosPerWeek);
+
+  void on_probe(const telescope::ScanProbe& probe) override;
+
+  /// Campaigns are attributed to the week of their first packet.
+  void on_campaign(const Campaign& campaign);
+
+  /// The three pooled change-factor distributions.
+  struct Result {
+    stats::Ecdf packet_change;
+    stats::Ecdf source_change;
+    stats::Ecdf campaign_change;
+    std::size_t netblocks = 0;  ///< /16s with any activity
+    std::size_t weeks = 0;      ///< weeks spanned by the data
+  };
+  [[nodiscard]] Result result() const;
+
+ private:
+  [[nodiscard]] std::uint32_t week_of(net::TimeUs t) const noexcept;
+
+  net::TimeUs origin_;
+  net::TimeUs week_;
+  std::uint32_t max_week_ = 0;
+  // Keyed by (slash16 << 32) | week.
+  std::unordered_map<std::uint64_t, std::uint64_t> packets_;
+  std::unordered_map<std::uint64_t, std::uint64_t> campaigns_;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>> sources_;
+  std::unordered_set<std::uint32_t> active_blocks_;
+};
+
+}  // namespace synscan::core

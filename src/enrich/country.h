@@ -1,0 +1,54 @@
+// Two-letter country codes as a small value type (the paper only reports
+// country-level origin statistics).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace synscan::enrich {
+
+/// An ISO 3166-1 alpha-2 country code. The default value "??" denotes
+/// unknown origin.
+class CountryCode {
+ public:
+  constexpr CountryCode() noexcept : chars_{'?', '?'} {}
+
+  /// Builds from exactly two characters; other lengths yield "??".
+  constexpr explicit CountryCode(std::string_view code) noexcept : chars_{'?', '?'} {
+    if (code.size() == 2) {
+      chars_[0] = code[0];
+      chars_[1] = code[1];
+    }
+  }
+
+  [[nodiscard]] std::string to_string() const { return std::string(chars_.data(), 2); }
+  [[nodiscard]] constexpr std::string_view view() const noexcept {
+    return std::string_view(chars_.data(), 2);
+  }
+  [[nodiscard]] constexpr bool known() const noexcept { return chars_[0] != '?'; }
+
+  /// Packs into a 16-bit key for dense tallies.
+  [[nodiscard]] constexpr std::uint16_t packed() const noexcept {
+    return static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(static_cast<unsigned char>(chars_[0])) << 8) |
+        static_cast<std::uint16_t>(static_cast<unsigned char>(chars_[1])));
+  }
+
+  friend constexpr auto operator<=>(const CountryCode&, const CountryCode&) noexcept = default;
+
+ private:
+  std::array<char, 2> chars_;
+};
+
+}  // namespace synscan::enrich
+
+template <>
+struct std::hash<synscan::enrich::CountryCode> {
+  std::size_t operator()(synscan::enrich::CountryCode c) const noexcept {
+    return c.packed();
+  }
+};

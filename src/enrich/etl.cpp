@@ -1,0 +1,95 @@
+#include "enrich/etl.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace synscan::enrich {
+
+std::string ascii_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+namespace {
+
+// Keyword extraction: each organization contributes the lowercase words
+// of its name that are long enough to be discriminative (>= 4 chars,
+// skipping generic tokens).
+bool generic_token(std::string_view token) {
+  static constexpr std::array<std::string_view, 12> kGeneric = {
+      "university", "labs",  "group", "networks", "foundation", "project",
+      "research",   "cyber", "surface", "internet", "global",   "security"};
+  return std::find(kGeneric.begin(), kGeneric.end(), token) != kGeneric.end();
+}
+
+}  // namespace
+
+KnownScannerEtl::KnownScannerEtl(std::span<const KnownScannerSpec> catalog)
+    : catalog_(catalog) {
+  for (const auto& spec : catalog_) {
+    const auto lower = ascii_lower(spec.name);
+    std::size_t start = 0;
+    while (start < lower.size()) {
+      const auto end = lower.find_first_of(" .()/-", start);
+      const auto token =
+          lower.substr(start, end == std::string::npos ? std::string::npos : end - start);
+      if (token.size() >= 4 && !generic_token(token)) {
+        keywords_.push_back({std::string(token), spec.name});
+      }
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+  }
+}
+
+void KnownScannerEtl::add_keyword(std::string keyword, std::string_view organization) {
+  keywords_.push_back({ascii_lower(keyword), organization});
+}
+
+EtlResult KnownScannerEtl::match(const SourceIntelRecord& record) const {
+  // Phase-1: direct IP match against known scanner prefixes.
+  for (const auto& spec : catalog_) {
+    if (spec.prefix.contains(record.ip)) {
+      return {EtlPhase::kIpMatch, spec.name, {}, -1};
+    }
+  }
+
+  // Phase-2: keyword match over the text fields, most important first.
+  const std::array<const std::string*, 5> fields = {
+      &record.whois_network_name, &record.organization_name, &record.abuse_email,
+      &record.reverse_dns, &record.service_banner};
+  for (int field_index = 0; field_index < static_cast<int>(fields.size()); ++field_index) {
+    const auto haystack = ascii_lower(*fields[static_cast<std::size_t>(field_index)]);
+    if (haystack.empty()) continue;
+    for (const auto& keyword : keywords_) {
+      if (haystack.find(keyword.text) != std::string::npos) {
+        return {EtlPhase::kKeywordMatch, keyword.organization, keyword.text, field_index};
+      }
+    }
+  }
+  return {};
+}
+
+KnownScannerEtl::Summary KnownScannerEtl::run(
+    std::span<const SourceIntelRecord> records) const {
+  Summary summary;
+  summary.total = records.size();
+  for (const auto& record : records) {
+    switch (match(record).phase) {
+      case EtlPhase::kIpMatch:
+        ++summary.ip_matched;
+        break;
+      case EtlPhase::kKeywordMatch:
+        ++summary.keyword_matched;
+        break;
+      case EtlPhase::kUnmatched:
+        break;
+    }
+  }
+  return summary;
+}
+
+}  // namespace synscan::enrich

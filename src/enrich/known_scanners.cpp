@@ -1,0 +1,125 @@
+#include "enrich/known_scanners.h"
+
+#include <array>
+#include <vector>
+
+namespace synscan::enrich {
+namespace {
+
+// Institutional space: organization i owns 64.0.0.0 + i * 1024 (/22).
+constexpr std::uint32_t kInstitutionalBase = (64u << 24);
+constexpr std::uint32_t kInstitutionalStride = 1024;
+
+[[nodiscard]] net::Ipv4Prefix org_prefix(std::uint32_t index) {
+  return net::Ipv4Prefix(net::Ipv4Address(kInstitutionalBase + index * kInstitutionalStride),
+                         22);
+}
+
+[[nodiscard]] std::uint32_t org_asn(std::uint32_t index) { return 394000 + index; }
+
+struct OrgSeed {
+  std::string_view name;
+  const char* country;
+  std::uint32_t ports_2023;
+  std::uint32_t ports_2024;
+  PortSelection selection;
+  bool daily;
+  double pps;
+  bool academic;
+};
+
+// Port counts follow Figs. 8–10: Censys / Palo Alto / Shodan / Criminal IP
+// cover the full range by 2024; Onyphe scales from under half to full;
+// Shadowserver and Rapid7 cover large-but-partial sets; universities stay
+// at a handful of ports with no growth. Organizations with ports_2023 == 0
+// first appear in 2024 (the catalog grows 36 -> 40).
+constexpr std::array kSeeds = {
+    OrgSeed{"Censys", "US", 65536, 65536, PortSelection::kFullRange, true, 180000, false},
+    OrgSeed{"Palo Alto Cortex Xpanse", "US", 65536, 65536, PortSelection::kFullRange, true, 150000, false},
+    OrgSeed{"Shodan", "US", 62000, 65536, PortSelection::kFullRange, true, 120000, false},
+    OrgSeed{"Criminal IP", "KR", 58000, 65536, PortSelection::kFullRange, true, 90000, false},
+    OrgSeed{"Onyphe", "FR", 28000, 65536, PortSelection::kFullRange, true, 80000, false},
+    OrgSeed{"Shadowserver Foundation", "US", 21000, 28000, PortSelection::kTopPorts, true, 140000, false},
+    OrgSeed{"Rapid7 Project Sonar", "US", 12000, 15000, PortSelection::kTopPorts, true, 110000, false},
+    OrgSeed{"Internet Census Group", "DE", 15000, 17000, PortSelection::kTopPorts, true, 70000, false},
+    OrgSeed{"Driftnet.io", "GB", 18000, 26000, PortSelection::kTopPorts, true, 60000, false},
+    OrgSeed{"Alpha Strike Labs", "DE", 9500, 11000, PortSelection::kTopPorts, true, 50000, false},
+    OrgSeed{"LeakIX", "BE", 7800, 9000, PortSelection::kTopPorts, true, 40000, false},
+    OrgSeed{"Stretchoid", "US", 4200, 4800, PortSelection::kTopPorts, true, 55000, false},
+    OrgSeed{"SecurityTrails", "US", 6100, 6600, PortSelection::kTopPorts, true, 45000, false},
+    OrgSeed{"Bit Discovery (Tenable)", "US", 6800, 7400, PortSelection::kTopPorts, true, 35000, false},
+    OrgSeed{"CyberResilience.io", "GB", 4900, 5600, PortSelection::kTopPorts, true, 30000, false},
+    OrgSeed{"Intrinsec", "FR", 3100, 3400, PortSelection::kTopPorts, true, 25000, false},
+    OrgSeed{"Hadrian.io", "NL", 3900, 4400, PortSelection::kTopPorts, true, 28000, false},
+    OrgSeed{"DataGrid Surface", "US", 2400, 2700, PortSelection::kTopPorts, true, 20000, false},
+    OrgSeed{"Leitwert.net", "DE", 1500, 1700, PortSelection::kTopPorts, true, 15000, false},
+    OrgSeed{"bufferover.run", "US", 480, 520, PortSelection::kFewPorts, true, 12000, false},
+    OrgSeed{"Adscore", "PL", 290, 310, PortSelection::kFewPorts, true, 9000, false},
+    OrgSeed{"BinaryEdge", "PT", 34000, 39000, PortSelection::kTopPorts, true, 65000, false},
+    OrgSeed{"Netcraft", "GB", 900, 1000, PortSelection::kFewPorts, true, 14000, false},
+    OrgSeed{"Recyber", "NL", 2100, 2400, PortSelection::kTopPorts, true, 16000, false},
+    OrgSeed{"Quadmetrics", "US", 1100, 1300, PortSelection::kFewPorts, true, 11000, false},
+    OrgSeed{"CENSYS-ARC", "SG", 12000, 14000, PortSelection::kTopPorts, true, 30000, false},
+    OrgSeed{"Cortex-Probe EU", "NL", 8200, 9400, PortSelection::kTopPorts, true, 26000, false},
+    OrgSeed{"ShadowProbe Labs", "SE", 950, 1150, PortSelection::kFewPorts, true, 8000, false},
+    OrgSeed{"University of Michigan", "US", 42, 42, PortSelection::kFewPorts, true, 100000, true},
+    OrgSeed{"UCSD", "US", 24, 24, PortSelection::kFewPorts, true, 60000, true},
+    OrgSeed{"TU Munich", "DE", 12, 12, PortSelection::kFewPorts, true, 40000, true},
+    OrgSeed{"RWTH Aachen", "DE", 8, 8, PortSelection::kFewPorts, true, 30000, true},
+    OrgSeed{"Stanford University", "US", 10, 10, PortSelection::kFewPorts, true, 45000, true},
+    OrgSeed{"TU Delft", "NL", 15, 15, PortSelection::kFewPorts, true, 25000, true},
+    OrgSeed{"Kyoto University", "JP", 9, 9, PortSelection::kFewPorts, false, 15000, true},
+    OrgSeed{"GWU Research", "US", 11, 11, PortSelection::kFewPorts, false, 12000, true},
+    // 2024 newcomers (36 organizations in 2023, 40 in 2024).
+    OrgSeed{"Validin", "US", 0, 21000, PortSelection::kTopPorts, true, 48000, false},
+    OrgSeed{"Bitsight", "US", 0, 5200, PortSelection::kTopPorts, true, 22000, false},
+    OrgSeed{"Modat.io", "NL", 0, 31000, PortSelection::kTopPorts, true, 52000, false},
+    OrgSeed{"Searchlight Cyber", "GB", 0, 2600, PortSelection::kFewPorts, true, 13000, false},
+};
+
+std::vector<KnownScannerSpec> build_catalog() {
+  std::vector<KnownScannerSpec> catalog;
+  catalog.reserve(kSeeds.size());
+  std::uint32_t index = 0;
+  for (const auto& seed : kSeeds) {
+    KnownScannerSpec spec;
+    spec.name = seed.name;
+    spec.country = CountryCode(seed.country);
+    spec.prefix = org_prefix(index);
+    spec.asn = org_asn(index);
+    spec.ports_2023 = seed.ports_2023;
+    spec.ports_2024 = seed.ports_2024;
+    spec.selection = seed.selection;
+    spec.scans_daily = seed.daily;
+    spec.packets_per_second = seed.pps;
+    spec.academic = seed.academic;
+    catalog.push_back(spec);
+    ++index;
+  }
+  return catalog;
+}
+
+}  // namespace
+
+std::span<const KnownScannerSpec> known_scanner_specs() {
+  static const std::vector<KnownScannerSpec> catalog = build_catalog();
+  return catalog;
+}
+
+const KnownScannerSpec* find_known_scanner(std::string_view name) {
+  for (const auto& spec : known_scanner_specs()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::size_t active_known_scanners(int year) {
+  std::size_t active = 0;
+  for (const auto& spec : known_scanner_specs()) {
+    const auto ports = year >= 2024 ? spec.ports_2024 : spec.ports_2023;
+    if (ports > 0) ++active;
+  }
+  return active;
+}
+
+}  // namespace synscan::enrich

@@ -1,0 +1,55 @@
+// Catalog of known ("institutional") scanning organizations.
+//
+// The paper identifies 36 (2023) / 40 (2024) organizations that
+// publicize their Internet scanning — search engines like Censys and
+// Shodan, attack-surface vendors like Palo Alto Cortex Xpanse, non-
+// profits like Shadowserver, and universities. This catalog is the
+// reproduction's stand-in for the Greynoise/Collins ground truth: it
+// assigns each organization a source prefix, a port-coverage profile for
+// 2023 and 2024, a scan cadence, and a speed class. The traffic
+// generator emits their campaigns from exactly these prefixes, and the
+// enrichment/ETL layer labels them back, closing the loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "enrich/country.h"
+#include "net/ipv4.h"
+
+namespace synscan::enrich {
+
+/// How an organization spreads its scanning over the port space.
+enum class PortSelection : std::uint8_t {
+  kFullRange,  ///< all 65,536 TCP ports
+  kTopPorts,   ///< the N most common service ports
+  kFewPorts,   ///< a small hand-picked research set
+};
+
+/// Static facts about one known scanner.
+struct KnownScannerSpec {
+  std::string_view name;
+  CountryCode country;
+  net::Ipv4Prefix prefix;  ///< announced scanning prefix (synthetic)
+  std::uint32_t asn = 0;
+  std::uint32_t ports_2023 = 0;  ///< distinct ports targeted in 2023
+  std::uint32_t ports_2024 = 0;  ///< distinct ports targeted in 2024
+  PortSelection selection = PortSelection::kTopPorts;
+  bool scans_daily = true;       ///< §6.6: institutional scanners recur daily
+  double packets_per_second = 50'000;  ///< Internet-wide probe rate
+  bool academic = false;
+};
+
+/// The catalog, in stable order. Prefixes are carved from 64.0.0.0/10 and
+/// never overlap other synthetic allocations.
+[[nodiscard]] std::span<const KnownScannerSpec> known_scanner_specs();
+
+/// Looks up a spec by organization name; nullptr if absent.
+[[nodiscard]] const KnownScannerSpec* find_known_scanner(std::string_view name);
+
+/// Number of organizations active in a given year (the catalog grows:
+/// organizations with `ports_<year> == 0` are not yet active).
+[[nodiscard]] std::size_t active_known_scanners(int year);
+
+}  // namespace synscan::enrich

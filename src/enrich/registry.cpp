@@ -1,0 +1,146 @@
+#include "enrich/registry.h"
+
+#include <stdexcept>
+
+#include "enrich/known_scanners.h"
+
+namespace synscan::enrich {
+namespace {
+
+// Per-country pool counts for the synthetic plan. Weights reflect the
+// paper's geography: China and the US dominate scanning origin early on;
+// the Netherlands is over-represented in hosting ("cheap hosting,
+// bulletproof hosting"); the rest of the world provides the long tail
+// the ecosystem diversifies into.
+struct CountryPlan {
+  const char* code;
+  int residential_pools;
+  int hosting_pools;
+  int enterprise_pools;
+};
+
+constexpr CountryPlan kCountryPlans[] = {
+    {"CN", 9, 4, 3}, {"US", 8, 6, 4}, {"NL", 2, 6, 1}, {"RU", 4, 3, 2},
+    {"BR", 4, 1, 1}, {"TW", 3, 1, 1}, {"IR", 3, 1, 1}, {"DE", 3, 2, 2},
+    {"FR", 2, 2, 1}, {"GB", 2, 2, 2}, {"IN", 4, 1, 1}, {"VN", 3, 1, 1},
+    {"ID", 3, 1, 1}, {"KR", 2, 2, 1}, {"JP", 2, 1, 1}, {"UA", 2, 1, 1},
+    {"TR", 2, 1, 1}, {"TH", 2, 1, 1}, {"MX", 2, 1, 1}, {"AR", 2, 1, 1},
+    {"EG", 2, 1, 0}, {"ZA", 1, 1, 0}, {"PL", 1, 1, 1}, {"IT", 1, 1, 1},
+    {"ES", 1, 1, 1}, {"CA", 1, 1, 1}, {"AU", 1, 1, 1}, {"SG", 1, 2, 1},
+    {"HK", 1, 2, 1}, {"RO", 1, 1, 0}, {"SE", 1, 1, 1}, {"PT", 1, 1, 0},
+    {"BE", 1, 1, 0},
+};
+
+// Space the plan must never allocate: reserved ranges, the telescope's
+// own blocks (192.88/198.51/203.0), and the institutional carve-out.
+[[nodiscard]] bool forbidden(net::Ipv4Prefix candidate) {
+  static const net::Ipv4Prefix kForbidden[] = {
+      *net::Ipv4Prefix::parse("0.0.0.0/8"),    *net::Ipv4Prefix::parse("10.0.0.0/8"),
+      *net::Ipv4Prefix::parse("100.64.0.0/10"), *net::Ipv4Prefix::parse("127.0.0.0/8"),
+      *net::Ipv4Prefix::parse("169.254.0.0/16"), *net::Ipv4Prefix::parse("172.16.0.0/12"),
+      *net::Ipv4Prefix::parse("192.0.0.0/8"),  *net::Ipv4Prefix::parse("198.0.0.0/8"),
+      *net::Ipv4Prefix::parse("203.0.0.0/16"), *net::Ipv4Prefix::parse("64.0.0.0/10"),
+      *net::Ipv4Prefix::parse("224.0.0.0/3"),
+  };
+  for (const auto& bad : kForbidden) {
+    // Two prefixes overlap iff one contains the other's base.
+    if (bad.contains(candidate.base()) || candidate.contains(bad.base())) return true;
+  }
+  return false;
+}
+
+std::vector<PrefixRecord> build_synthetic_plan() {
+  std::vector<PrefixRecord> records;
+
+  // Walk /14 blocks from 1.0.0.0 upward, skipping forbidden space.
+  std::uint32_t cursor = (1u << 24);
+  std::uint32_t next_asn = 1000;
+  const auto take_pool = [&]() {
+    for (;;) {
+      const net::Ipv4Prefix candidate(net::Ipv4Address(cursor), 14);
+      cursor += static_cast<std::uint32_t>(candidate.size());
+      if (!forbidden(candidate)) return candidate;
+      if (cursor < (1u << 24)) throw std::logic_error("synthetic plan: address space exhausted");
+    }
+  };
+
+  for (const auto& plan : kCountryPlans) {
+    const CountryCode country{plan.code};
+    for (int i = 0; i < plan.residential_pools; ++i) {
+      records.push_back({take_pool(), next_asn++, country, ScannerType::kResidential,
+                         std::string(plan.code) + "-telecom-" + std::to_string(i)});
+    }
+    for (int i = 0; i < plan.hosting_pools; ++i) {
+      records.push_back({take_pool(), next_asn++, country, ScannerType::kHosting,
+                         std::string(plan.code) + "-hosting-" + std::to_string(i)});
+    }
+    for (int i = 0; i < plan.enterprise_pools; ++i) {
+      // The paper calls out ASN 18403 (FPT, Vietnam) as the enterprise
+      // space behind the JSON-RPC (8545/TCP) scanning; give the first
+      // Vietnamese enterprise pool that identity.
+      const bool fpt = std::string_view(plan.code) == "VN" && i == 0;
+      records.push_back({take_pool(), fpt ? 18403u : next_asn++, country,
+                         ScannerType::kEnterprise,
+                         fpt ? std::string("FPT-AS-AP")
+                             : std::string(plan.code) + "-enterprise-" + std::to_string(i)});
+    }
+  }
+
+  // Institutional scanners from the known-scanner catalog.
+  for (const auto& spec : known_scanner_specs()) {
+    records.push_back({spec.prefix, spec.asn, spec.country, ScannerType::kInstitutional,
+                       std::string(spec.name)});
+  }
+  return records;
+}
+
+}  // namespace
+
+InternetRegistry::InternetRegistry(std::vector<PrefixRecord> records)
+    : records_(std::move(records)) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& rec = records_[i];
+    const auto len = rec.prefix.length();
+    by_length_[static_cast<std::size_t>(len)].emplace(rec.prefix.base().value(), i);
+    max_length_ = std::max(max_length_, len);
+    min_length_ = std::min(min_length_, len);
+  }
+  if (records_.empty()) {
+    min_length_ = 0;
+    max_length_ = -1;  // lookup loop never runs
+  }
+}
+
+const InternetRegistry& InternetRegistry::synthetic_default() {
+  static const InternetRegistry registry{build_synthetic_plan()};
+  return registry;
+}
+
+const PrefixRecord* InternetRegistry::lookup(net::Ipv4Address addr) const noexcept {
+  for (int len = max_length_; len >= min_length_; --len) {
+    const auto& bucket = by_length_[static_cast<std::size_t>(len)];
+    if (bucket.empty()) continue;
+    const std::uint32_t mask = len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+    const auto it = bucket.find(addr.value() & mask);
+    if (it != bucket.end()) return &records_[it->second];
+  }
+  return nullptr;
+}
+
+std::vector<const PrefixRecord*> InternetRegistry::records_of(ScannerType type) const {
+  std::vector<const PrefixRecord*> out;
+  for (const auto& rec : records_) {
+    if (rec.type == type) out.push_back(&rec);
+  }
+  return out;
+}
+
+std::vector<const PrefixRecord*> InternetRegistry::records_of(CountryCode country) const {
+  std::vector<const PrefixRecord*> out;
+  for (const auto& rec : records_) {
+    if (rec.country == country) out.push_back(&rec);
+  }
+  return out;
+}
+
+}  // namespace synscan::enrich

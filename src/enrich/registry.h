@@ -1,0 +1,72 @@
+// Prefix-to-metadata registry with longest-prefix-match lookup.
+//
+// Substitutes for the commercial geo/AS databases the paper enriches
+// with. The synthetic default allocation plan assigns residential,
+// hosting and enterprise space across ~30 countries with realistic skew,
+// and carves out institutional prefixes for the known scanning
+// organizations, so that geographic and scanner-type analyses exercise
+// the same code paths they would with MaxMind/Greynoise data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "enrich/country.h"
+#include "enrich/scanner_type.h"
+#include "net/ipv4.h"
+
+namespace synscan::enrich {
+
+/// One allocation: a prefix with its AS, country, network type and the
+/// owning organization (empty for anonymous allocations).
+struct PrefixRecord {
+  net::Ipv4Prefix prefix;
+  std::uint32_t asn = 0;
+  CountryCode country;
+  ScannerType type = ScannerType::kUnknown;
+  std::string organization;
+};
+
+/// Immutable longest-prefix-match registry.
+class InternetRegistry {
+ public:
+  explicit InternetRegistry(std::vector<PrefixRecord> records);
+
+  /// The deterministic synthetic allocation plan used throughout the
+  /// reproduction; see registry.cpp for its layout.
+  [[nodiscard]] static const InternetRegistry& synthetic_default();
+
+  /// Longest-prefix match; nullptr when `addr` is unallocated.
+  [[nodiscard]] const PrefixRecord* lookup(net::Ipv4Address addr) const noexcept;
+
+  [[nodiscard]] ScannerType type_of(net::Ipv4Address addr) const noexcept {
+    const auto* rec = lookup(addr);
+    return rec ? rec->type : ScannerType::kUnknown;
+  }
+  [[nodiscard]] CountryCode country_of(net::Ipv4Address addr) const noexcept {
+    const auto* rec = lookup(addr);
+    return rec ? rec->country : CountryCode();
+  }
+
+  [[nodiscard]] std::span<const PrefixRecord> records() const noexcept { return records_; }
+
+  /// All records of a given network type (e.g. every residential pool),
+  /// in registry order; used by the traffic generator to site actors.
+  [[nodiscard]] std::vector<const PrefixRecord*> records_of(ScannerType type) const;
+
+  /// All records of a country.
+  [[nodiscard]] std::vector<const PrefixRecord*> records_of(CountryCode country) const;
+
+ private:
+  std::vector<PrefixRecord> records_;
+  // One hash map per prefix length; lookup probes lengths longest-first.
+  std::array<std::unordered_map<std::uint32_t, std::size_t>, 33> by_length_;
+  int max_length_ = 0;
+  int min_length_ = 32;
+};
+
+}  // namespace synscan::enrich

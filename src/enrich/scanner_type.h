@@ -1,0 +1,48 @@
+// The scanner-origin taxonomy of §6.6 / Table 2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace synscan::enrich {
+
+/// What kind of network a scanning source lives in. "Institutional"
+/// means an organization that publicizes its scanning (Censys, Rapid7,
+/// universities, ...); hosting/enterprise/residential follow the AS
+/// classification; unknown is everything unmatched.
+enum class ScannerType : std::uint8_t {
+  kInstitutional,
+  kHosting,
+  kEnterprise,
+  kResidential,
+  kUnknown,
+};
+
+inline constexpr std::array<ScannerType, 5> kAllScannerTypes = {
+    ScannerType::kInstitutional, ScannerType::kHosting, ScannerType::kEnterprise,
+    ScannerType::kResidential, ScannerType::kUnknown};
+
+inline constexpr std::size_t kScannerTypeCount = kAllScannerTypes.size();
+
+[[nodiscard]] constexpr std::size_t scanner_type_index(ScannerType type) noexcept {
+  return static_cast<std::size_t>(type);
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ScannerType type) noexcept {
+  switch (type) {
+    case ScannerType::kInstitutional:
+      return "institutional";
+    case ScannerType::kHosting:
+      return "hosting";
+    case ScannerType::kEnterprise:
+      return "enterprise";
+    case ScannerType::kResidential:
+      return "residential";
+    case ScannerType::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace synscan::enrich

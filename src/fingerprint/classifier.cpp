@@ -1,0 +1,59 @@
+#include "fingerprint/classifier.h"
+
+namespace synscan::fingerprint {
+
+void ToolEvidence::observe(const telescope::ScanProbe& probe) noexcept {
+  ++probes_;
+  if (matches_zmap(probe)) ++zmap_hits_;
+  if (matches_masscan(probe)) ++masscan_hits_;
+  if (matches_mirai(probe)) ++mirai_hits_;
+
+  if (have_previous_) {
+    ++pairs_;
+    if (matches_nmap_pair(previous_.sequence, probe.sequence)) ++nmap_pair_hits_;
+    if (matches_unicorn_pair(previous_, probe)) ++unicorn_pair_hits_;
+  }
+  previous_ = probe;
+  have_previous_ = true;
+}
+
+std::uint64_t ToolEvidence::matches(Tool tool) const noexcept {
+  switch (tool) {
+    case Tool::kZmap:
+      return zmap_hits_;
+    case Tool::kMasscan:
+      return masscan_hits_;
+    case Tool::kMirai:
+      return mirai_hits_;
+    case Tool::kNmap:
+      return nmap_pair_hits_;
+    case Tool::kUnicorn:
+      return unicorn_pair_hits_;
+    case Tool::kUnknown:
+      return 0;
+  }
+  return 0;
+}
+
+Tool ToolEvidence::verdict() const noexcept {
+  const auto qualifies_single = [&](std::uint64_t hits) {
+    return probes_ > 0 && hits >= config_.min_matches &&
+           static_cast<double>(hits) >=
+               config_.min_fraction * static_cast<double>(probes_);
+  };
+  const auto qualifies_pair = [&](std::uint64_t hits) {
+    return pairs_ > 0 && hits >= config_.min_matches &&
+           static_cast<double>(hits) >= config_.min_fraction * static_cast<double>(pairs_);
+  };
+
+  // Single-packet fingerprints first: they are per-probe exact marks and
+  // immune to the coincidences pairwise relations can produce.
+  if (qualifies_single(zmap_hits_)) return Tool::kZmap;
+  if (qualifies_single(masscan_hits_)) return Tool::kMasscan;
+  if (qualifies_single(mirai_hits_)) return Tool::kMirai;
+  if (qualifies_pair(nmap_pair_hits_)) return Tool::kNmap;
+  if (qualifies_pair(unicorn_pair_hits_)) return Tool::kUnicorn;
+  return Tool::kUnknown;
+}
+
+}  // namespace synscan::fingerprint

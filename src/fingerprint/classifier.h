@@ -1,0 +1,99 @@
+// Per-source tool classification by evidence accumulation.
+//
+// Single-packet fingerprints are counted per probe; pairwise fingerprints
+// (NMap, Unicorn) are evaluated between consecutive probes of the same
+// source, which keeps the state O(1) per source — essential when tracking
+// millions of concurrent sources. A verdict requires a minimum number of
+// matches and a minimum matched fraction, so that chance collisions
+// (e.g. the 2^-16 probability of a random NMap pair match) cannot
+// misattribute a campaign.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fingerprint/matchers.h"
+#include "fingerprint/tool.h"
+
+namespace synscan::fingerprint {
+
+/// Tunable decision thresholds.
+struct ClassifierConfig {
+  /// Minimum matching probes (single-packet) or pairs (pairwise).
+  std::uint32_t min_matches = 2;
+  /// Minimum fraction of observed probes/pairs that must match.
+  double min_fraction = 0.5;
+};
+
+/// Accumulates fingerprint evidence for one traffic source.
+class ToolEvidence {
+ public:
+  ToolEvidence() = default;
+  explicit ToolEvidence(ClassifierConfig config) : config_(config) {}
+
+  /// Feeds the next probe of this source, in arrival order.
+  void observe(const telescope::ScanProbe& probe) noexcept;
+
+  /// Probes observed so far.
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+
+  /// The current best verdict. Single-packet fingerprints take priority
+  /// over pairwise ones (a Mirai probe stream can coincidentally satisfy
+  /// pairwise relations when ports repeat); ties break in the order
+  /// ZMap, Masscan, Mirai, NMap, Unicorn.
+  [[nodiscard]] Tool verdict() const noexcept;
+
+  /// Matched-probe count for a single-packet tool, or matched-pair count
+  /// for a pairwise tool.
+  [[nodiscard]] std::uint64_t matches(Tool tool) const noexcept;
+
+ private:
+  ClassifierConfig config_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t zmap_hits_ = 0;
+  std::uint64_t masscan_hits_ = 0;
+  std::uint64_t mirai_hits_ = 0;
+  std::uint64_t nmap_pair_hits_ = 0;
+  std::uint64_t unicorn_pair_hits_ = 0;
+  std::uint64_t pairs_ = 0;
+  bool have_previous_ = false;
+  telescope::ScanProbe previous_{};
+};
+
+/// Share-of-total accounting per tool, used for the Table 1 "Tools by
+/// scans" block and the per-port tool mixes of Fig. 4.
+class ToolTally {
+ public:
+  void add(Tool tool, std::uint64_t weight = 1) noexcept {
+    counts_[tool_index(tool)] += weight;
+    total_ += weight;
+  }
+
+  [[nodiscard]] std::uint64_t count(Tool tool) const noexcept {
+    return counts_[tool_index(tool)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Fraction of the total attributed to `tool`; 0 when empty.
+  [[nodiscard]] double share(Tool tool) const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(count(tool)) / static_cast<double>(total_);
+  }
+
+  /// Combined share of the fingerprintable tools (everything but
+  /// kUnknown) — the paper's "known tools" headline numbers.
+  [[nodiscard]] double known_share() const noexcept {
+    return total_ == 0 ? 0.0 : 1.0 - share(Tool::kUnknown);
+  }
+
+  void merge(const ToolTally& other) noexcept {
+    for (std::size_t i = 0; i < kToolCount; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
+
+ private:
+  std::array<std::uint64_t, kToolCount> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace synscan::fingerprint

@@ -1,0 +1,40 @@
+#include "fingerprint/matchers.h"
+
+namespace synscan::fingerprint {
+
+bool matches_zmap(const telescope::ScanProbe& probe) noexcept {
+  return probe.ip_id == kZmapIpId;
+}
+
+std::uint16_t masscan_ip_id(std::uint32_t dest_ip, std::uint16_t dest_port,
+                            std::uint32_t sequence) noexcept {
+  const std::uint32_t mixed = dest_ip ^ dest_port ^ sequence;
+  // Masscan derives the 16-bit IP-ID from the low half of the mix.
+  return static_cast<std::uint16_t>(mixed & 0xffff);
+}
+
+bool matches_masscan(const telescope::ScanProbe& probe) noexcept {
+  return probe.ip_id ==
+         masscan_ip_id(probe.destination.value(), probe.destination_port, probe.sequence);
+}
+
+bool matches_mirai(const telescope::ScanProbe& probe) noexcept {
+  return probe.sequence == probe.destination.value();
+}
+
+bool matches_nmap_pair(std::uint32_t seq1, std::uint32_t seq2) noexcept {
+  const std::uint32_t x = seq1 ^ seq2;
+  return (x & 0xffff) == (x >> 16);
+}
+
+bool matches_unicorn_pair(const telescope::ScanProbe& a,
+                          const telescope::ScanProbe& b) noexcept {
+  const std::uint32_t lhs = a.sequence ^ b.sequence;
+  const std::uint32_t rhs =
+      (a.destination.value() ^ b.destination.value()) ^
+      static_cast<std::uint32_t>(a.source_port ^ b.source_port) ^
+      (static_cast<std::uint32_t>(a.destination_port ^ b.destination_port) << 16);
+  return lhs == rhs;
+}
+
+}  // namespace synscan::fingerprint

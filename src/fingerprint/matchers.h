@@ -1,0 +1,44 @@
+// Pure fingerprint predicates from §3.3 of the paper.
+//
+// Single-packet fingerprints (ZMap, Masscan, Mirai) test one probe in
+// isolation; pairwise fingerprints (NMap, Unicorn) test a relation that
+// must hold between two probes of the same source. All predicates are
+// exact restatements of the relations given in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "telescope/sensor.h"
+
+namespace synscan::fingerprint {
+
+/// The IP-ID value classic ZMap stamps on every probe.
+inline constexpr std::uint16_t kZmapIpId = 54321;
+
+/// ZMap: IPid == 54321.
+[[nodiscard]] bool matches_zmap(const telescope::ScanProbe& probe) noexcept;
+
+/// Masscan: IPid == (destIP ^ destPort ^ SeqNum) folded to 16 bits.
+[[nodiscard]] bool matches_masscan(const telescope::ScanProbe& probe) noexcept;
+
+/// The 16-bit fold Masscan applies when deriving the IP-ID; exposed so
+/// the traffic generator produces bit-exact probes.
+[[nodiscard]] std::uint16_t masscan_ip_id(std::uint32_t dest_ip, std::uint16_t dest_port,
+                                          std::uint32_t sequence) noexcept;
+
+/// Mirai: the TCP sequence number equals the destination IP address.
+[[nodiscard]] bool matches_mirai(const telescope::ScanProbe& probe) noexcept;
+
+/// NMap pairwise relation: the XOR of two sequence numbers from the same
+/// NMap instance has identical high and low 16-bit halves, because NMap
+/// encrypts a duplicated 16-bit token (nfo||nfo) with a per-session
+/// keystream that cancels under XOR.
+[[nodiscard]] bool matches_nmap_pair(std::uint32_t seq1, std::uint32_t seq2) noexcept;
+
+/// Unicorn pairwise relation:
+///   seq1 ^ seq2 == destIP1 ^ destIP2 ^ srcPort1 ^ srcPort2
+///                  ^ ((destPort1 ^ destPort2) << 16)
+[[nodiscard]] bool matches_unicorn_pair(const telescope::ScanProbe& a,
+                                        const telescope::ScanProbe& b) noexcept;
+
+}  // namespace synscan::fingerprint

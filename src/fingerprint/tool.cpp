@@ -1,0 +1,30 @@
+#include "fingerprint/tool.h"
+
+namespace synscan::fingerprint {
+
+std::string_view to_string(Tool tool) noexcept {
+  switch (tool) {
+    case Tool::kZmap:
+      return "zmap";
+    case Tool::kMasscan:
+      return "masscan";
+    case Tool::kMirai:
+      return "mirai";
+    case Tool::kNmap:
+      return "nmap";
+    case Tool::kUnicorn:
+      return "unicorn";
+    case Tool::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+Tool tool_from_string(std::string_view name) noexcept {
+  for (const auto tool : kAllTools) {
+    if (to_string(tool) == name) return tool;
+  }
+  return Tool::kUnknown;
+}
+
+}  // namespace synscan::fingerprint

@@ -1,0 +1,39 @@
+// The scanning-tool taxonomy tracked throughout the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace synscan::fingerprint {
+
+/// Tools with known on-the-wire fingerprints (§3.3), plus the catch-all
+/// for custom or unfingerprintable scanners.
+enum class Tool : std::uint8_t {
+  kZmap,     ///< IP-ID fixed at 54321
+  kMasscan,  ///< IP-ID = destIP ^ destPort ^ SeqNum (folded to 16 bits)
+  kMirai,    ///< TCP sequence number equals the destination IP
+  kNmap,     ///< stream-cipher seq encoding; pairwise-detectable
+  kUnicorn,  ///< host info encoded in seq; pairwise-detectable
+  kUnknown,  ///< custom tooling / fingerprint changed
+};
+
+inline constexpr std::array<Tool, 6> kAllTools = {
+    Tool::kZmap, Tool::kMasscan, Tool::kMirai,
+    Tool::kNmap, Tool::kUnicorn, Tool::kUnknown};
+
+/// Number of distinct Tool values (for dense per-tool arrays).
+inline constexpr std::size_t kToolCount = kAllTools.size();
+
+/// Stable lowercase display name ("zmap", "masscan", ...).
+[[nodiscard]] std::string_view to_string(Tool tool) noexcept;
+
+/// Parses a display name back to a Tool; kUnknown for anything else.
+[[nodiscard]] Tool tool_from_string(std::string_view name) noexcept;
+
+/// Dense index of a Tool for per-tool accumulation arrays.
+[[nodiscard]] constexpr std::size_t tool_index(Tool tool) noexcept {
+  return static_cast<std::size_t>(tool);
+}
+
+}  // namespace synscan::fingerprint

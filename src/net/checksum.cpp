@@ -1,0 +1,43 @@
+#include "net/checksum.h"
+
+#include "net/endian.h"
+
+namespace synscan::net {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> bytes) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum_ += load_be16(bytes.data() + i);
+  }
+  if (i < bytes.size()) {
+    // Odd trailing byte: pad with a zero byte on the right.
+    sum_ += static_cast<std::uint64_t>(bytes[i]) << 8;
+  }
+}
+
+std::uint16_t ChecksumAccumulator::finish() const noexcept {
+  std::uint64_t sum = sum_;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) noexcept {
+  ChecksumAccumulator acc;
+  acc.add(bytes);
+  return acc.finish();
+}
+
+std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst, std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment) noexcept {
+  ChecksumAccumulator acc;
+  acc.add_dword(src.value());
+  acc.add_dword(dst.value());
+  acc.add_word(protocol);
+  acc.add_word(static_cast<std::uint16_t>(segment.size()));
+  acc.add(segment);
+  return acc.finish();
+}
+
+}  // namespace synscan::net

@@ -1,0 +1,45 @@
+// RFC 1071 Internet checksum and the TCP/UDP pseudo-header variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/ipv4.h"
+
+namespace synscan::net {
+
+/// Incremental one's-complement sum. Feed byte ranges (and pseudo-header
+/// words), then call `finish()` for the folded, inverted 16-bit checksum.
+class ChecksumAccumulator {
+ public:
+  /// Adds a raw byte range. Ranges of odd length are only valid as the
+  /// final contribution (the trailing byte is padded per RFC 1071).
+  void add(std::span<const std::uint8_t> bytes) noexcept;
+
+  /// Adds a single 16-bit word in host order.
+  void add_word(std::uint16_t word) noexcept { sum_ += word; }
+
+  /// Adds a 32-bit value as two 16-bit words (for pseudo-header addresses).
+  void add_dword(std::uint32_t dword) noexcept {
+    add_word(static_cast<std::uint16_t>(dword >> 16));
+    add_word(static_cast<std::uint16_t>(dword & 0xffff));
+  }
+
+  /// Folds carries and returns the one's-complement of the sum.
+  [[nodiscard]] std::uint16_t finish() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+/// Checksum of a contiguous range (e.g. an IPv4 header with its checksum
+/// field zeroed).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) noexcept;
+
+/// TCP/UDP checksum over the IPv4 pseudo-header plus the transport
+/// segment. `segment` must already contain a zeroed checksum field.
+[[nodiscard]] std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst,
+                                               std::uint8_t protocol,
+                                               std::span<const std::uint8_t> segment) noexcept;
+
+}  // namespace synscan::net

@@ -1,0 +1,73 @@
+// Byte-order helpers for wire formats.
+//
+// All multi-byte fields in the Internet protocol suite are big-endian
+// ("network byte order"). These helpers read and write integers at
+// arbitrary (unaligned) byte offsets, which is required when walking raw
+// frames: header fields are not naturally aligned once link-layer headers
+// of odd sizes are involved.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace synscan::net {
+
+/// Reads a big-endian 16-bit integer starting at `p[0]`.
+[[nodiscard]] constexpr std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(p[0]) << 8) |
+                                    static_cast<std::uint16_t>(p[1]));
+}
+
+/// Reads a big-endian 32-bit integer starting at `p[0]`.
+[[nodiscard]] constexpr std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+/// Writes `v` as a big-endian 16-bit integer at `p[0..1]`.
+constexpr void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+/// Writes `v` as a big-endian 32-bit integer at `p[0..3]`.
+constexpr void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  p[2] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+/// Reads a little-endian 16-bit integer (pcap file headers are host-order;
+/// we normalize through explicit little/big readers keyed on the magic).
+[[nodiscard]] constexpr std::uint16_t load_le16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+/// Reads a little-endian 32-bit integer.
+[[nodiscard]] constexpr std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// Writes `v` as a little-endian 16-bit integer.
+constexpr void store_le16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+/// Writes `v` as a little-endian 32-bit integer.
+constexpr void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  p[2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  p[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
+}  // namespace synscan::net

@@ -1,0 +1,71 @@
+#include "net/ipv4.h"
+
+#include <array>
+#include <charconv>
+
+namespace synscan::net {
+namespace {
+
+// Parses a decimal octet (0..255) from the front of `text`, advancing it.
+// Rejects empty fields and leading '+'/'-'; allows leading zeros as the
+// common tools do.
+std::optional<std::uint8_t> take_octet(std::string_view& text) {
+  if (text.empty() || text.front() < '0' || text.front() > '9') return std::nullopt;
+  unsigned value = 0;
+  std::size_t used = 0;
+  while (used < text.size() && text[used] >= '0' && text[used] <= '9') {
+    value = value * 10 + static_cast<unsigned>(text[used] - '0');
+    if (value > 255) return std::nullopt;
+    ++used;
+    if (used > 3) return std::nullopt;
+  }
+  text.remove_prefix(used);
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint8_t, 4> octets{};
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    const auto octet = take_octet(text);
+    if (!octet) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return from_octets(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(static_cast<unsigned>(octet(i)));
+  }
+  return out;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto base = Ipv4Address::parse(text.substr(0, slash));
+  if (!base) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  int len = 0;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) return std::nullopt;
+  if (len < 0 || len > 32) return std::nullopt;
+  return Ipv4Prefix(*base, len);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace synscan::net

@@ -1,0 +1,134 @@
+// IPv4 address and CIDR prefix value types.
+//
+// Addresses are stored as host-order 32-bit integers so that arithmetic
+// (prefix containment, iteration over ranges, /16 bucketing) is natural;
+// conversion to and from network byte order happens only at the wire
+// boundary in the header codecs.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace synscan::net {
+
+/// An IPv4 address as a host-order integer value type.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) noexcept : value_(host_order) {}
+
+  /// Builds an address from its four dotted-quad octets, `a.b.c.d`.
+  [[nodiscard]] static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                                         std::uint8_t c, std::uint8_t d) noexcept {
+    return Ipv4Address((static_cast<std::uint32_t>(a) << 24) |
+                       (static_cast<std::uint32_t>(b) << 16) |
+                       (static_cast<std::uint32_t>(c) << 8) | static_cast<std::uint32_t>(d));
+  }
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Returns nullopt on any
+  /// syntax error: missing octets, values > 255, stray characters.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+
+  /// The host-order integer value.
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Octet `i` (0 = most significant, e.g. the "192" in 192.0.2.1).
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>((value_ >> (24 - 8 * i)) & 0xff);
+  }
+
+  /// Dotted-quad rendering, e.g. "192.0.2.1".
+  [[nodiscard]] std::string to_string() const;
+
+  /// The enclosing /16 network identifier (upper 16 bits); the paper's
+  /// volatility analysis (Fig. 2) buckets sources by /16 netblock.
+  [[nodiscard]] constexpr std::uint16_t slash16() const noexcept {
+    return static_cast<std::uint16_t>(value_ >> 16);
+  }
+
+  /// The enclosing /24 network identifier (upper 24 bits).
+  [[nodiscard]] constexpr std::uint32_t slash24() const noexcept { return value_ >> 8; }
+
+  /// True for addresses no Internet-wide scan should emit as a source
+  /// (0.0.0.0/8, 127/8, 224/4 multicast, 240/4 reserved, 255.255.255.255).
+  [[nodiscard]] constexpr bool is_reserved_source() const noexcept {
+    const auto a = octet(0);
+    return a == 0 || a == 127 || a >= 224;
+  }
+
+  /// RFC 1918 private space (10/8, 172.16/12, 192.168/16).
+  [[nodiscard]] constexpr bool is_private() const noexcept {
+    return octet(0) == 10 || (octet(0) == 172 && (octet(1) & 0xf0) == 16) ||
+           (octet(0) == 192 && octet(1) == 168);
+  }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 198.51.0.0/16. The base address is canonicalized:
+/// host bits below the prefix length are cleared on construction.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept = default;
+
+  /// Builds `base/len`; host bits of `base` below `len` are masked off.
+  /// `len` must be in [0, 32].
+  constexpr Ipv4Prefix(Ipv4Address base, int len) noexcept
+      : base_(Ipv4Address(base.value() & mask_for(len))), length_(len) {}
+
+  /// Parses "a.b.c.d/len". Returns nullopt on syntax errors or len > 32.
+  [[nodiscard]] static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Address base() const noexcept { return base_; }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+
+  /// Number of addresses covered, e.g. 65536 for a /16.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// Whether `addr` falls inside this prefix.
+  [[nodiscard]] constexpr bool contains(Ipv4Address addr) const noexcept {
+    return (addr.value() & mask_for(length_)) == base_.value();
+  }
+
+  /// The i-th address of the prefix (0 = network base). `i < size()`.
+  [[nodiscard]] constexpr Ipv4Address at(std::uint64_t i) const noexcept {
+    return Ipv4Address(base_.value() + static_cast<std::uint32_t>(i));
+  }
+
+  /// First address past the prefix (may wrap to 0 for 0.0.0.0/0).
+  [[nodiscard]] constexpr Ipv4Address end() const noexcept {
+    return Ipv4Address(base_.value() + static_cast<std::uint32_t>(size()));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Prefix, Ipv4Prefix) noexcept = default;
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t mask_for(int len) noexcept {
+    return len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+  }
+
+  Ipv4Address base_{};
+  int length_ = 0;
+};
+
+}  // namespace synscan::net
+
+template <>
+struct std::hash<synscan::net::Ipv4Address> {
+  std::size_t operator()(synscan::net::Ipv4Address a) const noexcept {
+    // Fibonacci hashing spreads sequential addresses (the common case in
+    // scan traffic) across buckets.
+    return static_cast<std::size_t>(a.value()) * 0x9e3779b97f4a7c15ull >> 16;
+  }
+};

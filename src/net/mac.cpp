@@ -1,0 +1,47 @@
+#include "net/mac.h"
+
+namespace synscan::net {
+namespace {
+
+std::optional<unsigned> hex_digit(char c) {
+  if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+  if (c >= 'A' && c <= 'F') return static_cast<unsigned>(c - 'A' + 10);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> octets{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+    if (pos + 2 > text.size()) return std::nullopt;
+    const auto hi = hex_digit(text[pos]);
+    const auto lo = hex_digit(text[pos + 1]);
+    if (!hi || !lo) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((*hi << 4) | *lo);
+    pos += 2;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(17);
+  for (int i = 0; i < 6; ++i) {
+    if (i > 0) out.push_back(':');
+    const auto b = octets_[static_cast<std::size_t>(i)];
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace synscan::net

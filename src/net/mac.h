@@ -1,0 +1,56 @@
+// Ethernet MAC address value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace synscan::net {
+
+/// A 48-bit Ethernet hardware address.
+class MacAddress {
+ public:
+  constexpr MacAddress() noexcept = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets) noexcept
+      : octets_(octets) {}
+
+  /// Parses colon-separated hex notation ("02:00:5e:10:00:01").
+  [[nodiscard]] static std::optional<MacAddress> parse(std::string_view text);
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const noexcept {
+    return octets_;
+  }
+
+  /// Locally-administered unicast address derived from a small integer;
+  /// used by the simulator to give each emitted frame a plausible source.
+  [[nodiscard]] static constexpr MacAddress local(std::uint32_t id) noexcept {
+    return MacAddress({0x02, 0x00, static_cast<std::uint8_t>(id >> 24),
+                       static_cast<std::uint8_t>(id >> 16),
+                       static_cast<std::uint8_t>(id >> 8),
+                       static_cast<std::uint8_t>(id)});
+  }
+
+  [[nodiscard]] constexpr bool is_broadcast() const noexcept {
+    for (const auto b : octets_) {
+      if (b != 0xff) return false;
+    }
+    return true;
+  }
+
+  /// Group bit (least-significant bit of the first octet).
+  [[nodiscard]] constexpr bool is_multicast() const noexcept {
+    return (octets_[0] & 0x01) != 0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) noexcept = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace synscan::net

@@ -1,0 +1,90 @@
+#include "report/json.h"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "fingerprint/tool.h"
+
+namespace synscan::report {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_campaign_json(std::ostream& os, const core::Campaign& campaign,
+                         std::size_t max_ports) {
+  std::vector<std::uint16_t> ports;
+  ports.reserve(campaign.port_packets.size());
+  for (const auto& [port, packets] : campaign.port_packets) ports.push_back(port);
+  std::sort(ports.begin(), ports.end());
+  const auto listed = std::min(ports.size(), max_ports);
+
+  os << "{\"id\":" << campaign.id << ",\"source\":\""
+     << campaign.source.to_string() << "\",\"tool\":\""
+     << fingerprint::to_string(campaign.tool) << "\",\"first_seen_us\":"
+     << campaign.first_seen_us << ",\"last_seen_us\":" << campaign.last_seen_us
+     << ",\"packets\":" << campaign.packets
+     << ",\"destinations\":" << campaign.distinct_destinations
+     << ",\"distinct_ports\":" << campaign.distinct_ports() << ",\"ports\":[";
+  for (std::size_t i = 0; i < listed; ++i) {
+    if (i > 0) os << ',';
+    os << ports[i];
+  }
+  os << "],\"pps\":" << campaign.extrapolated_pps
+     << ",\"coverage\":" << campaign.coverage_fraction << "}";
+}
+
+void write_campaigns_jsonl(std::ostream& os, std::span<const core::Campaign> campaigns,
+                           std::size_t max_ports) {
+  for (const auto& campaign : campaigns) {
+    write_campaign_json(os, campaign, max_ports);
+    os << '\n';
+  }
+}
+
+void write_counters_json(std::ostream& os, const core::PipelineResult& result) {
+  os << "{\"scan_probes\":" << result.sensor.scan_probes
+     << ",\"backscatter\":" << result.sensor.backscatter
+     << ",\"xmas_or_null\":" << result.sensor.xmas_or_null
+     << ",\"other_tcp\":" << result.sensor.other_tcp
+     << ",\"udp\":" << result.sensor.udp << ",\"icmp\":" << result.sensor.icmp
+     << ",\"not_monitored\":" << result.sensor.not_monitored
+     << ",\"ingress_blocked\":" << result.sensor.ingress_blocked
+     << ",\"malformed\":" << result.sensor.malformed
+     << ",\"spoofed_source\":" << result.sensor.spoofed_source
+     << ",\"campaigns\":" << result.campaigns.size()
+     << ",\"subthreshold_flows\":" << result.tracker.subthreshold_flows << "}";
+}
+
+}  // namespace synscan::report

@@ -1,0 +1,32 @@
+// JSON-lines export of analysis results, for downstream tooling
+// (notebooks, SIEM ingestion, plotting).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/pipeline.h"
+
+namespace synscan::report {
+
+/// Escapes a string for inclusion in a JSON value.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Writes one campaign as a single-line JSON object:
+/// {"id":..,"source":"..","tool":"..","first_seen_us":..,"last_seen_us":..,
+///  "packets":..,"destinations":..,"ports":[..],"pps":..,"coverage":..}
+/// Ports are listed in ascending order, capped at `max_ports` (the full
+/// count stays in "distinct_ports").
+void write_campaign_json(std::ostream& os, const core::Campaign& campaign,
+                         std::size_t max_ports = 64);
+
+/// Writes every campaign as JSON lines.
+void write_campaigns_jsonl(std::ostream& os, std::span<const core::Campaign> campaigns,
+                           std::size_t max_ports = 64);
+
+/// Writes the run's counters as one JSON object.
+void write_counters_json(std::ostream& os, const core::PipelineResult& result);
+
+}  // namespace synscan::report

@@ -1,0 +1,45 @@
+#include "report/series.h"
+
+#include <array>
+#include <ostream>
+
+#include "report/table.h"
+
+namespace synscan::report {
+
+void print_cdf(std::ostream& os, const std::string& title, const stats::Ecdf& ecdf,
+               std::size_t max_points) {
+  os << title << " (n=" << ecdf.size() << ")\n";
+  if (ecdf.empty()) {
+    os << "  (empty)\n";
+    return;
+  }
+  for (const auto& point : ecdf.curve(max_points)) {
+    os << "  " << fixed(point.x, 3) << "\t" << fixed(point.f, 4) << '\n';
+  }
+}
+
+void print_cdf_summary(std::ostream& os, const std::string& title,
+                       std::span<const stats::NamedEcdf> series) {
+  static constexpr std::array<double, 6> kQuantiles = {0.10, 0.25, 0.50,
+                                                       0.75, 0.90, 0.99};
+  Table table({"series", "n", "p10", "p25", "p50", "p75", "p90", "p99"});
+  for (const auto& entry : series) {
+    std::vector<std::string> row{entry.name, std::to_string(entry.ecdf.size())};
+    for (const auto q : kQuantiles) {
+      row.push_back(entry.ecdf.empty() ? "-" : fixed(entry.ecdf.value_at_fraction(q), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  os << title << '\n' << table;
+}
+
+void print_csv_series(std::ostream& os, const std::string& name,
+                      std::span<const double> xs, std::span<const double> ys) {
+  const auto n = std::min(xs.size(), ys.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    os << name << ',' << xs[i] << ',' << ys[i] << '\n';
+  }
+}
+
+}  // namespace synscan::report

@@ -1,0 +1,26 @@
+// Figure-series emission: CDF curves and daily series as aligned text or
+// CSV, so bench output can be both eyeballed and re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "stats/ecdf.h"
+
+namespace synscan::report {
+
+/// Prints an ECDF as `x f` pairs (one per line) under a titled header.
+void print_cdf(std::ostream& os, const std::string& title, const stats::Ecdf& ecdf,
+               std::size_t max_points = 24);
+
+/// Prints several named ECDFs at shared probe points (quartile-style
+/// summary: value at 10/25/50/75/90/99%).
+void print_cdf_summary(std::ostream& os, const std::string& title,
+                       std::span<const stats::NamedEcdf> series);
+
+/// Emits `name,x,y` CSV rows for a sequence of (x, y) points.
+void print_csv_series(std::ostream& os, const std::string& name,
+                      std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace synscan::report

@@ -1,0 +1,93 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace synscan::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const auto& cell = c < cells.size() ? cells[c] : std::string{};
+      const auto pad = widths[c] - cell.size();
+      if (c > 0) out << "  ";
+      if (aligns_[c] == Align::kRight) out << std::string(pad, ' ') << cell;
+      else out << cell << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c > 0 ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.render();
+}
+
+std::string percent(double fraction, int decimals) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << fraction * 100.0 << '%';
+  return out.str();
+}
+
+std::string human_count(double value) {
+  const char* suffix = "";
+  double v = value;
+  if (std::fabs(v) >= 1e9) {
+    v /= 1e9;
+    suffix = " B";
+  } else if (std::fabs(v) >= 1e6) {
+    v /= 1e6;
+    suffix = " M";
+  } else if (std::fabs(v) >= 1e3) {
+    v /= 1e3;
+    suffix = " K";
+  }
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(std::fabs(v) >= 100 ? 0 : 1);
+  out << v << suffix;
+  return out.str();
+}
+
+std::string fixed(double value, int decimals) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << value;
+  return out.str();
+}
+
+}  // namespace synscan::report

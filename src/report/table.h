@@ -1,0 +1,48 @@
+// Fixed-width ASCII table rendering for bench and example output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace synscan::report {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, add rows, render. Column widths are
+/// computed from content; numeric-looking cells default to right
+/// alignment unless overridden.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells render empty, extra cells are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Overrides the alignment of one column.
+  void set_align(std::size_t column, Align align);
+
+  /// Renders with a header rule and column separators.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders straight to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// "12.3%" from a fraction; width-stable two-decimal formatting.
+[[nodiscard]] std::string percent(double fraction, int decimals = 1);
+
+/// Human-readable count: 12,345,678 -> "12.3 M".
+[[nodiscard]] std::string human_count(double value);
+
+/// Fixed-decimal double formatting.
+[[nodiscard]] std::string fixed(double value, int decimals = 2);
+
+}  // namespace synscan::report

@@ -1,0 +1,662 @@
+#include "simgen/ecosystem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "enrich/known_scanners.h"
+#include "simgen/rng.h"
+
+namespace synscan::simgen {
+namespace {
+
+using PortTable = std::vector<std::pair<std::uint16_t, double>>;
+
+// ---------------------------------------------------------------------------
+// Calendar helper (days from civil date, Howard Hinnant's algorithm) so
+// every year's window starts at a real date (January 15).
+// ---------------------------------------------------------------------------
+constexpr std::int64_t days_from_civil(int y, unsigned m, unsigned d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+constexpr net::TimeUs window_start(int year) noexcept {
+  return days_from_civil(year, 1, 15) * net::kMicrosPerDay;
+}
+
+// ---------------------------------------------------------------------------
+// Raw per-year calibration seeds (paper values and narrative shares).
+// ---------------------------------------------------------------------------
+struct YearSeed {
+  int year;
+  double window_days;
+  double packets_day;   // paper, packets/day
+  double scans_month;   // paper, scans/month
+  // Tool shares of *scans* (Table 1 bottom block).
+  double masscan_scans, nmap_scans, mirai_scans, zmap_scans;
+  // Packet-budget fractions for the generator's groups.
+  double inst_pkts, masscan_pkts, mirai_pkts, zmap_pkts, nmap_pkts;
+  // Port profiles (Table 1): heads of the three rankings.
+  PortTable by_packets, by_sources, by_scans;
+  double inst_port_factor;   // pre-2023 scaling of org port breadth
+  std::size_t inst_roster;   // organizations active (catalog order)
+  bool inst_stealth;         // 2023+: big orgs drop easy fingerprints
+  std::uint32_t noise_sources;
+  double noise_mirai;
+  double alias_probability;  // co-scan trend, 0.18 (2015) -> 0.87 (2020+)
+  int vertical_over10k;      // one-off >10k-port scans
+  int shard_groups;          // ZMap sharded collaborations
+  int shard_sources;         // sources per sharded scan
+  double zmap_bulk_sources;  // distinct ZMap hosts (paper/100)
+  double inst_recur_heavy;   // days between campaigns, high-rate orgs
+  double inst_recur_light;   // days between campaigns, smaller orgs
+  std::size_t inst_academics;  // academic orgs active (pre-2023)
+};
+
+const YearSeed kSeeds[] = {
+    {2015, 45, 11e6, 33e3, 0.005, 0.317, 0.000, 0.021,
+     0.05, 0.05, 0.00, 0.02, 0.20,
+     {{22, 15.0}, {8080, 8.7}, {3389, 7.1}, {80, 7.0}, {443, 6.0}},
+     {{10073, 33.0}, {3389, 11.3}, {80, 5.8}, {8080, 2.7}, {22555, 2.0}},
+     {{3389, 23.4}, {10073, 23.4}, {80, 4.1}, {8080, 2.7}, {443, 1.9}},
+     0.02, 6, false, 6000, 0.00, 0.18, 1, 0, 0, 8, 20, 40, 2},
+    {2016, 61, 19e6, 38e3, 0.015, 0.128, 0.000, 0.091,
+     0.06, 0.08, 0.00, 0.09, 0.12,
+     {{22, 8.2}, {80, 6.0}, {3389, 4.5}, {1433, 3.5}, {8080, 2.3}},
+     {{21, 10.2}, {3389, 9.6}, {20012, 5.2}, {80, 3.3}, {8080, 1.4}},
+     {{3389, 19.9}, {21, 6.8}, {20012, 5.4}, {80, 3.8}, {22, 1.9}},
+     0.03, 7, false, 9000, 0.02, 0.25, 1, 0, 0, 12, 15, 30, 3},
+    {2017, 45, 45e6, 252e3, 0.007, 0.026, 0.465, 0.011,
+     0.06, 0.05, 0.50, 0.02, 0.04,
+     {{5358, 14.4}, {7574, 12.1}, {22, 11.2}, {2323, 9.2}, {6789, 6.2}},
+     {{7545, 38.8}, {2323, 25.3}, {5358, 11.5}, {22, 8.0}, {23231, 7.4}},
+     {{7547, 29.5}, {2323, 25.1}, {5358, 9.1}, {22, 5.7}, {6289, 5.4}},
+     0.05, 9, false, 30000, 0.45, 0.30, 2, 0, 0, 10, 12, 25, 3},
+    {2018, 50, 133e6, 137e3, 0.209, 0.032, 0.192, 0.047,
+     0.10, 0.40, 0.12, 0.05, 0.04,
+     {{22, 3.1}, {8545, 1.4}, {3389, 1.1}, {80, 1.0}, {8080, 0.9}},
+     {{8291, 38.8}, {2323, 10.4}, {21, 9.8}, {22, 7.3}, {5555, 3.0}},
+     {{8291, 19.2}, {21, 6.7}, {2323, 6.3}, {22, 4.3}, {3389, 4.1}},
+     0.10, 12, false, 25000, 0.30, 0.40, 3, 0, 0, 14, 8, 16, 4},
+    {2019, 40, 117e6, 238e3, 0.219, 0.036, 0.162, 0.027,
+     0.12, 0.45, 0.08, 0.04, 0.04,
+     {{22, 2.9}, {80, 2.0}, {8080, 1.8}, {81, 1.7}, {3389, 1.6}},
+     {{80, 30.4}, {8080, 30.3}, {2323, 18.8}, {5555, 11.7}, {5900, 8.2}},
+     {{80, 20.2}, {8080, 19.2}, {2323, 9.9}, {5555, 5.5}, {5900, 3.9}},
+     0.15, 15, false, 22000, 0.25, 0.55, 4, 0, 0, 12, 6, 12, 5},
+    {2020, 55, 283e6, 222e3, 0.205, 0.050, 0.149, 0.131,
+     0.15, 0.55, 0.033, 0.13, 0.01,
+     {{3389, 26.0}, {80, 1.0}, {81, 0.9}, {22, 0.8}, {8080, 0.8}},
+     {{80, 35.9}, {8080, 30.4}, {81, 13.2}, {5555, 11.0}, {2323, 9.1}},
+     {{80, 16.0}, {8080, 13.8}, {81, 4.6}, {5555, 4.1}, {2323, 2.8}},
+     0.25, 18, false, 20000, 0.20, 0.87, 9, 1, 32, 16, 4, 8, 6},
+    {2021, 45, 281e6, 290e3, 0.251, 0.068, 0.024, 0.092,
+     0.15, 0.60, 0.010, 0.09, 0.005,
+     {{6379, 1.4}, {22, 1.3}, {80, 1.1}, {3389, 0.8}, {8080, 0.8}},
+     {{80, 46.0}, {8080, 42.0}, {5555, 13.5}, {81, 9.8}, {8443, 8.3}},
+     {{80, 13.6}, {8080, 12.4}, {5555, 3.0}, {81, 1.8}, {8443, 1.6}},
+     0.40, 22, false, 18000, 0.08, 0.87, 6, 1, 48, 18, 3, 6, 6},
+    {2022, 61, 285e6, 777e3, 0.099, 0.023, 0.010, 0.037,
+     0.15, 0.60, 0.008, 0.06, 0.005,
+     {{22, 2.7}, {80, 1.4}, {443, 1.3}, {2375, 1.3}, {2376, 1.2}},
+     {{80, 48.5}, {8080, 41.9}, {5555, 13.0}, {81, 10.2}, {8443, 7.7}},
+     {{80, 4.4}, {8080, 3.9}, {5555, 1.0}, {81, 0.7}, {8443, 0.7}},
+     0.60, 26, false, 16000, 0.06, 0.87, 8, 2, 48, 20, 2, 5, 8},
+    {2023, 35, 402e6, 727e3, 0.002, 0.00004, 0.390, 0.220,
+     0.30, 0.10, 0.020, 0.15, 0.001,
+     {{22, 1.8}, {8080, 1.5}, {80, 1.5}, {3389, 1.3}, {443, 1.1}},
+     {{80, 30.6}, {8080, 27.1}, {52869, 17.7}, {60023, 17.4}, {2323, 11.5}},
+     {{2323, 0.13}, {80, 0.12}, {443, 0.11}, {22, 0.10}, {8080, 0.10}},
+     1.00, 36, true, 20000, 0.50, 0.87, 10, 32, 8, 258, 1, 3, 8},
+    {2024, 29, 345e6, 1.3e6, 0.002, 0.00006, 0.053, 0.590,
+     0.30, 0.05, 0.010, 0.25, 0.001,
+     {{3389, 2.2}, {22, 1.8}, {80, 1.5}, {443, 1.2}, {8080, 1.2}},
+     {{80, 37.4}, {8080, 29.0}, {443, 16.2}, {2323, 12.1}, {5900, 10.5}},
+     {{80, 0.81}, {3389, 0.73}, {443, 0.72}, {8080, 0.72}, {22, 0.70}},
+     1.00, 40, true, 15000, 0.10, 0.87, 12, 29, 13, 410, 1, 3, 8},
+};
+
+const YearSeed& seed_for(int year) {
+  for (const auto& seed : kSeeds) {
+    if (seed.year == year) return seed;
+  }
+  throw std::invalid_argument("year_config: year outside 2015-2024");
+}
+
+// The long-tail service ports appended to every head table.
+constexpr std::uint16_t kCommonPorts[] = {
+    21,    25,    53,    110,   111,   135,   139,   143,   161,  179,  389,
+    465,   500,   502,   587,   631,   636,   873,   993,   995,  1080, 1194,
+    1433,  1521,  1723,  1883,  2049,  2222,  2375,  2376,  3128, 3306, 3389,
+    4443,  5000,  5060,  5432,  5555,  5601,  5672,  5900,  5984, 6379, 6443,
+    7001,  7547,  8000,  8081,  8089,  8291,  8443,  8545,  8883, 8888, 9000,
+    9090,  9200,  9300,  10000, 11211, 27017, 37215, 49152, 52869, 60023};
+
+/// Builds a weighted table: the head entries keep their (percent) weights
+/// and `tail_weight` percent is spread over the common ports, decaying by
+/// rank.
+PortTable with_tail(PortTable head, double tail_weight) {
+  double harmonic = 0.0;
+  for (std::size_t i = 0; i < std::size(kCommonPorts); ++i) {
+    harmonic += 1.0 / static_cast<double>(i + 1);
+  }
+  std::size_t rank = 1;
+  for (const auto port : kCommonPorts) {
+    const bool in_head =
+        std::any_of(head.begin(), head.end(),
+                    [port](const auto& entry) { return entry.first == port; });
+    if (!in_head) {
+      head.emplace_back(port,
+                        tail_weight / (static_cast<double>(rank) * harmonic));
+    }
+    ++rank;
+  }
+  return head;
+}
+
+/// Median of a lognormal with multiplicative sigma `s` whose *mean* must
+/// equal budget / count.
+double median_for_budget(double budget, double count, double sigma) {
+  if (count <= 0.0) return 150.0;
+  const double ln_s = std::log(sigma);
+  const double mean = budget / count;
+  return std::max(150.0, mean / std::exp(0.5 * ln_s * ln_s));
+}
+
+/// Ports an organization covers in a given year.
+std::uint32_t org_ports_in_year(const enrich::KnownScannerSpec& org, int year,
+                                double factor) {
+  if (year >= 2024) return org.ports_2024;
+  if (year == 2023) return org.ports_2023;
+  if (org.academic) return org.ports_2023;  // universities do not grow
+  const auto scaled = static_cast<std::uint32_t>(
+      std::round(static_cast<double>(org.ports_2023) * factor));
+  return std::max<std::uint32_t>(3, scaled);
+}
+
+}  // namespace
+
+const PaperYearRow& paper_row(int year) {
+  static std::vector<PaperYearRow> rows = [] {
+    std::vector<PaperYearRow> out;
+    for (const auto& seed : kSeeds) {
+      out.push_back({seed.year, seed.packets_day, seed.scans_month, seed.masscan_scans,
+                     seed.nmap_scans, seed.mirai_scans, seed.zmap_scans});
+    }
+    return out;
+  }();
+  for (const auto& row : rows) {
+    if (row.year == year) return row;
+  }
+  throw std::invalid_argument("paper_row: year outside 2015-2024");
+}
+
+YearConfig year_config(int year, double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("year_config: scale must be > 0");
+  const auto& seed = seed_for(year);
+
+  YearConfig config;
+  config.year = year;
+  config.window_days = seed.window_days;
+  config.start_time = window_start(year);
+  config.seed = 0x5ca1ab1eull + static_cast<std::uint64_t>(static_cast<unsigned>(year));
+
+  // The 0.84 factor compensates for the generator's minimum-hits clamp,
+  // which inflates small campaigns; calibrated against measured output.
+  const double total_packets =
+      0.84 * seed.packets_day * seed.window_days / kPacketScale / scale;
+  const double total_campaigns =
+      seed.scans_month / 30.44 * seed.window_days / kScanScale / scale;
+
+  config.port_table = with_tail(seed.by_packets, 12.0);
+  config.noise_port_table = with_tail(seed.by_sources, 18.0);
+  config.port_aliases = {{80, 8080}, {443, 8443}, {22, 2222}, {23, 2323}, {8080, 8081}};
+  config.noise_sources =
+      static_cast<std::uint32_t>(static_cast<double>(seed.noise_sources) / scale);
+  config.noise_mirai_fraction = seed.noise_mirai;
+  // Fig. 3: the share of sources probing more than one port grows from
+  // 17% (2015) to ~35% (2022) and plateaus.
+  config.noise_multiport_fraction = year <= 2015   ? 0.17
+                                    : year == 2016 ? 0.19
+                                    : year == 2017 ? 0.20
+                                    : year == 2018 ? 0.22
+                                    : year == 2019 ? 0.24
+                                    : year == 2020 ? 0.26
+                                    : year == 2021 ? 0.30
+                                                   : 0.35;
+
+  const PortTable by_scans_tail = with_tail(seed.by_scans, 25.0);
+
+  // How much of the bulk scan population targets uniformly random ports:
+  // by 2023/2024 the most-scanned port accounts for <1% of scans
+  // (Table 1), so almost all campaigns spread across the range.
+  const double spread = year >= 2024   ? 0.92
+                        : year == 2023 ? 0.85
+                        : year == 2022 ? 0.30
+                        : year == 2021 ? 0.15
+                        : year == 2020 ? 0.05
+                                       : 0.0;
+  // Heavy-hitter groups keep most of their concentration even in the
+  // spread-out years; their port tables also get a wider tail then.
+  const double heavy_spread = spread * 0.12;
+  const double packet_tail = 10.0 + 40.0 * spread;
+
+  // -------------------------------------------------------------------
+  // Institutional organizations (daily re-scans, §6.6/§6.8, Figs. 8-10).
+  // -------------------------------------------------------------------
+  const auto catalog = enrich::known_scanner_specs();
+  double inst_weight_total = 0.0;
+  std::vector<const enrich::KnownScannerSpec*> roster;
+  std::size_t academics_taken = 0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& org = catalog[i];
+    const auto active_ports = year >= 2024 ? org.ports_2024 : org.ports_2023;
+    if (active_ports == 0 && year < 2024) continue;  // 2024 newcomers
+    if (year < 2023) {
+      if (org.academic) {
+        if (academics_taken >= seed.inst_academics) continue;
+        ++academics_taken;
+      } else if (i >= seed.inst_roster) {
+        continue;
+      }
+    }
+    roster.push_back(&org);
+    inst_weight_total += org.packets_per_second;
+  }
+  const double inst_budget = seed.inst_pkts * total_packets;
+  double inst_campaigns = 0.0;
+  double inst_masscan_campaigns = 0.0;
+  double inst_zmap_campaigns = 0.0;
+
+  for (const auto* org : roster) {
+    GroupSpec group;
+    group.name = "inst:" + std::string(org->name);
+    group.organization = std::string(org->name);
+    group.pool = enrich::ScannerType::kInstitutional;
+    group.sources = 1;
+    const bool heavy = org->packets_per_second >= 80000;
+    group.recur_days = (heavy ? seed.inst_recur_heavy : seed.inst_recur_light) * scale;
+    const double campaigns = seed.window_days / group.recur_days;
+    inst_campaigns += campaigns;
+    const double org_budget =
+        inst_budget * org->packets_per_second / inst_weight_total;
+    group.hits_median = median_for_budget(org_budget, campaigns, 1.3);
+    group.hits_sigma = 1.3;
+    group.pps_median = org->packets_per_second;
+    group.pps_sigma = 1.2;
+
+    const auto ports = org_ports_in_year(*org, year, seed.inst_port_factor);
+    if (org->academic) {
+      // Research scanners target a fixed, HTTPS-heavy port list (§6.7:
+      // 443 is predominantly institutional).
+      static constexpr std::uint16_t kAcademic[] = {443, 80, 22, 8080, 8443, 25, 53,
+                                                    110, 143, 993, 995, 587, 465, 21,
+                                                    3306, 5432, 6379, 9200, 11211, 1433,
+                                                    2222, 8000, 8888, 9090, 10000, 631,
+                                                    636,  873,  5060, 5900, 3389, 135,
+                                                    139,  111,  179,  389,  500,  502,
+                                                    1080, 1194, 1521, 1723};
+      std::vector<std::uint16_t> list(
+          kAcademic, kAcademic + std::min<std::size_t>(ports, std::size(kAcademic)));
+      group.ports = PortPlanSpec::of(std::move(list));
+    } else {
+      group.ports = PortPlanSpec::subset(ports, Rng::hash_label(org->name));
+      // Port-census scanners revisit the popular service ports far more
+      // often than the long tail; HTTPS tops the research agenda
+      // (Fig. 5: 443 is institutional-heavy).
+      group.ports.popular_bias = 0.45;
+      group.ports.popular = {443, 443, 443, 80, 80, 22, 8080, 25, 53, 8443};
+    }
+
+    if (seed.inst_stealth && !org->academic) {
+      group.tool = (Rng::hash_label(org->name) & 1) ? WireTool::kZmapStealth
+                                                    : WireTool::kMasscanStealth;
+    } else if (org->academic) {
+      group.tool = WireTool::kZmap;
+    } else if (year < 2018) {
+      // Before high-speed tooling commoditized, institutions ran bespoke
+      // scanners (Table 1: ZMap/Masscan scan shares are tiny in 2015-17).
+      group.tool = WireTool::kCustom;
+    } else {
+      group.tool =
+          (Rng::hash_label(org->name) & 1) ? WireTool::kZmap : WireTool::kMasscan;
+    }
+    if (group.tool == WireTool::kMasscan) inst_masscan_campaigns += campaigns;
+    if (group.tool == WireTool::kZmap) inst_zmap_campaigns += campaigns;
+    config.groups.push_back(std::move(group));
+  }
+
+  // -------------------------------------------------------------------
+  // ZMap sharded collaborations (§4.1/§6.4): a /24 of sources splitting
+  // one scan; each shard covers the same small slice -> the coverage
+  // mode of Fig. 7/§6.4.
+  // -------------------------------------------------------------------
+  double shard_campaigns = 0.0;
+  for (int g = 0; g < seed.shard_groups; ++g) {
+    GroupSpec group;
+    group.name = "zmap-shard-" + std::to_string(year) + "-" + std::to_string(g);
+    group.tool = WireTool::kZmap;
+    group.pool = g % 2 == 0 ? enrich::ScannerType::kHosting
+                            : enrich::ScannerType::kEnterprise;
+    group.country = enrich::CountryCode(g % 2 == 0 ? "US" : "CN");
+    group.sources = std::max<std::uint32_t>(
+        8, static_cast<std::uint32_t>(static_cast<double>(seed.shard_sources) / scale));
+    group.sharded = true;
+    group.hits_median = 465;  // ~0.65% IPv4 coverage per shard
+    group.hits_sigma = 1.1;
+    group.pps_median = 30000;
+    group.pps_sigma = 1.5;
+    // Each collaboration picks its own port (resolved once per group).
+    group.ports = PortPlanSpec::single();
+    group.port_table_override = with_tail(seed.by_scans, 40.0);
+    group.random_port_probability = year >= 2023 ? 0.7 : 0.2;
+    shard_campaigns += group.sources;
+    config.groups.push_back(std::move(group));
+  }
+
+  // -------------------------------------------------------------------
+  // Bulk tool populations.
+  // -------------------------------------------------------------------
+  const auto bulk = [&](std::string name, WireTool tool, double campaigns,
+                        double packet_budget, double pps_median, double pps_sigma,
+                        double hits_sigma, enrich::ScannerType pool, PortTable table,
+                        std::optional<enrich::CountryCode> country,
+                        std::uint32_t sources, double alias) {
+    if (campaigns < 1.0) return;
+    GroupSpec group;
+    group.name = std::move(name);
+    group.tool = tool;
+    group.pool = pool;
+    group.country = country;
+    group.campaigns = static_cast<std::uint32_t>(campaigns);
+    group.sources = sources != 0 ? sources
+                                 : std::max<std::uint32_t>(
+                                       1, static_cast<std::uint32_t>(campaigns * 0.85));
+    group.hits_median = median_for_budget(packet_budget, campaigns, hits_sigma);
+    group.hits_sigma = hits_sigma;
+    group.pps_median = pps_median;
+    group.pps_sigma = pps_sigma;
+    group.port_table_override = std::move(table);
+    group.alias_probability = alias;
+    group.random_port_probability = spread;
+    config.groups.push_back(std::move(group));
+  };
+
+  // Masscan: few actors, giant scans (81% of packets around 2020-2022).
+  // In 2018 Russia ran >80% of Masscan scans (6.5).
+  const double masscan_campaigns =
+      std::max(0.0, seed.masscan_scans * total_campaigns - inst_masscan_campaigns);
+  const double masscan_budget = seed.masscan_pkts * total_packets;
+  if (year == 2018) {
+    bulk("masscan-ru", WireTool::kMasscan, masscan_campaigns * 0.85,
+         masscan_budget * 0.85, 2600, 4.5, 2.2, enrich::ScannerType::kHosting,
+         with_tail(seed.by_packets, packet_tail), enrich::CountryCode("RU"),
+         std::max<std::uint32_t>(1, static_cast<std::uint32_t>(masscan_campaigns * 0.4)),
+         0.0);
+    bulk("masscan-world", WireTool::kMasscan, masscan_campaigns * 0.15,
+         masscan_budget * 0.15, 2600, 4.5, 2.2, enrich::ScannerType::kHosting,
+         with_tail(seed.by_packets, packet_tail), std::nullopt, 0, 0.0);
+  } else {
+    // Heavy scanning is not a hosting-only business: Table 2 spreads the
+    // packet volume over hosting, residential and unmatched ("unknown")
+    // space.
+    bulk("masscan-host", WireTool::kMasscan, masscan_campaigns * 0.45,
+         masscan_budget * 0.40, 2600, 4.5, 2.2, enrich::ScannerType::kHosting,
+         with_tail(seed.by_packets, packet_tail), std::nullopt,
+         std::max<std::uint32_t>(1, static_cast<std::uint32_t>(masscan_campaigns * 0.2)),
+         0.0);
+    bulk("masscan-res", WireTool::kMasscan, masscan_campaigns * 0.25,
+         masscan_budget * 0.28, 2000, 4.0, 2.2, enrich::ScannerType::kResidential,
+         with_tail(seed.by_packets, packet_tail), std::nullopt, 0, 0.0);
+    bulk("masscan-unk", WireTool::kMasscan, masscan_campaigns * 0.30,
+         masscan_budget * 0.32, 2400, 4.2, 2.2, enrich::ScannerType::kUnknown,
+         with_tail(seed.by_packets, packet_tail), std::nullopt, 0, 0.0);
+  }
+
+  // Mirai-like botnets: many residential bots, slow continuous scans,
+  // one campaign per bot (DHCP churn rotates the address afterwards).
+  const double mirai_campaigns = seed.mirai_scans * total_campaigns;
+  bulk("mirai-botnet", WireTool::kMirai, mirai_campaigns,
+       seed.mirai_pkts * total_packets, 420, 1.8, 1.6,
+       enrich::ScannerType::kResidential, by_scans_tail, std::nullopt,
+       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(mirai_campaigns)), 0.0);
+
+  // ZMap: research-flavored scans, US/CN-biased (6.5), recurring hosts.
+  const double zmap_target = seed.zmap_scans * total_campaigns;
+  const double zmap_bulk =
+      std::max(0.0, zmap_target - shard_campaigns - inst_zmap_campaigns);
+  const auto zmap_sources =
+      static_cast<std::uint32_t>(std::max(2.0, seed.zmap_bulk_sources / scale));
+  bulk("zmap-us", WireTool::kZmap, zmap_bulk * 0.55,
+       seed.zmap_pkts * total_packets * 0.55, 45000, 4.0, 1.8,
+       enrich::ScannerType::kHosting,
+       with_tail({{443, 30}, {80, 25}, {22, 12}, {8080, 8}}, 15.0),
+       enrich::CountryCode("US"), std::max<std::uint32_t>(1, zmap_sources / 2), 0.0);
+  bulk("zmap-cn", WireTool::kZmap, zmap_bulk * 0.45,
+       seed.zmap_pkts * total_packets * 0.45, 45000, 4.0, 1.8,
+       enrich::ScannerType::kHosting,
+       with_tail({{443, 20}, {80, 25}, {22, 15}, {3389, 10}}, 15.0),
+       enrich::CountryCode("CN"), std::max<std::uint32_t>(1, zmap_sources / 2), 0.0);
+
+  // NMap: the old guard; modest scans, surprisingly quick (6.3), with a
+  // slowly *increasing* speed trend, consistently on 22/80/3389.
+  const double nmap_campaigns = seed.nmap_scans * total_campaigns;
+  bulk("nmap-classics", WireTool::kNmap, nmap_campaigns,
+       seed.nmap_pkts * total_packets, 5000.0 + (year - 2015) * 350.0, 1.8, 1.5,
+       enrich::ScannerType::kEnterprise,
+       with_tail({{22, 30}, {80, 25}, {3389, 20}, {21, 8}, {25, 4}}, 13.0),
+       std::nullopt,
+       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(nmap_campaigns / 3)), 0.0);
+  if (!config.groups.empty() && config.groups.back().name == "nmap-classics") {
+    config.groups.back().random_port_probability = 0.0;
+  }
+
+  // China-based RDP/MySQL targeting (5.4).
+  const double cn_campaigns = 0.04 * total_campaigns;
+  bulk("cn-rdp-mysql", WireTool::kCustom, cn_campaigns,
+       (year == 2020 ? 0.10 : 0.03) * total_packets, 900, 2.5, 2.0,
+       enrich::ScannerType::kResidential, {{3389, 60}, {3306, 40}},
+       enrich::CountryCode("CN"),
+       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(cn_campaigns / 2)), 0.0);
+  if (!config.groups.empty() && config.groups.back().name == "cn-rdp-mysql") {
+    config.groups.back().random_port_probability = 0.0;
+  }
+
+  // Enterprise JSON-RPC scanning from FPT space (6.7), 2018 onwards.
+  if (year >= 2018) {
+    const double fpt_campaigns = std::max(1.0, 0.01 * total_campaigns);
+    bulk("fpt-jsonrpc", WireTool::kCustom, fpt_campaigns, 0.01 * total_packets, 20000,
+         2.0, 1.8, enrich::ScannerType::kEnterprise, {{8545, 100}},
+         enrich::CountryCode("VN"),
+         std::max<std::uint32_t>(1, static_cast<std::uint32_t>(fpt_campaigns / 4)),
+         0.0);
+    config.groups.back().random_port_probability = 0.0;
+  }
+
+  // Vertical one-off scans (5.2).
+  for (int v = 0; v < seed.vertical_over10k; ++v) {
+    GroupSpec group;
+    group.name = "vertical-" + std::to_string(year) + "-" + std::to_string(v);
+    group.tool = v % 2 == 0 ? WireTool::kMasscan : WireTool::kZmap;
+    group.pool = enrich::ScannerType::kHosting;
+    group.sources = 1;
+    group.campaigns = 1;
+    const std::uint32_t ports =
+        (year == 2020 && v == 0)
+            ? 54501  // the largest vertical scan the paper records
+            : 10001 + static_cast<std::uint32_t>((v * 7919) % 30000);
+    group.ports = PortPlanSpec::subset(ports, Rng::hash_label(group.name));
+    // The one-off giants keep their *count* under scaling (they are the
+    // physical rarity); their volume shrinks with everything else.
+    group.hits_median = std::max(2500.0, 20000.0 / scale);
+    group.hits_sigma = 1.4;
+    group.pps_median = 300000;  // ~0.3 Gbps wire speed (5.2)
+    group.pps_sigma = 1.6;
+    config.groups.push_back(std::move(group));
+  }
+  // Moderate verticals (>100 ports, ~0.4% of scans).
+  {
+    GroupSpec group;
+    group.name = "vertical-mid-" + std::to_string(year);
+    group.tool = WireTool::kMasscan;
+    group.pool = enrich::ScannerType::kHosting;
+    group.campaigns =
+        std::max<std::uint32_t>(1, static_cast<std::uint32_t>(0.004 * total_campaigns));
+    group.sources = group.campaigns;
+    group.ports = PortPlanSpec::subset(600, Rng::hash_label(group.name));
+    group.hits_median = std::max(1000.0, 4000.0 / scale);
+    group.hits_sigma = 1.8;
+    group.pps_median = 120000;
+    group.pps_sigma = 2.0;
+    config.groups.push_back(std::move(group));
+  }
+
+  // Commodity full-range spray (2021+): the 5.1 "every port receives
+  // probes" background.
+  if (year >= 2021) {
+    GroupSpec group;
+    group.name = "spray-" + std::to_string(year);
+    group.tool = WireTool::kMasscanStealth;
+    group.pool = enrich::ScannerType::kHosting;
+    group.campaigns = static_cast<std::uint32_t>(1.5 * seed.window_days);
+    group.sources = std::max<std::uint32_t>(4, group.campaigns / 8);
+    group.ports = PortPlanSpec::full();
+    group.hits_median = median_for_budget(0.08 * total_packets, group.campaigns, 1.5);
+    group.hits_sigma = 1.5;
+    group.pps_median = 80000;
+    group.pps_sigma = 2.0;
+    config.groups.push_back(std::move(group));
+  }
+
+  // Unicorn: exactly two hosts ever (6.1); one shows up in 2016, one in
+  // 2019.
+  if (year == 2016 || year == 2019) {
+    GroupSpec group;
+    group.name = "unicorn-oddity-" + std::to_string(year);
+    group.tool = WireTool::kUnicorn;
+    group.pool = enrich::ScannerType::kResidential;
+    group.sources = 1;
+    group.campaigns = 1;
+    group.hits_median = 300;
+    group.hits_sigma = 1.2;
+    group.pps_median = 900;
+    group.pps_sigma = 1.3;
+    group.ports = PortPlanSpec::of({1080});
+    config.groups.push_back(std::move(group));
+  }
+
+  // Custom/unfingerprintable remainder.
+  {
+    double assigned = inst_campaigns + shard_campaigns;
+    for (const auto& group : config.groups) {
+      if (group.recur_days == 0.0 && !group.sharded) assigned += group.campaigns;
+    }
+    const double remainder = std::max(10.0, total_campaigns - assigned);
+    const double custom_pkts =
+        std::max(0.03, 1.0 - seed.inst_pkts - seed.masscan_pkts - seed.mirai_pkts -
+                           seed.zmap_pkts - seed.nmap_pkts -
+                           (year >= 2021 ? 0.08 : 0.0)) *
+        total_packets;
+    // Heavy groups keep most of their port-table concentration even in the
+  // spread-out years: the by-packets ranking of Table 1 still shows
+  // visible heads in 2023/2024 while the by-scans ranking is flat.
+  // The paper's heavy tail: a fraction of a percent of the scans carry
+    // the bulk of the traffic (0.28% of scans -> ~80% of packets in
+    // Durumeric et al.). A small "heavy" cohort on the by-packets port
+    // profile carries 70% of the custom budget; the numerous small scans
+    // follow the by-scans profile and shape the scan ranking.
+    const double heavy_count = std::max(2.0, remainder * 0.015);
+    bulk("custom-heavy-host", WireTool::kCustom, heavy_count * 0.4, custom_pkts * 0.28,
+         40000, 3.0, 2.4, enrich::ScannerType::kHosting,
+         with_tail(seed.by_packets, packet_tail), std::nullopt, 0,
+         seed.alias_probability);
+    bulk("custom-heavy-res", WireTool::kCustom, heavy_count * 0.3, custom_pkts * 0.21,
+         30000, 3.0, 2.4, enrich::ScannerType::kResidential,
+         with_tail(seed.by_packets, packet_tail), std::nullopt, 0,
+         seed.alias_probability);
+    bulk("custom-heavy-unk", WireTool::kCustom, heavy_count * 0.3, custom_pkts * 0.21,
+         35000, 3.0, 2.4, enrich::ScannerType::kUnknown,
+         with_tail(seed.by_packets, packet_tail), std::nullopt, 0,
+         seed.alias_probability);
+    const double small = std::max(8.0, remainder - heavy_count);
+    bulk("custom-res", WireTool::kCustom, small * 0.45, custom_pkts * 0.30 * 0.45, 450,
+         2.2, 1.8, enrich::ScannerType::kResidential, by_scans_tail, std::nullopt,
+         std::max<std::uint32_t>(1, static_cast<std::uint32_t>(small * 0.45)),
+         seed.alias_probability);
+    bulk("custom-host", WireTool::kCustom, small * 0.35, custom_pkts * 0.30 * 0.35, 1600,
+         3.0, 1.8, enrich::ScannerType::kHosting, by_scans_tail, std::nullopt, 0,
+         seed.alias_probability);
+    bulk("custom-ent", WireTool::kCustom, small * 0.12, custom_pkts * 0.30 * 0.12, 260,
+         2.0, 1.8, enrich::ScannerType::kEnterprise, by_scans_tail, std::nullopt, 0,
+         seed.alias_probability);
+    bulk("custom-unk", WireTool::kCustom, small * 0.08, custom_pkts * 0.30 * 0.08, 800,
+         2.5, 1.8, enrich::ScannerType::kUnknown, by_scans_tail, std::nullopt, 0,
+         seed.alias_probability);
+  }
+
+  // Heavy-hitter groups keep most of their port-table concentration in
+  // the spread-out years; the flat by-scans ranking comes from the far
+  // more numerous small scans.
+  for (auto& group : config.groups) {
+    if (group.name.rfind("masscan", 0) == 0 ||
+        group.name.rfind("custom-heavy", 0) == 0) {
+      group.random_port_probability = heavy_spread;
+    }
+  }
+
+  // Ambient disclosure events (the §4.3 dynamics are present every year
+  // after 2017; the dedicated Fig. 1 study uses disclosure_study_config).
+  if (year >= 2018) {
+    config.events.push_back({"cve-" + std::to_string(year) + "-a",
+                             static_cast<std::uint16_t>(7000 + year), 8.0,
+                             static_cast<std::uint32_t>(0.05 * total_campaigns), 3.5,
+                             600});
+  }
+
+  return config;
+}
+
+std::vector<YearConfig> all_year_configs(double scale) {
+  std::vector<YearConfig> configs;
+  configs.reserve(std::size(kSeeds));
+  for (const auto& seed : kSeeds) {
+    configs.push_back(year_config(seed.year, scale));
+  }
+  return configs;
+}
+
+YearConfig disclosure_study_config(double scale) {
+  auto config = year_config(2020, scale);
+  config.events.clear();
+  // Ten staggered disclosures on distinct, otherwise-quiet ports.
+  constexpr std::uint16_t kEventPorts[] = {7001, 9200, 5601, 2375,  6443,
+                                           8291, 4443, 1883, 11211, 37215};
+  double day = 10.0;
+  const auto surge = static_cast<std::uint32_t>(180.0 / scale);
+  int index = 0;
+  for (const auto port : kEventPorts) {
+    config.events.push_back({"event-" + std::to_string(index), port, day,
+                             std::max<std::uint32_t>(30, surge),
+                             2.5 + 0.4 * index, 500});
+    // A small pre-disclosure baseline on each event port, so the Fig. 1
+    // multipliers are measured against real activity, not an empty port.
+    // The bulk groups draw from their override tables, so the baseline
+    // has to be injected there.
+    config.port_table.emplace_back(port, 0.35);
+    for (auto& group : config.groups) {
+      if (!group.port_table_override.empty()) {
+        group.port_table_override.emplace_back(port, 0.6);
+      }
+    }
+    day += 2.0;
+    ++index;
+  }
+  return config;
+}
+
+}  // namespace synscan::simgen

@@ -1,0 +1,49 @@
+// Calibrated per-year ecosystem configurations (2015–2024).
+//
+// Each YearConfig encodes the paper's Table 1 column and the narrative
+// of §4–§6 at a documented scale: packet volumes at 1/kPacketScale and
+// campaign counts at 1/kScanScale of the paper's. Shares, rankings, CDF
+// shapes, correlations and trends are scale-invariant; EXPERIMENTS.md
+// records paper-vs-measured values.
+#pragma once
+
+#include <vector>
+
+#include "simgen/spec.h"
+
+namespace synscan::simgen {
+
+/// Packet volumes are generated at 1/2000 of the paper's.
+inline constexpr double kPacketScale = 2000.0;
+/// Campaign counts are generated at 1/250 of the paper's.
+inline constexpr double kScanScale = 250.0;
+
+/// All measurement years in the study.
+inline constexpr int kFirstYear = 2015;
+inline constexpr int kLastYear = 2024;
+
+/// The calibrated configuration for one year (2015..2024). `scale`
+/// divides volumes further (scale = 2 halves packets and campaigns) for
+/// quick runs; 1.0 is the calibrated default.
+[[nodiscard]] YearConfig year_config(int year, double scale = 1.0);
+
+/// All ten years.
+[[nodiscard]] std::vector<YearConfig> all_year_configs(double scale = 1.0);
+
+/// A dedicated window with ten staggered vulnerability-disclosure events
+/// on distinct ports, for the Fig. 1 decay study.
+[[nodiscard]] YearConfig disclosure_study_config(double scale = 1.0);
+
+/// Paper values of Table 1 for side-by-side reporting.
+struct PaperYearRow {
+  int year;
+  double packets_per_day;      ///< unscaled, as published
+  double scans_per_month;      ///< unscaled, as published
+  double masscan_scan_share;   ///< fraction of scans
+  double nmap_scan_share;
+  double mirai_scan_share;
+  double zmap_scan_share;
+};
+[[nodiscard]] const PaperYearRow& paper_row(int year);
+
+}  // namespace synscan::simgen

@@ -1,0 +1,405 @@
+#include "simgen/generator.h"
+
+#include "enrich/known_scanners.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace synscan::simgen {
+
+/// Per-plan mutable emission state, parallel to the plan vector.
+struct LiveState {
+  LiveState(const TrafficGenerator* owner, WireTool tool, std::uint64_t wire_seed,
+            std::uint64_t dest_seed, std::uint64_t subset_seed, std::uint32_t dark_count)
+      : wire(tool, Rng(wire_seed)),
+        rng(wire_seed ^ 0x5bd1e995u),
+        dest_perm(dest_seed, dark_count),
+        port_perm(subset_seed, 65536) {
+    (void)owner;
+  }
+
+  WireState wire;
+  Rng rng;
+  Permutation dest_perm;
+  Permutation port_perm;
+  std::uint64_t emitted = 0;
+};
+
+TrafficGenerator::TrafficGenerator(YearConfig config,
+                                   const telescope::Telescope& telescope,
+                                   const enrich::InternetRegistry& registry)
+    : config_(std::move(config)), telescope_(&telescope), registry_(&registry) {
+  dark_ = telescope_->dark_addresses();
+  if (dark_.empty()) throw std::invalid_argument("TrafficGenerator: empty telescope");
+
+  port_values_.reserve(config_.port_table.size());
+  port_weights_.reserve(config_.port_table.size());
+  for (const auto& [port, weight] : config_.port_table) {
+    port_values_.push_back(port);
+    port_weights_.push_back(weight);
+  }
+
+  Rng rng(config_.seed);
+  for (const auto& group : config_.groups) expand_group(group, rng);
+  for (const auto& event : config_.events) expand_event(event, rng);
+  stats_.planned_campaigns = plans_.size();
+  expand_noise(rng);
+}
+
+net::Ipv4Address TrafficGenerator::pick_source(const GroupSpec& group, Rng& rng) const {
+  if (!group.organization.empty()) {
+    const auto* spec = enrich::find_known_scanner(group.organization);
+    if (spec == nullptr) {
+      throw std::invalid_argument("unknown institutional organization: " +
+                                  group.organization);
+    }
+    const auto size = spec->prefix.size();
+    return spec->prefix.at(2 + rng.uniform(size - 4));
+  }
+  if (group.pool == enrich::ScannerType::kUnknown) {
+    // Space the synthetic registry does not cover (8.0.0.0/7): sources
+    // that enrich to "unknown", like the paper's unmatched addresses.
+    return net::Ipv4Address(0x08000000u + rng.next_u32() % 0x02000000u);
+  }
+  auto pools = registry_->records_of(group.pool);
+  if (group.country) {
+    std::vector<const enrich::PrefixRecord*> filtered;
+    for (const auto* rec : pools) {
+      if (rec->country == *group.country) filtered.push_back(rec);
+    }
+    if (!filtered.empty()) pools = std::move(filtered);
+  }
+  if (pools.empty()) throw std::logic_error("no source pool for group " + group.name);
+  const auto* pool = pools[rng.uniform(pools.size())];
+  // Avoid network/broadcast edges of the pool.
+  return pool->prefix.at(2 + rng.uniform(pool->prefix.size() - 4));
+}
+
+std::vector<std::uint16_t> TrafficGenerator::resolve_single_port(
+    const GroupSpec& group, Rng& rng) const {
+  std::uint16_t port = 80;
+  if (!group.port_table_override.empty()) {
+    std::vector<double> weights;
+    weights.reserve(group.port_table_override.size());
+    for (const auto& [unused, weight] : group.port_table_override) weights.push_back(weight);
+    port = group.port_table_override[rng.weighted(weights)].first;
+  } else if (!port_values_.empty()) {
+    port = port_values_[rng.weighted(port_weights_)];
+  }
+  if (group.random_port_probability > 0.0 && rng.bernoulli(group.random_port_probability)) {
+    return {static_cast<std::uint16_t>(1 + rng.uniform(65535))};
+  }
+  const double alias_probability = group.alias_probability;
+  if (alias_probability > 0.0 && rng.bernoulli(alias_probability)) {
+    for (const auto& [base, alias] : config_.port_aliases) {
+      if (base == port) return {port, alias};
+    }
+  }
+  return {port};
+}
+
+void TrafficGenerator::expand_group(const GroupSpec& group, Rng& rng) {
+  const double p_hit =
+      static_cast<double>(dark_.size()) / 4294967296.0;
+  const auto window_us = config_.window_length_us();
+
+  // Materialize the group's source addresses.
+  std::vector<net::Ipv4Address> sources;
+  sources.reserve(group.sources);
+  for (std::uint32_t i = 0; i < group.sources; ++i) {
+    sources.push_back(pick_source(group, rng));
+  }
+
+  const auto make_plan = [&](net::Ipv4Address source, net::TimeUs start) {
+    Plan plan;
+    plan.source = source;
+    plan.tool = group.tool;
+    plan.start = config_.start_time + start;
+
+    double hits = rng.lognormal(group.hits_median, group.hits_sigma);
+    hits = std::clamp(hits, 120.0, 5.0 * static_cast<double>(dark_.size()));
+    const double pps = std::max(150.0, rng.lognormal(group.pps_median, group.pps_sigma));
+    plan.mean_gap_us = 1e6 / (pps * p_hit);
+    // Keep campaigns within ~2 windows so rates stay as planned.
+    const double max_hits =
+        2.0 * static_cast<double>(window_us) / plan.mean_gap_us;
+    plan.hits = static_cast<std::uint64_t>(std::max(120.0, std::min(hits, max_hits)));
+
+    switch (group.ports.choice) {
+      case PortChoice::kWeightedSingle:
+        plan.port_list = resolve_single_port(group, rng);
+        break;
+      case PortChoice::kList:
+        plan.port_list = group.ports.list;
+        break;
+      case PortChoice::kSubset:
+      case PortChoice::kFullRange:
+        plan.subset_size = std::max<std::uint32_t>(1, group.ports.subset_size);
+        plan.subset_seed = group.ports.subset_seed != 0
+                               ? group.ports.subset_seed
+                               : Rng::hash_label(group.name);
+        plan.port_offset = rng.next_u32();
+        plan.popular_bias = group.ports.popular_bias;
+        plan.popular = group.ports.popular;
+        break;
+    }
+    plan.dest_seed = rng.next_u64();
+    plan.dest_offset = rng.next_u32();
+    plan.wire_seed = rng.next_u64();
+    plans_.push_back(std::move(plan));
+  };
+
+  if (group.recur_days > 0.0) {
+    const auto recur_us =
+        static_cast<net::TimeUs>(group.recur_days * static_cast<double>(net::kMicrosPerDay));
+    for (const auto source : sources) {
+      net::TimeUs t = static_cast<net::TimeUs>(rng.uniform_real() *
+                                               static_cast<double>(recur_us));
+      while (t < window_us) {
+        make_plan(source, t);
+        // ~10% cadence jitter around the nominal recurrence.
+        t += static_cast<net::TimeUs>(static_cast<double>(recur_us) *
+                                      rng.uniform_real(0.9, 1.1));
+      }
+    }
+    return;
+  }
+
+  if (group.sharded) {
+    // One logical scan split across the group's sources: shared start,
+    // shared target port, and — like the paper's /24 of collaborating
+    // academic scanners (§6.4) — sources drawn from a single subnet.
+    const auto anchor = sources.empty() ? pick_source(group, rng) : sources.front();
+    const auto subnet_base = anchor.value() & 0xffffff00u;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      sources[i] = net::Ipv4Address(subnet_base + 2 +
+                                    static_cast<std::uint32_t>(i % 250));
+    }
+    const auto t0 = static_cast<net::TimeUs>(rng.uniform_real(0.1, 0.7) *
+                                             static_cast<double>(window_us));
+    GroupSpec pinned = group;
+    if (pinned.ports.choice == PortChoice::kWeightedSingle) {
+      pinned.ports = PortPlanSpec::of(resolve_single_port(group, rng));
+    }
+    for (const auto source : sources) {
+      const auto jitter =
+          static_cast<net::TimeUs>(rng.uniform_real() * 60.0 * 1e6);
+      Plan plan;
+      plan.source = source;
+      plan.tool = pinned.tool;
+      plan.start = config_.start_time + t0 + jitter;
+      double hits = rng.lognormal(pinned.hits_median, pinned.hits_sigma);
+      plan.hits = static_cast<std::uint64_t>(std::clamp(hits, 120.0, 5.0 * static_cast<double>(dark_.size())));
+      const double pps = std::max(150.0, rng.lognormal(pinned.pps_median, pinned.pps_sigma));
+      plan.mean_gap_us = 1e6 / (pps * p_hit);
+      plan.port_list = pinned.ports.list;
+      plan.dest_seed = rng.next_u64();
+      plan.dest_offset = rng.next_u32();
+      plan.wire_seed = rng.next_u64();
+      plans_.push_back(std::move(plan));
+    }
+    return;
+  }
+
+  for (std::uint32_t c = 0; c < group.campaigns; ++c) {
+    const auto source = sources[c % sources.size()];
+    const auto start = static_cast<net::TimeUs>(rng.uniform_real() * 0.95 *
+                                                static_cast<double>(window_us));
+    make_plan(source, start);
+  }
+}
+
+void TrafficGenerator::expand_event(const EventSpec& event, Rng& rng) {
+  const double p_hit = static_cast<double>(dark_.size()) / 4294967296.0;
+  const auto window_us = config_.window_length_us();
+  for (std::uint32_t c = 0; c < event.surge_campaigns; ++c) {
+    Plan plan;
+    // Opportunistic actors pile on right after the disclosure and lose
+    // interest exponentially (§4.3).
+    const double day = event.day + rng.exponential(event.decay_days);
+    const auto start =
+        static_cast<net::TimeUs>(day * static_cast<double>(net::kMicrosPerDay));
+    if (start >= window_us) continue;
+    plan.start = config_.start_time + start;
+
+    const double roll = rng.uniform_real();
+    GroupSpec shim;  // reuse the pool-based source picker
+    shim.pool = roll < 0.5 ? enrich::ScannerType::kResidential
+                           : enrich::ScannerType::kHosting;
+    shim.name = event.name;
+    plan.source = pick_source(shim, rng);
+    plan.tool = roll < 0.35   ? WireTool::kMasscan
+                : roll < 0.65 ? WireTool::kCustom
+                              : WireTool::kZmap;
+    const double hits = std::clamp(rng.lognormal(event.hits_median, 2.0), 120.0,
+                                   2.0 * static_cast<double>(dark_.size()));
+    plan.hits = static_cast<std::uint64_t>(hits);
+    const double pps = std::max(500.0, rng.lognormal(8000.0, 2.5));
+    plan.mean_gap_us = 1e6 / (pps * p_hit);
+    plan.port_list = {event.port};
+    plan.dest_seed = rng.next_u64();
+    plan.dest_offset = rng.next_u32();
+    plan.wire_seed = rng.next_u64();
+    plans_.push_back(std::move(plan));
+  }
+}
+
+void TrafficGenerator::expand_noise(Rng& rng) {
+  const double p_hit = static_cast<double>(dark_.size()) / 4294967296.0;
+  const auto window_us = config_.window_length_us();
+
+  std::vector<std::uint16_t> noise_ports;
+  std::vector<double> noise_weights;
+  const auto& table =
+      config_.noise_port_table.empty() ? config_.port_table : config_.noise_port_table;
+  for (const auto& [port, weight] : table) {
+    noise_ports.push_back(port);
+    noise_weights.push_back(weight);
+  }
+
+  for (std::uint32_t i = 0; i < config_.noise_sources; ++i) {
+    Plan plan;
+    GroupSpec shim;
+    const double roll = rng.uniform_real();
+    shim.pool = roll < 0.75   ? enrich::ScannerType::kResidential
+                : roll < 0.9 ? enrich::ScannerType::kUnknown
+                              : enrich::ScannerType::kEnterprise;
+    shim.name = "noise";
+    if (shim.pool == enrich::ScannerType::kUnknown) {
+      // Unallocated space: synthesize an address outside the plan.
+      plan.source = net::Ipv4Address(0x08000000u + rng.next_u32() % 0x00ffffffu);
+    } else {
+      plan.source = pick_source(shim, rng);
+    }
+    plan.tool = rng.bernoulli(config_.noise_mirai_fraction) ? WireTool::kMirai
+                                                            : WireTool::kCustom;
+    const double hits = std::clamp(rng.lognormal(config_.noise_hits_median, 2.0), 1.0, 60.0);
+    plan.hits = static_cast<std::uint64_t>(std::max(1.0, hits));
+    const double pps = std::max(150.0, rng.lognormal(900.0, 2.5));
+    plan.mean_gap_us = 1e6 / (pps * p_hit);
+    const auto port =
+        noise_ports.empty() ? std::uint16_t{80} : noise_ports[rng.weighted(noise_weights)];
+    plan.port_list = {port};
+    if (rng.bernoulli(config_.noise_multiport_fraction)) {
+      // Multi-port chatter: the standard alias first (80 -> 8080 style),
+      // then possibly one or two more table draws.
+      bool aliased = false;
+      for (const auto& [base, alias] : config_.port_aliases) {
+        if (base == port) {
+          plan.port_list.push_back(alias);
+          aliased = true;
+          break;
+        }
+      }
+      if (!aliased && !noise_ports.empty()) {
+        plan.port_list.push_back(noise_ports[rng.weighted(noise_weights)]);
+      }
+      while (plan.port_list.size() < 4 && rng.bernoulli(0.3) && !noise_ports.empty()) {
+        plan.port_list.push_back(noise_ports[rng.weighted(noise_weights)]);
+      }
+      // Spread hits so each port is actually observed.
+      plan.hits = std::max<std::uint64_t>(plan.hits, plan.port_list.size() * 2);
+    }
+    plan.start = config_.start_time +
+                 static_cast<net::TimeUs>(rng.uniform_real() * 0.98 *
+                                          static_cast<double>(window_us));
+    plan.dest_seed = rng.next_u64();
+    plan.dest_offset = rng.next_u32();
+    plan.wire_seed = rng.next_u64();
+    plans_.push_back(std::move(plan));
+    ++stats_.planned_noise_sources;
+  }
+}
+
+void TrafficGenerator::emit_scan_frame(const Plan& plan, LiveState& live, net::TimeUs when,
+                                       std::uint64_t index, const FrameSink& sink) {
+  const auto dest_index =
+      live.dest_perm.at(static_cast<std::uint32_t>((plan.dest_offset + index) % dark_.size()));
+  const auto dest = dark_[dest_index];
+
+  std::uint16_t port;
+  if (plan.subset_size == 0) {
+    port = plan.port_list[index % plan.port_list.size()];
+  } else if (!plan.popular.empty() && plan.popular_bias > 0.0 &&
+             live.rng.bernoulli(plan.popular_bias)) {
+    port = plan.popular[live.rng.uniform(plan.popular.size())];
+  } else {
+    port = static_cast<std::uint16_t>(
+        live.port_perm.at(static_cast<std::uint32_t>((plan.port_offset + index) %
+                                                     plan.subset_size)));
+  }
+
+  net::TcpFrameSpec spec;
+  spec.src_ip = plan.source;
+  spec.src_mac = net::MacAddress::local(plan.source.value());
+  spec.dst_mac = net::MacAddress::local(0xfe);
+  live.wire.craft(spec, dest, port);
+
+  frame_.timestamp_us = when;
+  frame_.bytes = net::build_tcp_frame(spec);
+  ++stats_.scan_frames;
+  ++stats_.total_frames;
+  sink(frame_);
+}
+
+void TrafficGenerator::emit_backscatter(net::TimeUs when, Rng& rng, const FrameSink& sink) {
+  const auto dest = dark_[rng.uniform(dark_.size())];
+  const auto victim = net::Ipv4Address(0x30000000u + rng.next_u32() % 0x20000000u);
+  net::TcpFrameSpec spec;
+  spec.src_ip = victim;
+  spec.dst_ip = dest;
+  spec.src_port = static_cast<std::uint16_t>(1 + rng.uniform(65535));
+  spec.dst_port = static_cast<std::uint16_t>(1024 + rng.uniform(60000));
+  spec.sequence = rng.next_u32();
+  spec.ip_id = rng.next_u16();
+  const double roll = rng.uniform_real();
+  if (roll < 0.45) {
+    spec.flags = net::flag_bit(net::TcpFlag::kSyn) | net::flag_bit(net::TcpFlag::kAck);
+  } else if (roll < 0.8) {
+    spec.flags = net::flag_bit(net::TcpFlag::kRst);
+  } else {
+    spec.flags = net::flag_bit(net::TcpFlag::kAck);
+  }
+  frame_.timestamp_us = when;
+  frame_.bytes = net::build_tcp_frame(spec);
+  ++stats_.backscatter_frames;
+  ++stats_.total_frames;
+  sink(frame_);
+}
+
+GeneratorStats TrafficGenerator::run(const FrameSink& sink) {
+  std::vector<LiveState> live;
+  live.reserve(plans_.size());
+  for (const auto& plan : plans_) {
+    live.emplace_back(this, plan.tool, plan.wire_seed, plan.dest_seed, plan.subset_seed,
+                      static_cast<std::uint32_t>(dark_.size()));
+  }
+
+  std::priority_queue<Cursor, std::vector<Cursor>, std::greater<>> heap;
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    heap.push({i, plans_[i].start});
+  }
+
+  Rng noise_rng(config_.seed ^ 0xbacc5cull);
+  while (!heap.empty()) {
+    const auto cursor = heap.top();
+    heap.pop();
+    const auto& plan = plans_[cursor.plan_index];
+    auto& state = live[cursor.plan_index];
+
+    emit_scan_frame(plan, state, cursor.next_time, state.emitted, sink);
+    ++state.emitted;
+    if (state.emitted < plan.hits) {
+      const auto gap =
+          static_cast<net::TimeUs>(state.rng.exponential(plan.mean_gap_us) + 1.0);
+      heap.push({cursor.plan_index, cursor.next_time + gap});
+    }
+    if (config_.backscatter_fraction > 0.0 &&
+        noise_rng.bernoulli(config_.backscatter_fraction)) {
+      emit_backscatter(cursor.next_time + 1, noise_rng, sink);
+    }
+  }
+  return stats_;
+}
+
+}  // namespace synscan::simgen

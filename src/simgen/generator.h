@@ -1,0 +1,103 @@
+// The ecosystem traffic generator.
+//
+// Expands a YearConfig into per-campaign schedules, then emits byte-
+// exact Ethernet/IPv4/TCP frames in global timestamp order through a
+// sink. The generator produces *telescope-visible* traffic directly:
+// for a scanner with Internet-wide rate R and hit probability p (from
+// the telescope's size), probes arrive at rate R*p with exponential
+// inter-arrival jitter — the arrival process a real telescope observes
+// from a random-order scanner.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "enrich/registry.h"
+#include "net/packet.h"
+#include "simgen/permute.h"
+#include "simgen/spec.h"
+#include "telescope/telescope.h"
+
+namespace synscan::simgen {
+
+/// Receives frames in timestamp order. The RawFrame reference is only
+/// valid during the call (the generator reuses its buffer); copy it if
+/// you need to keep it.
+using FrameSink = std::function<void(const net::RawFrame&)>;
+
+/// Generation statistics.
+struct GeneratorStats {
+  std::uint64_t planned_campaigns = 0;
+  std::uint64_t planned_noise_sources = 0;
+  std::uint64_t scan_frames = 0;
+  std::uint64_t backscatter_frames = 0;
+  std::uint64_t total_frames = 0;
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(YearConfig config, const telescope::Telescope& telescope,
+                   const enrich::InternetRegistry& registry);
+  /// The generator keeps pointers; temporaries would dangle.
+  TrafficGenerator(YearConfig, const telescope::Telescope&&,
+                   const enrich::InternetRegistry&) = delete;
+
+  /// Runs the whole window through `sink`. Call once.
+  GeneratorStats run(const FrameSink& sink);
+
+  /// Number of campaigns the expansion planned (before emission).
+  [[nodiscard]] std::uint64_t planned_campaigns() const noexcept { return plans_.size(); }
+
+ private:
+  struct Plan {
+    net::Ipv4Address source;
+    WireTool tool = WireTool::kCustom;
+    net::TimeUs start = 0;
+    std::uint64_t hits = 0;
+    double mean_gap_us = 1e6;
+    // Port plan: either a small explicit list, or a permuted subset.
+    std::vector<std::uint16_t> port_list;
+    std::uint32_t subset_size = 0;   ///< 0 means "use port_list"
+    std::uint64_t subset_seed = 0;
+    std::uint32_t port_offset = 0;
+    double popular_bias = 0.0;
+    std::vector<std::uint16_t> popular;
+    std::uint64_t dest_seed = 0;
+    std::uint32_t dest_offset = 0;
+    std::uint64_t wire_seed = 0;
+  };
+
+  struct Cursor {
+    std::size_t plan_index;
+    net::TimeUs next_time;
+    bool operator>(const Cursor& other) const noexcept {
+      return next_time > other.next_time;
+    }
+  };
+
+  void expand_group(const GroupSpec& group, Rng& rng);
+  void expand_event(const EventSpec& event, Rng& rng);
+  void expand_noise(Rng& rng);
+
+  [[nodiscard]] net::Ipv4Address pick_source(const GroupSpec& group, Rng& rng) const;
+  [[nodiscard]] std::vector<std::uint16_t> resolve_single_port(const GroupSpec& group,
+                                                               Rng& rng) const;
+
+  void emit_scan_frame(const Plan& plan, struct LiveState& live, net::TimeUs when,
+                       std::uint64_t index, const FrameSink& sink);
+  void emit_backscatter(net::TimeUs when, Rng& rng, const FrameSink& sink);
+
+  YearConfig config_;
+  const telescope::Telescope* telescope_;
+  const enrich::InternetRegistry* registry_;
+  std::vector<net::Ipv4Address> dark_;
+  std::vector<Plan> plans_;
+  std::vector<double> port_weights_;
+  std::vector<std::uint16_t> port_values_;
+  GeneratorStats stats_;
+  net::RawFrame frame_;  ///< reused emission buffer
+};
+
+}  // namespace synscan::simgen

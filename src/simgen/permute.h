@@ -1,0 +1,69 @@
+// Keyed bijective permutations of small integer domains.
+//
+// Scanners like ZMap famously iterate a random permutation of the target
+// space so probes arrive in shuffled order without keeping state. The
+// simulator uses the same trick: a keyed balanced Feistel network over
+// the smallest covering even-bit power of two, with cycle-walking to
+// restrict it to [0, n). Bijectivity guarantees exact
+// distinct-destination and distinct-port counts, which the campaign
+// thresholds depend on.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace synscan::simgen {
+
+/// A keyed permutation of [0, n).
+class Permutation {
+ public:
+  /// `n` must be >= 1.
+  Permutation(std::uint64_t key, std::uint32_t n) noexcept : key_(key), n_(n) {
+    unsigned bits = n <= 1 ? 2 : std::bit_width(n - 1);
+    if (bits % 2 != 0) ++bits;  // balanced Feistel needs equal halves
+    if (bits < 2) bits = 2;
+    half_ = bits / 2;
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return n_; }
+
+  /// The image of `i` (i < n). Cycle-walks until the value lands in
+  /// range; the domain is < 4n, so the expected walk is short.
+  [[nodiscard]] std::uint32_t at(std::uint32_t i) const noexcept {
+    std::uint32_t x = i;
+    do {
+      x = feistel(x);
+    } while (x >= n_);
+    return x;
+  }
+
+ private:
+  /// Four-round balanced Feistel over 2 * half_ bits.
+  [[nodiscard]] std::uint32_t feistel(std::uint32_t x) const noexcept {
+    const std::uint32_t mask = (1u << half_) - 1;
+    std::uint32_t l = (x >> half_) & mask;
+    std::uint32_t r = x & mask;
+    for (int round = 0; round < 4; ++round) {
+      const auto f = static_cast<std::uint32_t>(
+                         mix(key_ ^ (static_cast<std::uint64_t>(round) << 32) ^ r)) &
+                     mask;
+      const std::uint32_t next_r = l ^ f;
+      l = r;
+      r = next_r;
+    }
+    return (l << half_) | r;
+  }
+
+  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t v) noexcept {
+    v += 0x9e3779b97f4a7c15ull;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+  }
+
+  std::uint64_t key_;
+  std::uint32_t n_;
+  unsigned half_;
+};
+
+}  // namespace synscan::simgen

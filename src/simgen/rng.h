@@ -1,0 +1,138 @@
+// Deterministic pseudo-random generator for the traffic simulator.
+//
+// xoshiro256** seeded via SplitMix64. Self-contained (no <random>
+// engines) so that generated datasets are bit-reproducible across
+// standard libraries and platforms — a requirement for the experiment
+// benches, whose outputs are compared against recorded values.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <string_view>
+
+namespace synscan::simgen {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Derives an independent stream from this seed and a label; used to
+  /// give each simulated actor its own generator.
+  [[nodiscard]] Rng fork(std::uint64_t label) noexcept {
+    return Rng(next_u64() ^ (label * 0x9e3779b97f4a7c15ull));
+  }
+
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  [[nodiscard]] std::uint32_t next_u32() noexcept {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  [[nodiscard]] std::uint16_t next_u16() noexcept {
+    return static_cast<std::uint16_t>(next_u64() >> 48);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept {
+    // Lemire-style scaling via the 128-bit product, composed from 64-bit
+    // halves to stay within ISO C++ (bias <= 2^-64, irrelevant here).
+    const std::uint64_t x = next_u64();
+    const std::uint64_t x_hi = x >> 32;
+    const std::uint64_t x_lo = x & 0xffffffffull;
+    const std::uint64_t b_hi = bound >> 32;
+    const std::uint64_t b_lo = bound & 0xffffffffull;
+    const std::uint64_t mid = x_hi * b_lo + ((x_lo * b_lo) >> 32);
+    return x_hi * b_hi + (mid >> 32) +
+           ((x_lo * b_hi + (mid & 0xffffffffull)) >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform_real() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform_real();
+  }
+
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform_real() < p; }
+
+  /// Exponential with mean `mean` (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept {
+    double u = uniform_real();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple and
+  /// deterministic).
+  [[nodiscard]] double normal() noexcept {
+    double u1 = uniform_real();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform_real();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Log-normal with the given median and multiplicative sigma (> 1
+  /// spreads, 1 collapses to the median).
+  [[nodiscard]] double lognormal(double median, double sigma) noexcept {
+    return median * std::exp(std::log(sigma) * normal());
+  }
+
+  /// Index sampled from a weight table (weights need not be normalized;
+  /// an empty or all-zero table yields 0).
+  [[nodiscard]] std::size_t weighted(std::span<const double> weights) noexcept {
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    if (total <= 0.0) return 0;
+    double x = uniform_real() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Stable 64-bit hash of a label (FNV-1a); combined with seeds to
+  /// derive per-entity streams.
+  [[nodiscard]] static constexpr std::uint64_t hash_label(std::string_view label) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : label) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace synscan::simgen

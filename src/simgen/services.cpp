@@ -1,0 +1,62 @@
+#include "simgen/services.h"
+
+#include "simgen/rng.h"
+
+namespace synscan::simgen {
+namespace {
+
+// Deployment profile: (port, relative density of services).
+struct PortDensity {
+  std::uint16_t port;
+  double weight;
+};
+
+constexpr PortDensity kProfile[] = {
+    {80, 20.0},  {443, 18.0}, {22, 12.0},  {21, 4.0},   {25, 3.5},  {53, 3.0},
+    {110, 1.5},  {143, 1.5},  {3306, 2.5}, {3389, 3.0}, {8080, 5.0}, {8443, 3.0},
+    {8000, 1.5}, {8888, 1.0}, {5432, 1.0}, {6379, 0.8}, {9200, 0.6}, {2222, 1.2},
+    {2323, 0.4}, {5900, 1.0}, {1433, 0.8}, {445, 2.0},  {139, 1.0},  {587, 0.8},
+    {993, 1.2},  {995, 0.8},  {465, 0.6},  {8081, 0.8}, {10000, 0.5}, {5060, 0.7},
+};
+
+}  // namespace
+
+std::vector<std::uint16_t> ServiceDeployment::open_ports(net::Ipv4Address host) const {
+  Rng rng(seed_ ^ (static_cast<std::uint64_t>(host.value()) * 0x9e3779b97f4a7c15ull));
+  std::vector<std::uint16_t> ports;
+  // ~8% of random hosts expose at least one service.
+  if (!rng.bernoulli(0.08)) return ports;
+
+  static const std::vector<double> weights = [] {
+    std::vector<double> w;
+    for (const auto& entry : kProfile) w.push_back(entry.weight);
+    return w;
+  }();
+
+  const auto services = 1 + rng.uniform(5);
+  for (std::uint64_t i = 0; i < services; ++i) {
+    if (rng.bernoulli(0.12)) {
+      // LZR's observation: services frequently live on unexpected ports
+      // ("only 3.0% of HTTP services are on their standard port").
+      ports.push_back(static_cast<std::uint16_t>(1024 + rng.uniform(64512)));
+    } else {
+      ports.push_back(kProfile[rng.weighted(weights)].port);
+    }
+  }
+  return ports;
+}
+
+std::vector<std::uint64_t> ServiceDeployment::services_per_port(
+    std::uint32_t sample_size) const {
+  std::vector<std::uint64_t> counts(65536, 0);
+  Rng sampler(seed_ ^ 0x5a5a5a5aull);
+  for (std::uint32_t i = 0; i < sample_size; ++i) {
+    const net::Ipv4Address host(sampler.next_u32());
+    for (const auto port : open_ports(host)) {
+      ++counts[port];
+    }
+  }
+  return counts;
+}
+
+}  // namespace synscan::simgen

@@ -1,0 +1,162 @@
+// Declarative workload specification for the ecosystem simulator.
+//
+// A year's traffic is described as actor groups (who scans, from where,
+// with which tool, how hard, at which ports), disclosure-event shocks,
+// and a background-noise budget. The generator expands this into
+// individual campaign schedules and emits byte-exact frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "enrich/country.h"
+#include "enrich/scanner_type.h"
+#include "net/packet.h"
+#include "simgen/wire.h"
+
+namespace synscan::simgen {
+
+/// How a campaign selects destination ports.
+enum class PortChoice : std::uint8_t {
+  kWeightedSingle,  ///< one port per campaign, drawn from the year's port table
+  kList,            ///< a fixed small list (e.g. {80, 8080})
+  kSubset,          ///< a seeded pseudorandom subset of the full range
+  kFullRange,       ///< all 65,536 ports
+};
+
+struct PortPlanSpec {
+  PortChoice choice = PortChoice::kWeightedSingle;
+  std::vector<std::uint16_t> list;   ///< for kList
+  std::uint32_t subset_size = 0;     ///< for kSubset
+  std::uint64_t subset_seed = 0;     ///< for kSubset; derived from the org name
+  /// For kSubset/kFullRange: probability that a probe targets one of
+  /// `popular` instead of the next subset port. Port-census scanners
+  /// (Censys & co) revisit popular service ports far more often than
+  /// the long tail — which is why 443 is institutional-heavy (Fig. 5).
+  double popular_bias = 0.0;
+  std::vector<std::uint16_t> popular;
+
+  [[nodiscard]] static PortPlanSpec single() { return {}; }
+  [[nodiscard]] static PortPlanSpec of(std::vector<std::uint16_t> ports) {
+    PortPlanSpec spec;
+    spec.choice = PortChoice::kList;
+    spec.list = std::move(ports);
+    return spec;
+  }
+  [[nodiscard]] static PortPlanSpec subset(std::uint32_t size, std::uint64_t seed) {
+    PortPlanSpec spec;
+    spec.choice = PortChoice::kSubset;
+    spec.subset_size = size;
+    spec.subset_seed = seed;
+    return spec;
+  }
+  [[nodiscard]] static PortPlanSpec full() {
+    PortPlanSpec spec;
+    spec.choice = PortChoice::kFullRange;
+    spec.subset_size = 65536;
+    return spec;
+  }
+};
+
+/// One actor group: `sources` hosts in `pool`-type space (optionally of
+/// one country or one institutional organization) launching `campaigns`
+/// campaigns over the window.
+struct GroupSpec {
+  std::string name;
+  WireTool tool = WireTool::kCustom;
+  enrich::ScannerType pool = enrich::ScannerType::kResidential;
+  std::optional<enrich::CountryCode> country;  ///< restrict source pools
+  std::string organization;  ///< institutional org name (selects its prefix)
+
+  std::uint32_t sources = 1;
+  std::uint32_t campaigns = 1;
+
+  /// Telescope hits per campaign: lognormal(median, sigma).
+  double hits_median = 300;
+  double hits_sigma = 2.0;
+
+  /// Internet-wide probe rate: lognormal(median, sigma), pps.
+  double pps_median = 3000;
+  double pps_sigma = 3.0;
+
+  PortPlanSpec ports;
+
+  /// kWeightedSingle draws from this table instead of the year table
+  /// when non-empty. Table 1 ranks ports differently by packets and by
+  /// scans, so heavy-hitter groups and bulk groups target differently.
+  std::vector<std::pair<std::uint16_t, double>> port_table_override;
+
+  /// Probability that a kWeightedSingle campaign also covers the
+  /// alias ports of its drawn port (the §5.1 co-scan trend:
+  /// 80 -> {80, 8080}).
+  double alias_probability = 0.0;
+
+  /// Probability that a kWeightedSingle campaign targets a uniformly
+  /// random port instead of a table draw. Models the 2023/2024 regime
+  /// where scans blanket the port space and the top port's share of
+  /// scans falls below 1% (Table 1).
+  double random_port_probability = 0.0;
+
+  /// > 0: each source repeats its campaign every `recur_days`
+  /// (institutional daily rescans). 0: campaign starts are uniform over
+  /// the window and sources are assigned round-robin.
+  double recur_days = 0.0;
+
+  /// True: all sources of the group shard one logical scan — campaigns
+  /// start together and split the target space (ZMap sharding, §4.1).
+  bool sharded = false;
+};
+
+/// A vulnerability-disclosure shock (§4.3, Fig. 1): interest in `port`
+/// spikes at `day` and decays exponentially.
+struct EventSpec {
+  std::string name;
+  std::uint16_t port = 0;
+  double day = 7;               ///< disclosure day within the window
+  std::uint32_t surge_campaigns = 120;
+  double decay_days = 4.0;      ///< e-folding time of the interest
+  double hits_median = 400;
+};
+
+/// Per-year workload.
+struct YearConfig {
+  int year = 2015;
+  double window_days = 45;
+  net::TimeUs start_time = 0;
+  std::uint64_t seed = 1;
+
+  /// Port table for kWeightedSingle campaigns: (port, weight).
+  std::vector<std::pair<std::uint16_t, double>> port_table;
+  /// Alias map applied with GroupSpec::alias_probability.
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> port_aliases;
+
+  std::vector<GroupSpec> groups;
+  std::vector<EventSpec> events;
+
+  /// Sub-threshold chatter: sources that send a handful of probes and
+  /// never qualify as campaigns (they dominate source counts).
+  std::uint32_t noise_sources = 0;
+  double noise_hits_median = 8;
+  /// Fraction of noise sources carrying the Mirai wire fingerprint
+  /// (models the 2023 source spike of §6.2); the rest look custom.
+  double noise_mirai_fraction = 0.1;
+  /// Fraction of noise sources probing 2-4 ports instead of one (the
+  /// Fig. 3 multi-port share: 17% of sources in 2015, 35% by 2022).
+  double noise_multiport_fraction = 0.2;
+  /// Port table for noise sources; falls back to `port_table` if empty.
+  /// (Table 1 shows "top ports by sources" ranking very differently from
+  /// "by packets" — the source population has its own targeting mix.)
+  std::vector<std::pair<std::uint16_t, double>> noise_port_table;
+
+  /// Non-scan frames (backscatter, UDP, ICMP) as a fraction of scan
+  /// frames, to exercise the sensor's separation logic.
+  double backscatter_fraction = 0.03;
+
+  [[nodiscard]] net::TimeUs window_length_us() const noexcept {
+    return static_cast<net::TimeUs>(window_days * static_cast<double>(net::kMicrosPerDay));
+  }
+};
+
+}  // namespace synscan::simgen

@@ -1,0 +1,92 @@
+#include "simgen/wire.h"
+
+#include "fingerprint/matchers.h"
+
+namespace synscan::simgen {
+namespace {
+
+/// Duplicates a 16-bit token into both halves of a 32-bit word (the
+/// structure NMap encrypts).
+constexpr std::uint32_t dup16(std::uint16_t x) noexcept {
+  return (static_cast<std::uint32_t>(x) << 16) | x;
+}
+
+}  // namespace
+
+WireState::WireState(WireTool tool, Rng rng) : tool_(tool), rng_(rng) {
+  session_secret_ = rng_.next_u32();
+  fixed_source_port_ = static_cast<std::uint16_t>(32768 + rng_.uniform(28000));
+}
+
+void WireState::craft(net::TcpFrameSpec& spec, net::Ipv4Address dst,
+                      std::uint16_t port) noexcept {
+  spec.dst_ip = dst;
+  spec.dst_port = port;
+  spec.flags = net::flag_bit(net::TcpFlag::kSyn);
+  spec.ttl = static_cast<std::uint8_t>(48 + rng_.uniform(80));
+
+  switch (tool_) {
+    case WireTool::kZmap:
+      // ZMap: fixed IP-ID mark, validation data in the sequence number,
+      // fixed source port per invocation.
+      spec.ip_id = fingerprint::kZmapIpId;
+      spec.sequence = rng_.next_u32();
+      spec.src_port = fixed_source_port_;
+      spec.window = 65535;
+      break;
+    case WireTool::kZmapStealth:
+      // Same engine, randomized IP-ID: the §6 "no longer easily
+      // fingerprintable" builds.
+      spec.ip_id = rng_.next_u16();
+      spec.sequence = rng_.next_u32();
+      spec.src_port = fixed_source_port_;
+      spec.window = 65535;
+      break;
+    case WireTool::kMasscan:
+      spec.sequence = rng_.next_u32();
+      spec.ip_id = fingerprint::masscan_ip_id(dst.value(), port, spec.sequence);
+      spec.src_port = static_cast<std::uint16_t>(1024 + rng_.uniform(64512));
+      spec.window = 1024;
+      break;
+    case WireTool::kMasscanStealth:
+      spec.sequence = rng_.next_u32();
+      spec.ip_id = rng_.next_u16();
+      spec.src_port = static_cast<std::uint16_t>(1024 + rng_.uniform(64512));
+      spec.window = 1024;
+      break;
+    case WireTool::kMirai:
+      // Mirai: sequence number equals the destination address.
+      spec.sequence = dst.value();
+      spec.ip_id = rng_.next_u16();
+      spec.src_port = static_cast<std::uint16_t>(1024 + rng_.uniform(64512));
+      spec.window = static_cast<std::uint16_t>(1 + rng_.uniform(60000));
+      break;
+    case WireTool::kNmap: {
+      // NMap: a per-session keystream reused across probes encrypts a
+      // duplicated 16-bit token, so seq1 ^ seq2 has equal halves.
+      const auto nfo = rng_.next_u16();
+      spec.sequence = dup16(nfo) ^ session_secret_;
+      spec.ip_id = rng_.next_u16();
+      spec.src_port = static_cast<std::uint16_t>(32768 + rng_.uniform(32768));
+      spec.window = 1024;
+      break;
+    }
+    case WireTool::kUnicorn:
+      // Unicorn encodes host/port information into the sequence number
+      // under a per-session key; the §3.3 pairwise relation follows.
+      spec.src_port = static_cast<std::uint16_t>(1024 + rng_.uniform(64512));
+      spec.sequence = session_secret_ ^ dst.value() ^ spec.src_port ^
+                      (static_cast<std::uint32_t>(port) << 16);
+      spec.ip_id = rng_.next_u16();
+      spec.window = 4096;
+      break;
+    case WireTool::kCustom:
+      spec.sequence = rng_.next_u32();
+      spec.ip_id = rng_.next_u16();
+      spec.src_port = static_cast<std::uint16_t>(1024 + rng_.uniform(64512));
+      spec.window = static_cast<std::uint16_t>(1 + rng_.uniform(65535));
+      break;
+  }
+}
+
+}  // namespace synscan::simgen

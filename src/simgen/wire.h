@@ -1,0 +1,48 @@
+// On-the-wire probe synthesis per scanning tool.
+//
+// Each tool writes its fingerprint into the headers exactly as §3.3
+// describes, so the generated frames satisfy the same relations the
+// fingerprint matchers test. "Stealth" variants are the post-2022
+// builds whose easy identifiers were removed (§6: by 2024 scanning
+// organizations no longer use the ZMap version with the static IP-ID);
+// they are honest-to-wire but classify as kUnknown.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "simgen/rng.h"
+
+namespace synscan::simgen {
+
+/// The behavior a simulated actor uses when crafting probes.
+enum class WireTool : std::uint8_t {
+  kZmap,
+  kZmapStealth,    ///< randomized IP-ID (not fingerprintable as ZMap)
+  kMasscan,
+  kMasscanStealth, ///< randomized IP-ID (breaks the Masscan relation)
+  kMirai,
+  kNmap,
+  kUnicorn,
+  kCustom,         ///< bespoke tooling: all discriminating fields random
+};
+
+/// Per-source persistent wire state (session secrets, source ports).
+class WireState {
+ public:
+  WireState(WireTool tool, Rng rng);
+
+  /// Fills the tool-determined TCP/IP fields of a probe to
+  /// `dst`:`port`. Source IP/MAC and timing are the caller's concern.
+  void craft(net::TcpFrameSpec& spec, net::Ipv4Address dst, std::uint16_t port) noexcept;
+
+  [[nodiscard]] WireTool tool() const noexcept { return tool_; }
+
+ private:
+  WireTool tool_;
+  Rng rng_;
+  std::uint32_t session_secret_ = 0;   ///< NMap keystream / Unicorn key
+  std::uint16_t fixed_source_port_ = 0;  ///< ZMap-style fixed source port
+};
+
+}  // namespace synscan::simgen

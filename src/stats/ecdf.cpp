@@ -1,0 +1,52 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace synscan::stats {
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::fraction_at_or_below(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::value_at_fraction(double q) const {
+  if (sorted_.empty()) throw std::logic_error("value_at_fraction on empty ECDF");
+  if (q <= 0.0 || q > 1.0) throw std::invalid_argument("fraction outside (0,1]");
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+std::vector<Ecdf::Point> Ecdf::curve(std::size_t max_points) const {
+  std::vector<Point> points;
+  if (sorted_.empty() || max_points == 0) return points;
+
+  // One step per distinct value.
+  std::vector<Point> steps;
+  const auto n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    steps.push_back({sorted_[i], static_cast<double>(i + 1) / n});
+  }
+  if (steps.size() <= max_points) return steps;
+
+  // Uniform subsample of the steps, always keeping the last point
+  // (F = 1) so the curve visibly completes.
+  points.reserve(max_points);
+  const double stride = static_cast<double>(steps.size() - 1) /
+                        static_cast<double>(max_points - 1);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    points.push_back(steps[static_cast<std::size_t>(std::round(stride * static_cast<double>(i)))]);
+  }
+  points.back() = steps.back();
+  return points;
+}
+
+}  // namespace synscan::stats

@@ -1,0 +1,52 @@
+// Empirical cumulative distribution functions.
+//
+// Every CDF figure in the paper (Figs. 2, 3, 6, 7) is an ECDF over a
+// derived per-entity metric; this type is the common currency between the
+// analysis engines and the report layer.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace synscan::stats {
+
+/// An immutable ECDF built from a sample.
+class Ecdf {
+ public:
+  Ecdf() = default;
+
+  /// Builds from a sample (copied, then sorted).
+  explicit Ecdf(std::vector<double> sample);
+
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// F(x): fraction of the sample <= x. 0 for an empty ECDF.
+  [[nodiscard]] double fraction_at_or_below(double x) const noexcept;
+
+  /// Inverse: smallest sample value v with F(v) >= q, for q in (0, 1].
+  [[nodiscard]] double value_at_fraction(double q) const;
+
+  /// The underlying sorted sample.
+  [[nodiscard]] std::span<const double> sorted() const noexcept { return sorted_; }
+
+  /// Evaluation points for plotting: (x, F(x)) at every distinct sample
+  /// value, capped at `max_points` by uniform subsampling of the steps.
+  struct Point {
+    double x;
+    double f;
+  };
+  [[nodiscard]] std::vector<Point> curve(std::size_t max_points = 256) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// A named ECDF, as rendered in multi-series figures.
+struct NamedEcdf {
+  std::string name;
+  Ecdf ecdf;
+};
+
+}  // namespace synscan::stats

@@ -1,0 +1,74 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace synscan::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("LinearHistogram: need hi > lo and bins > 0");
+  }
+}
+
+void LinearHistogram::add(double x, std::uint64_t weight) noexcept {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const auto bin = std::min(counts_.size() - 1,
+                            static_cast<std::size_t>((x - lo_) / width_));
+  counts_[bin] += weight;
+}
+
+double LinearHistogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double LinearHistogram::bin_left(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+std::size_t LinearHistogram::mode_bin() const noexcept {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return it == counts_.end() ? 0 : static_cast<std::size_t>(it - counts_.begin());
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || bins_per_decade == 0) {
+    throw std::invalid_argument("LogHistogram: need 0 < lo < hi, bins_per_decade > 0");
+  }
+  log_lo_ = std::log10(lo);
+  log_width_ = 1.0 / static_cast<double>(bins_per_decade);
+  const double decades = std::log10(hi) - log_lo_;
+  counts_.assign(static_cast<std::size_t>(std::ceil(decades / log_width_)) + 1, 0);
+}
+
+void LogHistogram::add(double x, std::uint64_t weight) noexcept {
+  total_ += weight;
+  if (!(x > 0.0)) {
+    counts_.front() += weight;  // degenerate values saturate low
+    return;
+  }
+  const double pos = (std::log10(x) - log_lo_) / log_width_;
+  const auto bin = static_cast<std::size_t>(
+      std::clamp(pos, 0.0, static_cast<double>(counts_.size() - 1)));
+  counts_[bin] += weight;
+}
+
+double LogHistogram::bin_left(std::size_t bin) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(bin) * log_width_);
+}
+
+double LogHistogram::bin_center(std::size_t bin) const {
+  return std::pow(10.0, log_lo_ + (static_cast<double>(bin) + 0.5) * log_width_);
+}
+
+}  // namespace synscan::stats

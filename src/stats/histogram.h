@@ -1,0 +1,63 @@
+// Linear and logarithmic histograms for rate/coverage distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace synscan::stats {
+
+/// Fixed-width linear histogram over [lo, hi). Out-of-range samples land
+/// in saturating underflow/overflow bins.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Center x-value of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Left edge of a bin.
+  [[nodiscard]] double bin_left(std::size_t bin) const;
+
+  /// Index of the fullest bin (0 if empty).
+  [[nodiscard]] std::size_t mode_bin() const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Log10-spaced histogram over [lo, hi), lo > 0; the natural shape for
+/// scan-speed distributions spanning 1 pps to 10^6+ pps.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins_per_decade = 10);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_left(std::size_t bin) const;
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+ private:
+  double log_lo_;
+  double log_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace synscan::stats

@@ -1,0 +1,78 @@
+#include "stats/hyperloglog.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace synscan::stats {
+namespace {
+
+constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Bias-correction constant alpha_m of the HLL paper.
+double alpha(std::size_t m) noexcept {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(unsigned precision) : precision_(precision) {
+  if (precision < 4 || precision > 16) {
+    throw std::invalid_argument("HyperLogLog: precision outside [4, 16]");
+  }
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::add_hash(std::uint64_t hash) noexcept {
+  const auto index = static_cast<std::size_t>(hash >> (64 - precision_));
+  const std::uint64_t rest = hash << precision_;
+  // Rank: position of the leftmost 1-bit in the remaining bits, 1-based;
+  // an all-zero remainder gets the maximum rank.
+  const auto rank = static_cast<std::uint8_t>(
+      rest == 0 ? 65 - precision_ : std::countl_zero(rest) + 1);
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+void HyperLogLog::add(std::uint64_t value) noexcept { add_hash(mix(value)); }
+
+double HyperLogLog::estimate() const noexcept {
+  const auto m = static_cast<double>(registers_.size());
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (const auto reg : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zeros;
+  }
+  const double raw = alpha(registers_.size()) * m * m / sum;
+  // Small-range correction: linear counting while any register is empty
+  // and the raw estimate is below 2.5m.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    throw std::invalid_argument("HyperLogLog: precision mismatch in merge");
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace synscan::stats

@@ -1,0 +1,190 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace synscan::stats {
+namespace {
+
+// Continued-fraction evaluation of the incomplete beta (Numerical Recipes
+// "betacf" structure, modified Lentz method).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3.0e-12;
+  constexpr double kTiny = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const auto md = static_cast<double>(m);
+    const double m2 = 2.0 * md;
+    double aa = md * (b - md) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + md) * (qab + md) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+// Ranks with average-rank tie handling.
+std::vector<double> ranks(std::span<const double> values) {
+  const auto n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return values[i] < values[j]; });
+  std::vector<double> out(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_two_sided_p(double t, double dof) {
+  if (dof <= 0.0) return 1.0;
+  if (!std::isfinite(t)) return 0.0;
+  const double x = dof / (dof + t * t);
+  // P(|T| > t) = I_{dof/(dof+t^2)}(dof/2, 1/2)
+  return std::clamp(incomplete_beta(dof / 2.0, 0.5, x), 0.0, 1.0);
+}
+
+Correlation pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("pearson: size mismatch");
+  Correlation result;
+  result.n = x.size();
+  if (x.size() < 3) return result;
+
+  const auto n = static_cast<double>(x.size());
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return result;
+
+  result.r = std::clamp(sxy / std::sqrt(sxx * syy), -1.0, 1.0);
+  const double dof = n - 2.0;
+  if (std::fabs(result.r) >= 1.0) {
+    result.p_value = 0.0;
+  } else {
+    const double t = result.r * std::sqrt(dof / (1.0 - result.r * result.r));
+    result.p_value = student_t_two_sided_p(t, dof);
+  }
+  return result;
+}
+
+Correlation spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("spearman: size mismatch");
+  const auto rx = ranks(x);
+  const auto ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+KsTest kolmogorov_smirnov(std::span<const double> a, std::span<const double> b) {
+  KsTest result;
+  if (a.empty() && b.empty()) return result;
+  if (a.empty() || b.empty()) {
+    result.statistic = 1.0;
+    result.p_value = 0.0;
+    return result;
+  }
+
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const auto na = static_cast<double>(sa.size());
+  const auto nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double va = sa[ia];
+    const double vb = sb[ib];
+    if (va <= vb) ++ia;
+    if (vb <= va) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  result.statistic = d;
+
+  // Asymptotic Kolmogorov distribution with the small-sample correction
+  // used by scipy's 'asymp' mode.
+  const double en = std::sqrt(na * nb / (na + nb));
+  const double lambda = (en + 0.12 + 0.11 / en) * d;
+  if (lambda < 1e-3) {
+    // The alternating series does not converge for lambda -> 0; the
+    // distributions are indistinguishable there.
+    result.p_value = 1.0;
+    return result;
+  }
+  double p = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * lambda * lambda * k * k);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  result.p_value = std::clamp(2.0 * p, 0.0, 1.0);
+  return result;
+}
+
+}  // namespace synscan::stats

@@ -1,0 +1,46 @@
+// Hypothesis tests used by the paper's analyses:
+//  - Pearson correlation with a two-sided p-value (t distribution), used
+//    for the trend claims (e.g. ports-per-scan growth R=0.88, top-100
+//    speed trend R=0.356, services-vs-scans R=0.047).
+//  - Two-sample Kolmogorov–Smirnov test, used in §4.3 to verify that the
+//    port-activity distribution returns to "normal" after a disclosure.
+#pragma once
+
+#include <span>
+
+namespace synscan::stats {
+
+/// Result of a correlation test.
+struct Correlation {
+  double r = 0.0;        ///< Pearson product-moment coefficient
+  double p_value = 1.0;  ///< two-sided, from Student's t with n-2 dof
+  std::size_t n = 0;
+};
+
+/// Pearson correlation of paired samples. Requires x.size() == y.size();
+/// returns r = 0, p = 1 for fewer than 3 pairs or zero variance.
+[[nodiscard]] Correlation pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson over ranks, average ranks on ties).
+[[nodiscard]] Correlation spearman(std::span<const double> x, std::span<const double> y);
+
+/// Result of a two-sample KS test.
+struct KsTest {
+  double statistic = 0.0;  ///< sup-norm distance between the two ECDFs
+  double p_value = 1.0;    ///< asymptotic (Kolmogorov distribution)
+};
+
+/// Two-sample KS test. Either sample being empty yields D=1, p=0 unless
+/// both are empty (D=0, p=1).
+[[nodiscard]] KsTest kolmogorov_smirnov(std::span<const double> a,
+                                        std::span<const double> b);
+
+/// Regularized incomplete beta function I_x(a, b) via continued fraction
+/// (Lentz). Exposed for testing; the t-distribution CDF reduces to it.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// Two-sided p-value for a Student-t statistic with `dof` degrees of
+/// freedom.
+[[nodiscard]] double student_t_two_sided_p(double t, double dof);
+
+}  // namespace synscan::stats

@@ -1,0 +1,52 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace synscan::stats {
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("linear_fit: size mismatch");
+  LinearFit fit;
+  fit.n = x.size();
+  if (x.empty()) return fit;
+
+  const auto n = static_cast<double>(x.size());
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    fit.intercept = mean_y;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double annual_growth_rate(std::span<const double> series) {
+  if (series.size() < 2) return 0.0;
+  const double first = series.front();
+  const double last = series.back();
+  if (!(first > 0.0) || !(last > 0.0)) return 0.0;
+  return std::pow(last / first, 1.0 / static_cast<double>(series.size() - 1)) - 1.0;
+}
+
+}  // namespace synscan::stats

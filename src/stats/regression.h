@@ -1,0 +1,29 @@
+// Ordinary least squares for the paper's trend claims.
+#pragma once
+
+#include <span>
+
+namespace synscan::stats {
+
+/// y = slope * x + intercept, with goodness-of-fit.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double predict(double x) const noexcept {
+    return slope * x + intercept;
+  }
+};
+
+/// OLS fit of y on x. Requires x.size() == y.size(); fewer than 2 points
+/// or zero x-variance yields a flat fit at the mean of y.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Compound annual growth rate implied by first/last of a positive
+/// series (the paper's "scan volume increases by 63% per annum"):
+/// (last/first)^(1/(n-1)) - 1. Returns 0 for degenerate input.
+[[nodiscard]] double annual_growth_rate(std::span<const double> series);
+
+}  // namespace synscan::stats

@@ -1,0 +1,60 @@
+#include "stats/telescope_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace synscan::stats {
+
+namespace {
+constexpr double kIpv4Space = 4294967296.0;  // 2^32
+}
+
+TelescopeModel::TelescopeModel(std::uint64_t monitored_addresses)
+    : monitored_(monitored_addresses),
+      p_(static_cast<double>(monitored_addresses) / kIpv4Space) {
+  if (monitored_ == 0 || monitored_ > (std::uint64_t{1} << 32)) {
+    throw std::invalid_argument("TelescopeModel: monitored addresses outside (0, 2^32]");
+  }
+}
+
+double TelescopeModel::detection_probability(double probes) const noexcept {
+  if (probes <= 0.0) return 0.0;
+  // log1p for numerical stability at small p.
+  return 1.0 - std::exp(probes * std::log1p(-p_));
+}
+
+double TelescopeModel::detection_probability_within(double pps, double seconds) const noexcept {
+  return detection_probability(pps * seconds);
+}
+
+double TelescopeModel::probes_for_probability(double target) const {
+  if (!(target > 0.0) || !(target < 1.0)) {
+    throw std::invalid_argument("probes_for_probability: target outside (0,1)");
+  }
+  return std::log1p(-target) / std::log1p(-p_);
+}
+
+double TelescopeModel::seconds_to_detect(double pps, double target) const {
+  if (!(pps > 0.0)) throw std::invalid_argument("seconds_to_detect: pps must be > 0");
+  return probes_for_probability(target) / pps;
+}
+
+double TelescopeModel::expected_hits(double probes) const noexcept {
+  return std::max(0.0, probes) * p_;
+}
+
+double TelescopeModel::extrapolate_probes(double hits) const noexcept {
+  return std::max(0.0, hits) / p_;
+}
+
+double TelescopeModel::coverage_fraction(double hits) const noexcept {
+  return std::clamp(extrapolate_probes(hits) / kIpv4Space, 0.0, 1.0);
+}
+
+double TelescopeModel::extrapolate_pps(double hits, double seconds) const noexcept {
+  if (!(seconds > 0.0)) return 0.0;
+  return extrapolate_probes(hits) / seconds;
+}
+
+}  // namespace synscan::stats

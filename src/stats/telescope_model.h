@@ -1,0 +1,62 @@
+// The geometric telescope-sensitivity model of Moore et al. (2004),
+// which the paper uses in §3.4 to justify its campaign thresholds: a
+// scanner probing random IPv4 addresses at 100 pps is seen by a /16
+// telescope within one hour with probability 99.9%.
+//
+// Model: each probe independently lands in the telescope with probability
+// p = monitored / 2^32, so the number of probes until the first hit is
+// geometric with parameter p.
+#pragma once
+
+#include <cstdint>
+
+namespace synscan::stats {
+
+/// Sensitivity calculator for a telescope monitoring `monitored_addresses`
+/// of the 2^32 IPv4 addresses.
+class TelescopeModel {
+ public:
+  explicit TelescopeModel(std::uint64_t monitored_addresses);
+
+  /// Per-probe hit probability p.
+  [[nodiscard]] double hit_probability() const noexcept { return p_; }
+
+  /// Probability of at least one hit after `probes` random probes:
+  /// 1 - (1-p)^probes.
+  [[nodiscard]] double detection_probability(double probes) const noexcept;
+
+  /// Probability a scanner at `pps` Internet-wide is seen within
+  /// `seconds`.
+  [[nodiscard]] double detection_probability_within(double pps, double seconds) const noexcept;
+
+  /// Probes needed so the detection probability reaches `target`
+  /// (e.g. 0.999).
+  [[nodiscard]] double probes_for_probability(double target) const;
+
+  /// Seconds until a scanner at `pps` is detected with probability
+  /// `target`.
+  [[nodiscard]] double seconds_to_detect(double pps, double target) const;
+
+  /// Expected number of telescope hits for a scan sending `probes`
+  /// Internet-wide probes (binomial mean).
+  [[nodiscard]] double expected_hits(double probes) const noexcept;
+
+  /// Inverse extrapolation used for scan coverage (§6.4): given `hits`
+  /// distinct telescope destinations, the estimated number of Internet-
+  /// wide probes is hits / p.
+  [[nodiscard]] double extrapolate_probes(double hits) const noexcept;
+
+  /// Fraction of IPv4 a scan covered, assuming one probe per address:
+  /// extrapolated probes / 2^32, clamped to [0, 1].
+  [[nodiscard]] double coverage_fraction(double hits) const noexcept;
+
+  /// Internet-wide packet rate inferred from `hits` telescope hits over
+  /// `seconds` of scan lifetime.
+  [[nodiscard]] double extrapolate_pps(double hits, double seconds) const noexcept;
+
+ private:
+  std::uint64_t monitored_;
+  double p_;
+};
+
+}  // namespace synscan::stats

@@ -1,0 +1,57 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace synscan::stats {
+
+BucketedSeries::BucketedSeries(net::TimeUs origin, net::TimeUs bucket_width)
+    : origin_(origin), width_(bucket_width) {
+  if (bucket_width <= 0) throw std::invalid_argument("BucketedSeries: width must be > 0");
+}
+
+std::size_t BucketedSeries::bucket_of(net::TimeUs t) const noexcept {
+  if (t <= origin_) return 0;
+  return static_cast<std::size_t>((t - origin_) / width_);
+}
+
+void BucketedSeries::add(net::TimeUs t, std::uint64_t weight) {
+  buckets_[bucket_of(t)] += weight;
+}
+
+std::uint64_t BucketedSeries::at(std::size_t bucket) const {
+  const auto it = buckets_.find(bucket);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+std::size_t BucketedSeries::bucket_count() const noexcept {
+  if (buckets_.empty()) return 0;
+  return buckets_.rbegin()->first + 1;
+}
+
+std::vector<std::uint64_t> BucketedSeries::dense() const {
+  std::vector<std::uint64_t> out(bucket_count(), 0);
+  for (const auto& [bucket, count] : buckets_) out[bucket] = count;
+  return out;
+}
+
+std::vector<double> change_factors(std::span<const std::uint64_t> series,
+                                   double zero_factor) {
+  std::vector<double> out;
+  if (series.size() < 2) return out;
+  out.reserve(series.size() - 1);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    const auto prev = series[i - 1];
+    const auto cur = series[i];
+    if (prev == 0 && cur == 0) continue;
+    if (prev == 0 || cur == 0) {
+      out.push_back(zero_factor);
+      continue;
+    }
+    const double up = static_cast<double>(cur) / static_cast<double>(prev);
+    out.push_back(std::max(up, 1.0 / up));
+  }
+  return out;
+}
+
+}  // namespace synscan::stats

@@ -1,0 +1,57 @@
+// Bucketed counter time series and week-over-week change ratios.
+//
+// The volatility analysis (Fig. 2) needs, per /16 netblock, the weekly
+// counts of sources / scans / packets and the distribution of the ratio
+// between consecutive weeks. This module provides the bucketing and the
+// ratio computation; the analysis layer provides the keys.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace synscan::stats {
+
+/// A counter series bucketed on a fixed interval, anchored at `origin`.
+/// Buckets are sparse; missing buckets read as zero.
+class BucketedSeries {
+ public:
+  BucketedSeries(net::TimeUs origin, net::TimeUs bucket_width);
+
+  /// Adds `weight` at time `t` (t >= origin; earlier samples clamp into
+  /// bucket 0).
+  void add(net::TimeUs t, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t at(std::size_t bucket) const;
+  [[nodiscard]] std::size_t bucket_of(net::TimeUs t) const noexcept;
+
+  /// Index of the last non-empty bucket + 1 (0 when empty).
+  [[nodiscard]] std::size_t bucket_count() const noexcept;
+
+  /// Dense copy of buckets [0, bucket_count()).
+  [[nodiscard]] std::vector<std::uint64_t> dense() const;
+
+  [[nodiscard]] net::TimeUs origin() const noexcept { return origin_; }
+  [[nodiscard]] net::TimeUs bucket_width() const noexcept { return width_; }
+
+ private:
+  net::TimeUs origin_;
+  net::TimeUs width_;
+  std::map<std::size_t, std::uint64_t> buckets_;
+};
+
+/// Change ratios between consecutive values of a dense series.
+///
+/// For each adjacent pair (prev, cur), both non-zero, appends
+/// max(cur/prev, prev/cur) — the "factor of change" in whichever
+/// direction, always >= 1, matching the paper's "changed by a factor of 2
+/// or more" phrasing. Pairs where exactly one side is zero count as a
+/// change by `zero_factor` (appearance/disappearance of all activity);
+/// pairs where both are zero are skipped.
+[[nodiscard]] std::vector<double> change_factors(std::span<const std::uint64_t> series,
+                                                 double zero_factor = 64.0);
+
+}  // namespace synscan::stats

@@ -1,0 +1,67 @@
+#include "telescope/sensor.h"
+
+namespace synscan::telescope {
+
+FrameClass Sensor::classify(const net::RawFrame& frame, ScanProbe& probe) {
+  const auto decoded = net::decode_frame(frame.bytes);
+  if (!decoded) {
+    ++counters_.malformed;
+    return FrameClass::kMalformed;
+  }
+  return classify_decoded(frame.timestamp_us, *decoded, probe);
+}
+
+FrameClass Sensor::classify_decoded(net::TimeUs timestamp_us, const net::DecodedFrame& frame,
+                                    ScanProbe& probe) {
+  if (!telescope_->monitors(frame.ip.destination)) {
+    ++counters_.not_monitored;
+    return FrameClass::kNotMonitored;
+  }
+
+  if (const auto* tcp = frame.tcp()) {
+    if (telescope_->ingress_blocked(tcp->destination_port, timestamp_us)) {
+      ++counters_.ingress_blocked;
+      return FrameClass::kIngressBlocked;
+    }
+    if (tcp->is_xmas() || tcp->is_null()) {
+      ++counters_.xmas_or_null;
+      return FrameClass::kXmasOrNull;
+    }
+    if (tcp->is_syn_probe()) {
+      if (frame.ip.source.is_reserved_source() || frame.ip.source.is_private()) {
+        ++counters_.spoofed_source;
+        return FrameClass::kSpoofedSource;
+      }
+      probe.timestamp_us = timestamp_us;
+      probe.source = frame.ip.source;
+      probe.destination = frame.ip.destination;
+      probe.source_port = tcp->source_port;
+      probe.destination_port = tcp->destination_port;
+      probe.sequence = tcp->sequence;
+      probe.acknowledgment = tcp->acknowledgment;
+      probe.ip_id = frame.ip.identification;
+      probe.window = tcp->window;
+      probe.ttl = frame.ip.ttl;
+      ++counters_.scan_probes;
+      return FrameClass::kScanProbe;
+    }
+    if (tcp->is_syn_ack() || tcp->has(net::TcpFlag::kRst)) {
+      ++counters_.backscatter;
+      return FrameClass::kBackscatter;
+    }
+    ++counters_.other_tcp;
+    return FrameClass::kOtherTcp;
+  }
+  if (frame.udp() != nullptr) {
+    ++counters_.udp;
+    return FrameClass::kUdp;
+  }
+  if (frame.icmp() != nullptr) {
+    ++counters_.icmp;
+    return FrameClass::kIcmp;
+  }
+  ++counters_.malformed;
+  return FrameClass::kMalformed;
+}
+
+}  // namespace synscan::telescope

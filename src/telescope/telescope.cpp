@@ -1,0 +1,94 @@
+#include "telescope/telescope.h"
+
+#include <stdexcept>
+
+namespace synscan::telescope {
+namespace {
+
+// SplitMix64 finalizer: a cheap, well-distributed mixing function. The
+// predicate must be stable forever (generator and sensor both use it), so
+// it is deliberately self-contained rather than `std::hash`.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool Telescope::address_is_dark(net::Ipv4Address addr, std::uint32_t permille) noexcept {
+  if (permille >= 1000) return true;
+  return mix64(addr.value()) % 1000 < permille;
+}
+
+Telescope::Telescope(std::vector<MonitoredBlock> blocks,
+                     std::vector<IngressBlockRule> ingress_rules)
+    : blocks_(std::move(blocks)), ingress_rules_(std::move(ingress_rules)) {
+  if (blocks_.empty()) throw std::invalid_argument("Telescope: no monitored blocks");
+  for (const auto& block : blocks_) {
+    if (block.population_permille > 1000) {
+      throw std::invalid_argument("Telescope: population_permille > 1000");
+    }
+    for (std::uint64_t i = 0; i < block.prefix.size(); ++i) {
+      if (address_is_dark(block.prefix.at(i), block.population_permille)) {
+        ++monitored_count_;
+      }
+    }
+  }
+}
+
+Telescope Telescope::paper_default() {
+  const auto p1 = net::Ipv4Prefix::parse("198.51.0.0/16");
+  const auto p2 = net::Ipv4Prefix::parse("203.0.0.0/16");
+  const auto p3 = net::Ipv4Prefix::parse("192.88.0.0/16");
+  // 2017-01-01T00:00:00Z, the post-Mirai ingress policy change.
+  constexpr net::TimeUs kIngressPolicyChange = 1483228800LL * net::kMicrosPerSecond;
+  return Telescope(
+      {{*p1, 400}, {*p2, 350}, {*p3, 342}},
+      {{23, kIngressPolicyChange}, {445, kIngressPolicyChange}});
+}
+
+bool Telescope::monitors(net::Ipv4Address addr) const noexcept {
+  for (const auto& block : blocks_) {
+    if (block.prefix.contains(addr)) {
+      return address_is_dark(addr, block.population_permille);
+    }
+  }
+  return false;
+}
+
+bool Telescope::ingress_blocked(std::uint16_t port, net::TimeUs when) const noexcept {
+  for (const auto& rule : ingress_rules_) {
+    if (rule.port == port && when >= rule.effective_from) return true;
+  }
+  return false;
+}
+
+std::vector<net::Ipv4Address> Telescope::dark_addresses() const {
+  std::vector<net::Ipv4Address> out;
+  out.reserve(monitored_count_);
+  for (const auto& block : blocks_) {
+    for (std::uint64_t i = 0; i < block.prefix.size(); ++i) {
+      const auto addr = block.prefix.at(i);
+      if (address_is_dark(addr, block.population_permille)) out.push_back(addr);
+    }
+  }
+  return out;
+}
+
+net::Ipv4Address Telescope::dark_address_at(std::uint64_t i) const {
+  if (i >= monitored_count_) throw std::out_of_range("dark_address_at: index out of range");
+  for (const auto& block : blocks_) {
+    for (std::uint64_t j = 0; j < block.prefix.size(); ++j) {
+      const auto addr = block.prefix.at(j);
+      if (address_is_dark(addr, block.population_permille)) {
+        if (i == 0) return addr;
+        --i;
+      }
+    }
+  }
+  throw std::logic_error("dark_address_at: count bookkeeping is inconsistent");
+}
+
+}  // namespace synscan::telescope

@@ -1,0 +1,89 @@
+// The network telescope: which addresses are monitored, and what the
+// ingress lets through.
+//
+// The paper's telescope consists of three *partially populated* /16
+// blocks whose dark addresses add up to roughly one full /16 (71,536
+// monitored addresses on average), with ports 445/TCP and 23/TCP dropped
+// at the network ingress from 2017 onwards. Partial population is
+// modeled with a deterministic per-address membership predicate so that
+// the traffic generator and the sensor always agree on which addresses
+// are dark.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "stats/telescope_model.h"
+
+namespace synscan::telescope {
+
+/// One monitored block: a prefix of which only `population_permille`
+/// addresses out of 1000 are dark (routed to the telescope); the rest are
+/// production hosts whose traffic never reaches the sensor.
+struct MonitoredBlock {
+  net::Ipv4Prefix prefix;
+  std::uint32_t population_permille = 1000;  ///< dark fraction, 0..1000
+};
+
+/// An ingress filter rule: drop frames to `port` from `effective_from`
+/// onwards (the paper: 23 and 445 blocked since the advent of Mirai).
+struct IngressBlockRule {
+  std::uint16_t port = 0;
+  net::TimeUs effective_from = 0;
+};
+
+/// Immutable telescope description.
+class Telescope {
+ public:
+  Telescope(std::vector<MonitoredBlock> blocks, std::vector<IngressBlockRule> ingress_rules);
+
+  /// The telescope used throughout the paper: three partially populated
+  /// /16 blocks (198.51.0.0/16 at 40%, 203.0.0.0/16 at 35%, and
+  /// 192.88.0.0/16 at 34.2%) summing to 71,536 dark addresses, with
+  /// 23/TCP and 445/TCP dropped at the ingress from 2017-01-01.
+  [[nodiscard]] static Telescope paper_default();
+
+  /// Whether `addr` is a dark (monitored) address.
+  [[nodiscard]] bool monitors(net::Ipv4Address addr) const noexcept;
+
+  /// Whether a frame to `port` arriving at `when` is dropped at ingress.
+  [[nodiscard]] bool ingress_blocked(std::uint16_t port, net::TimeUs when) const noexcept;
+
+  /// Exact count of dark addresses across all blocks.
+  [[nodiscard]] std::uint64_t monitored_count() const noexcept { return monitored_count_; }
+
+  /// All dark addresses, in address order (used by generators that sweep
+  /// the telescope and by tests).
+  [[nodiscard]] std::vector<net::Ipv4Address> dark_addresses() const;
+
+  /// The i-th dark address in address order, i < monitored_count().
+  /// O(#blocks + block size) worst case; intended for sampling, not
+  /// bulk iteration.
+  [[nodiscard]] net::Ipv4Address dark_address_at(std::uint64_t i) const;
+
+  [[nodiscard]] const std::vector<MonitoredBlock>& blocks() const noexcept { return blocks_; }
+  [[nodiscard]] const std::vector<IngressBlockRule>& ingress_rules() const noexcept {
+    return ingress_rules_;
+  }
+
+  /// The geometric sensitivity model for this telescope's size.
+  [[nodiscard]] stats::TelescopeModel model() const {
+    return stats::TelescopeModel(monitored_count_);
+  }
+
+  /// The deterministic population predicate: address `addr` of a block
+  /// with population `permille` is dark iff mix(addr) % 1000 < permille.
+  /// Exposed so generators can enumerate dark addresses cheaply.
+  [[nodiscard]] static bool address_is_dark(net::Ipv4Address addr,
+                                            std::uint32_t permille) noexcept;
+
+ private:
+  std::vector<MonitoredBlock> blocks_;
+  std::vector<IngressBlockRule> ingress_rules_;
+  std::uint64_t monitored_count_ = 0;
+};
+
+}  // namespace synscan::telescope

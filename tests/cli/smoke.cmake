@@ -1,0 +1,29 @@
+# Smoke: simulate a tiny capture, then run every read-only subcommand on it.
+file(MAKE_DIRECTORY ${WORKDIR})
+set(CAPTURE ${WORKDIR}/smoke.pcap)
+
+execute_process(
+  COMMAND ${SYNSCAN} simulate --year=2020 --scale=128 --days=1 --out=${CAPTURE}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "simulate failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "wrote [0-9]+ frames")
+  message(FATAL_ERROR "simulate output unexpected: ${out}")
+endif()
+
+foreach(cmd info analyze fingerprint)
+  execute_process(
+    COMMAND ${SYNSCAN} ${cmd} ${CAPTURE}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${cmd} failed (${rc}): ${out}${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${SYNSCAN} analyze ${CAPTURE} --top=3
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT out MATCHES "scanner types")
+  message(FATAL_ERROR "analyze output missing sections: ${out}")
+endif()

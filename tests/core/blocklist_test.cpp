@@ -1,0 +1,105 @@
+#include "core/blocklist.h"
+
+#include <gtest/gtest.h>
+
+namespace synscan::core {
+namespace {
+
+constexpr net::TimeUs kDay = net::kMicrosPerDay;
+
+Campaign campaign_of(std::uint32_t source, net::TimeUs start,
+                     net::TimeUs duration = net::kMicrosPerHour,
+                     std::uint64_t packets = 200) {
+  Campaign campaign;
+  campaign.source = net::Ipv4Address(source);
+  campaign.first_seen_us = start;
+  campaign.last_seen_us = start + duration;
+  campaign.packets = packets;
+  return campaign;
+}
+
+TEST(Blocklist, HarvestSelectsByEndTime) {
+  std::vector<Campaign> campaigns;
+  campaigns.push_back(campaign_of(1, 0));                 // ends day 0
+  campaigns.push_back(campaign_of(2, kDay + 1000));       // ends day 1
+  campaigns.push_back(campaign_of(3, 3 * kDay));          // ends day 3
+  const auto list = Blocklist::harvest(campaigns, kDay, 2 * kDay);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.contains(net::Ipv4Address(2)));
+  EXPECT_FALSE(list.contains(net::Ipv4Address(1)));
+}
+
+TEST(Blocklist, EvaluationCountsBlockedShare) {
+  std::vector<Campaign> campaigns;
+  campaigns.push_back(campaign_of(1, 0));  // harvested
+  campaigns.push_back(campaign_of(2, 0));  // harvested
+  // Evaluation window: source 1 returns, sources 3 and 4 are new.
+  campaigns.push_back(campaign_of(1, 2 * kDay, net::kMicrosPerHour, 100));
+  campaigns.push_back(campaign_of(3, 2 * kDay, net::kMicrosPerHour, 300));
+  campaigns.push_back(campaign_of(4, 2 * kDay, net::kMicrosPerHour, 600));
+
+  const auto list = Blocklist::harvest(campaigns, 0, kDay);
+  EXPECT_EQ(list.size(), 2u);
+  const auto result = evaluate_blocklist(list, campaigns, 2 * kDay, 3 * kDay);
+  EXPECT_EQ(result.eval_campaigns, 3u);
+  EXPECT_EQ(result.blocked_campaigns, 1u);
+  EXPECT_NEAR(result.campaign_block_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(result.packet_block_rate(), 100.0 / 1000.0, 1e-12);
+}
+
+TEST(Blocklist, EmptyEvaluationWindow) {
+  const Blocklist list;
+  const auto result = evaluate_blocklist(list, {}, 0, kDay);
+  EXPECT_EQ(result.campaign_block_rate(), 0.0);
+  EXPECT_EQ(result.packet_block_rate(), 0.0);
+}
+
+TEST(Blocklist, DecayCurveDropsForOneShotSources) {
+  // Sources scan once on day 0 and never return; fresh sources appear
+  // every day. A day-0 blocklist blocks nothing later.
+  std::vector<Campaign> campaigns;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    campaigns.push_back(campaign_of(100 + i, i * 1000));
+  }
+  for (std::size_t day = 1; day <= 5; ++day) {
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      campaigns.push_back(
+          campaign_of(1000 * static_cast<std::uint32_t>(day) + i,
+                      static_cast<net::TimeUs>(day) * kDay + i * 1000));
+    }
+  }
+  const auto curve = blocklist_decay_curve(campaigns, 0, 0, 0, 4);
+  ASSERT_EQ(curve.size(), 4u);
+  for (const auto rate : curve) EXPECT_EQ(rate, 0.0);
+}
+
+TEST(Blocklist, DecayCurveStaysHighForRecurringSources) {
+  // Institutional-style sources scan every day: the same list keeps
+  // blocking them.
+  std::vector<Campaign> campaigns;
+  for (std::size_t day = 0; day <= 6; ++day) {
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      campaigns.push_back(campaign_of(
+          7000 + i, static_cast<net::TimeUs>(day) * kDay + i * 1000));
+    }
+  }
+  const auto curve = blocklist_decay_curve(campaigns, 0, 0, 0, 5);
+  ASSERT_EQ(curve.size(), 5u);
+  for (const auto rate : curve) EXPECT_DOUBLE_EQ(rate, 1.0);
+}
+
+TEST(Blocklist, LagDelaysEvaluation) {
+  std::vector<Campaign> campaigns;
+  campaigns.push_back(campaign_of(1, 0));
+  campaigns.push_back(campaign_of(1, 2 * kDay));  // returns on day 2 only
+  const auto no_lag = blocklist_decay_curve(campaigns, 0, 0, 0, 2);
+  ASSERT_EQ(no_lag.size(), 2u);
+  EXPECT_EQ(no_lag[0], 0.0);  // day 1: nothing to block (no campaigns -> 0)
+  EXPECT_EQ(no_lag[1], 1.0);  // day 2: the return is blocked
+  const auto lagged = blocklist_decay_curve(campaigns, 0, 0, 1, 1);
+  ASSERT_EQ(lagged.size(), 1u);
+  EXPECT_EQ(lagged[0], 1.0);
+}
+
+}  // namespace
+}  // namespace synscan::core

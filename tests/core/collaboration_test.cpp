@@ -1,0 +1,145 @@
+#include "core/collaboration.h"
+
+#include <gtest/gtest.h>
+
+namespace synscan::core {
+namespace {
+
+Campaign shard_member(std::uint32_t source, net::TimeUs start, std::uint16_t port,
+                      fingerprint::Tool tool = fingerprint::Tool::kZmap,
+                      double coverage = 0.0065) {
+  static std::uint64_t next_id = 1;
+  Campaign campaign;
+  campaign.id = next_id++;
+  campaign.source = net::Ipv4Address(source);
+  campaign.first_seen_us = start;
+  campaign.last_seen_us = start + net::kMicrosPerHour;
+  campaign.packets = 465;
+  campaign.port_packets[port] = 465;
+  campaign.tool = tool;
+  campaign.coverage_fraction = coverage;
+  return campaign;
+}
+
+constexpr std::uint32_t kSubnet = 0x0a141e00;  // 10.20.30.0/24
+
+TEST(Collaboration, DetectsShardedScan) {
+  std::vector<Campaign> campaigns;
+  for (std::uint32_t host = 1; host <= 8; ++host) {
+    campaigns.push_back(shard_member(kSubnet + host, host * 1000, 443));
+  }
+  const auto census = detect_collaborations(campaigns);
+  ASSERT_EQ(census.scans.size(), 1u);
+  const auto& scan = census.scans[0];
+  EXPECT_EQ(scan.members, 8u);
+  EXPECT_EQ(scan.port, 443);
+  EXPECT_EQ(scan.tool, fingerprint::Tool::kZmap);
+  EXPECT_EQ(scan.subnet.value(), kSubnet);
+  EXPECT_NEAR(scan.joint_coverage, 8 * 0.0065, 1e-9);
+  EXPECT_NEAR(scan.mean_member_coverage, 0.0065, 1e-12);
+  EXPECT_EQ(census.collaborating_campaigns, 8u);
+  EXPECT_DOUBLE_EQ(census.collaborating_fraction(), 1.0);
+}
+
+TEST(Collaboration, DifferentPortsDoNotCluster) {
+  std::vector<Campaign> campaigns;
+  for (std::uint32_t host = 1; host <= 6; ++host) {
+    campaigns.push_back(
+        shard_member(kSubnet + host, 1000, host % 2 == 0 ? 443 : 80));
+  }
+  // 3 on each port: both reach min_members=3 but as separate scans.
+  const auto census = detect_collaborations(campaigns);
+  EXPECT_EQ(census.scans.size(), 2u);
+}
+
+TEST(Collaboration, DifferentToolsDoNotCluster) {
+  std::vector<Campaign> campaigns;
+  for (std::uint32_t host = 1; host <= 4; ++host) {
+    campaigns.push_back(shard_member(kSubnet + host, 1000, 443,
+                                     host % 2 == 0 ? fingerprint::Tool::kZmap
+                                                   : fingerprint::Tool::kMasscan));
+  }
+  const auto census = detect_collaborations(campaigns);
+  EXPECT_TRUE(census.scans.empty());  // 2 + 2 < min_members
+}
+
+TEST(Collaboration, DifferentSubnetsDoNotCluster) {
+  std::vector<Campaign> campaigns;
+  campaigns.push_back(shard_member(kSubnet + 1, 0, 443));
+  campaigns.push_back(shard_member(kSubnet + 0x100 + 1, 0, 443));  // next /24
+  campaigns.push_back(shard_member(kSubnet + 0x200 + 1, 0, 443));
+  const auto census = detect_collaborations(campaigns);
+  EXPECT_TRUE(census.scans.empty());
+}
+
+TEST(Collaboration, StartWindowCutsClusters) {
+  CollaborationConfig config;
+  config.start_window = net::kMicrosPerHour;
+  std::vector<Campaign> campaigns;
+  // Three at t=0, three 6 hours later: two separate logical scans.
+  for (std::uint32_t host = 1; host <= 3; ++host) {
+    campaigns.push_back(shard_member(kSubnet + host, host * 100, 443));
+  }
+  for (std::uint32_t host = 4; host <= 6; ++host) {
+    campaigns.push_back(
+        shard_member(kSubnet + host, 6 * net::kMicrosPerHour + host, 443));
+  }
+  const auto census = detect_collaborations(campaigns, config);
+  EXPECT_EQ(census.scans.size(), 2u);
+}
+
+TEST(Collaboration, MinMembersRespected) {
+  CollaborationConfig config;
+  config.min_members = 5;
+  std::vector<Campaign> campaigns;
+  for (std::uint32_t host = 1; host <= 4; ++host) {
+    campaigns.push_back(shard_member(kSubnet + host, 0, 443));
+  }
+  EXPECT_TRUE(detect_collaborations(campaigns, config).scans.empty());
+  campaigns.push_back(shard_member(kSubnet + 5, 0, 443));
+  EXPECT_EQ(detect_collaborations(campaigns, config).scans.size(), 1u);
+}
+
+TEST(Collaboration, WiderPrefixGroupsMore) {
+  CollaborationConfig config;
+  config.source_prefix = 16;
+  std::vector<Campaign> campaigns;
+  campaigns.push_back(shard_member(kSubnet + 1, 0, 443));
+  campaigns.push_back(shard_member(kSubnet + 0x100 + 1, 0, 443));
+  campaigns.push_back(shard_member(kSubnet + 0x200 + 1, 0, 443));
+  const auto census = detect_collaborations(campaigns, config);
+  ASSERT_EQ(census.scans.size(), 1u);
+  EXPECT_EQ(census.scans[0].members, 3u);
+}
+
+TEST(Collaboration, JointCoverageCapsAtOne) {
+  std::vector<Campaign> campaigns;
+  for (std::uint32_t host = 1; host <= 5; ++host) {
+    campaigns.push_back(shard_member(kSubnet + host, 0, 443,
+                                     fingerprint::Tool::kZmap, 0.5));
+  }
+  const auto census = detect_collaborations(campaigns);
+  ASSERT_EQ(census.scans.size(), 1u);
+  EXPECT_DOUBLE_EQ(census.scans[0].joint_coverage, 1.0);
+}
+
+TEST(Collaboration, PrimaryPortIsHeaviest) {
+  std::vector<Campaign> campaigns;
+  for (std::uint32_t host = 1; host <= 3; ++host) {
+    auto campaign = shard_member(kSubnet + host, 0, 443);
+    campaign.port_packets[80] = 10;  // light secondary port
+    campaigns.push_back(campaign);
+  }
+  const auto census = detect_collaborations(campaigns);
+  ASSERT_EQ(census.scans.size(), 1u);
+  EXPECT_EQ(census.scans[0].port, 443);
+}
+
+TEST(Collaboration, EmptyInput) {
+  const auto census = detect_collaborations({});
+  EXPECT_TRUE(census.scans.empty());
+  EXPECT_EQ(census.collaborating_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace synscan::core

@@ -1,0 +1,126 @@
+#include "core/daily_series.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.h"
+
+namespace synscan::core {
+namespace {
+
+using synscan::testing::ProbeBuilder;
+
+constexpr net::TimeUs kDay = net::kMicrosPerDay;
+
+TEST(DailyPortSeries, BucketsByDayAndPort) {
+  DailyPortSeries series(0);
+  series.on_probe(ProbeBuilder().port(80).at(1));
+  series.on_probe(ProbeBuilder().port(80).at(kDay - 1));
+  series.on_probe(ProbeBuilder().port(80).at(kDay + 1));
+  series.on_probe(ProbeBuilder().port(443).at(kDay + 1));
+
+  const auto port80 = series.series(80);
+  ASSERT_EQ(port80.size(), 2u);
+  EXPECT_EQ(port80[0], 2u);
+  EXPECT_EQ(port80[1], 1u);
+
+  const auto totals = series.totals();
+  EXPECT_EQ(totals[0], 2u);
+  EXPECT_EQ(totals[1], 2u);
+}
+
+TEST(DailyPortSeries, UnseenPortIsAllZero) {
+  DailyPortSeries series(0);
+  series.on_probe(ProbeBuilder().port(80).at(3 * kDay));
+  const auto quiet = series.series(9999);
+  ASSERT_EQ(quiet.size(), 4u);
+  for (const auto count : quiet) EXPECT_EQ(count, 0u);
+}
+
+TEST(DailyPortSeries, OriginOffsetsDays) {
+  DailyPortSeries series(10 * kDay);
+  series.on_probe(ProbeBuilder().port(80).at(10 * kDay + 5));
+  series.on_probe(ProbeBuilder().port(80).at(12 * kDay + 5));
+  const auto data = series.series(80);
+  ASSERT_EQ(data.size(), 3u);
+  EXPECT_EQ(data[0], 1u);
+  EXPECT_EQ(data[2], 1u);
+}
+
+// Builds a series with a flat baseline, a spike at `disclosure_day`, and
+// an exponential-ish decay back to baseline.
+DailyPortSeries surge_series(std::size_t disclosure_day, double peak,
+                             double decay_per_day, std::size_t days) {
+  DailyPortSeries series(0);
+  for (std::size_t day = 0; day < days; ++day) {
+    double level = 10.0;
+    if (day >= disclosure_day) {
+      const auto after = static_cast<double>(day - disclosure_day);
+      level += peak * std::pow(decay_per_day, after);
+    }
+    for (int i = 0; i < static_cast<int>(level); ++i) {
+      series.on_probe(ProbeBuilder().port(7001).at(
+          static_cast<net::TimeUs>(day) * kDay + i));
+    }
+  }
+  return series;
+}
+
+TEST(DisclosureDecay, DetectsPeakAndRecovery) {
+  const auto series = surge_series(10, 500.0, 0.5, 40);
+  const auto decay = disclosure_decay(series, 7001, 10);
+  EXPECT_EQ(decay.peak_day_after, 0u);
+  EXPECT_NEAR(decay.peak_multiplier, 51.0, 2.0);  // (10+500)/10
+  // 500 * 0.5^k <= 10 at k >= 5.6 -> recovery within ~6-7 days.
+  EXPECT_GE(decay.days_to_recover, 5u);
+  EXPECT_LE(decay.days_to_recover, 8u);
+}
+
+TEST(DisclosureDecay, BackToNormalKsIsInsignificant) {
+  const auto series = surge_series(10, 500.0, 0.4, 60);
+  const auto decay = disclosure_decay(series, 7001, 10);
+  // The last week of the series sits at baseline again: the KS test must
+  // NOT reject (high p-value).
+  EXPECT_GT(decay.back_to_normal.p_value, 0.05);
+}
+
+TEST(DisclosureDecay, SustainedInterestNeverRecovers) {
+  // Activity jumps and stays up (the pre-2014 behavior reported by
+  // Durumeric et al.).
+  DailyPortSeries series(0);
+  for (std::size_t day = 0; day < 30; ++day) {
+    const int level = day >= 10 ? 300 : 10;
+    for (int i = 0; i < level; ++i) {
+      series.on_probe(ProbeBuilder().port(7001).at(
+          static_cast<net::TimeUs>(day) * kDay + i));
+    }
+  }
+  const auto decay = disclosure_decay(series, 7001, 10);
+  EXPECT_EQ(decay.days_to_recover, SIZE_MAX);
+  // And the tail clearly differs from baseline.
+  EXPECT_LT(decay.back_to_normal.p_value, 0.05);
+}
+
+TEST(DisclosureDecay, QuietPortBeforeDisclosureUsesFloorBaseline) {
+  DailyPortSeries series(0);
+  // No traffic at all before day 10; spike of 200/day after.
+  for (std::size_t day = 10; day < 15; ++day) {
+    for (int i = 0; i < 200; ++i) {
+      series.on_probe(ProbeBuilder().port(2375).at(
+          static_cast<net::TimeUs>(day) * kDay + i));
+    }
+  }
+  const auto decay = disclosure_decay(series, 2375, 10);
+  EXPECT_NEAR(decay.peak_multiplier, 200.0, 1e-9);
+}
+
+TEST(DisclosureDecay, OutOfRangeDayIsEmptyResult) {
+  DailyPortSeries series(0);
+  series.on_probe(ProbeBuilder().port(80).at(0));
+  const auto decay = disclosure_decay(series, 80, 99);
+  EXPECT_TRUE(decay.multiplier.empty());
+}
+
+}  // namespace
+}  // namespace synscan::core

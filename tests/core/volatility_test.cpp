@@ -1,0 +1,147 @@
+#include "core/volatility.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace synscan::core {
+namespace {
+
+using synscan::testing::ProbeBuilder;
+
+constexpr net::TimeUs kWeek = net::kMicrosPerWeek;
+
+net::Ipv4Address block_a(std::uint32_t host) {
+  return net::Ipv4Address((10u << 24) | (1u << 16) | host);
+}
+net::Ipv4Address block_b(std::uint32_t host) {
+  return net::Ipv4Address((10u << 24) | (2u << 16) | host);
+}
+
+TEST(VolatilityTracker, StableBlockHasFactorOne) {
+  VolatilityTracker tracker(0);
+  for (int week = 0; week < 4; ++week) {
+    for (int i = 0; i < 10; ++i) {
+      tracker.on_probe(ProbeBuilder().from(block_a(1)).at(week * kWeek + i));
+    }
+  }
+  const auto result = tracker.result();
+  EXPECT_EQ(result.netblocks, 1u);
+  EXPECT_EQ(result.weeks, 4u);
+  ASSERT_EQ(result.packet_change.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.packet_change.value_at_fraction(1.0), 1.0);
+}
+
+TEST(VolatilityTracker, DoublingTrafficGivesFactorTwo) {
+  VolatilityTracker tracker(0);
+  int count = 10;
+  for (int week = 0; week < 3; ++week) {
+    for (int i = 0; i < count; ++i) {
+      tracker.on_probe(ProbeBuilder().from(block_a(1)).at(week * kWeek + i));
+    }
+    count *= 2;
+  }
+  const auto result = tracker.result();
+  for (const auto factor : result.packet_change.sorted()) {
+    EXPECT_DOUBLE_EQ(factor, 2.0);
+  }
+}
+
+TEST(VolatilityTracker, HalvingIsAlsoFactorTwo) {
+  VolatilityTracker tracker(0);
+  int count = 40;
+  for (int week = 0; week < 3; ++week) {
+    for (int i = 0; i < count; ++i) {
+      tracker.on_probe(ProbeBuilder().from(block_a(1)).at(week * kWeek + i));
+    }
+    count /= 2;
+  }
+  const auto result = tracker.result();
+  for (const auto factor : result.packet_change.sorted()) {
+    EXPECT_DOUBLE_EQ(factor, 2.0);
+  }
+}
+
+TEST(VolatilityTracker, SourceChangeCountsDistinctSources) {
+  VolatilityTracker tracker(0);
+  // Week 0: 2 sources; week 1: 4 sources (each sending many packets).
+  for (int i = 0; i < 2; ++i) {
+    for (int p = 0; p < 50; ++p) {
+      tracker.on_probe(ProbeBuilder().from(block_a(static_cast<std::uint32_t>(i))).at(p));
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int p = 0; p < 25; ++p) {
+      tracker.on_probe(
+          ProbeBuilder().from(block_a(static_cast<std::uint32_t>(i))).at(kWeek + p));
+    }
+  }
+  const auto result = tracker.result();
+  ASSERT_EQ(result.source_change.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.source_change.sorted()[0], 2.0);  // 2 -> 4 sources
+  EXPECT_DOUBLE_EQ(result.packet_change.sorted()[0], 1.0);  // 100 -> 100 packets
+}
+
+TEST(VolatilityTracker, CampaignsTrackedSeparately) {
+  VolatilityTracker tracker(0);
+  Campaign campaign;
+  campaign.source = block_a(7);
+  campaign.first_seen_us = 10;
+  tracker.on_campaign(campaign);
+  campaign.first_seen_us = kWeek + 10;
+  tracker.on_campaign(campaign);
+  campaign.first_seen_us = kWeek + 20;
+  tracker.on_campaign(campaign);
+  const auto result = tracker.result();
+  ASSERT_EQ(result.campaign_change.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.campaign_change.sorted()[0], 2.0);  // 1 -> 2 campaigns
+}
+
+TEST(VolatilityTracker, BlocksAreIndependent) {
+  VolatilityTracker tracker(0);
+  // Block A is stable; block B quadruples.
+  for (int week = 0; week < 2; ++week) {
+    for (int i = 0; i < 10; ++i) {
+      tracker.on_probe(ProbeBuilder().from(block_a(1)).at(week * kWeek + i));
+    }
+  }
+  for (int i = 0; i < 5; ++i) tracker.on_probe(ProbeBuilder().from(block_b(1)).at(i));
+  for (int i = 0; i < 20; ++i) {
+    tracker.on_probe(ProbeBuilder().from(block_b(1)).at(kWeek + i));
+  }
+  const auto result = tracker.result();
+  EXPECT_EQ(result.netblocks, 2u);
+  auto factors = std::vector<double>(result.packet_change.sorted().begin(),
+                                     result.packet_change.sorted().end());
+  ASSERT_EQ(factors.size(), 2u);
+  EXPECT_DOUBLE_EQ(factors[0], 1.0);
+  EXPECT_DOUBLE_EQ(factors[1], 4.0);
+}
+
+TEST(VolatilityTracker, AppearingBlockUsesZeroFactor) {
+  VolatilityTracker tracker(0);
+  // Nothing in week 0 for block B, activity in week 1; block A anchors
+  // the two-week span.
+  for (int i = 0; i < 3; ++i) tracker.on_probe(ProbeBuilder().from(block_a(1)).at(i));
+  for (int i = 0; i < 3; ++i) {
+    tracker.on_probe(ProbeBuilder().from(block_a(1)).at(kWeek + i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    tracker.on_probe(ProbeBuilder().from(block_b(1)).at(kWeek + i));
+  }
+  const auto result = tracker.result();
+  // Block B contributes the "appearance" factor of 64.
+  EXPECT_DOUBLE_EQ(result.packet_change.value_at_fraction(1.0), 64.0);
+}
+
+TEST(VolatilityTracker, EmptyTrackerYieldsEmptyResult) {
+  VolatilityTracker tracker(0);
+  const auto result = tracker.result();
+  EXPECT_EQ(result.netblocks, 0u);
+  EXPECT_TRUE(result.packet_change.empty());
+  EXPECT_TRUE(result.source_change.empty());
+  EXPECT_TRUE(result.campaign_change.empty());
+}
+
+}  // namespace
+}  // namespace synscan::core

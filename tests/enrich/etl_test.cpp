@@ -1,0 +1,126 @@
+#include "enrich/etl.h"
+
+#include <gtest/gtest.h>
+
+namespace synscan::enrich {
+namespace {
+
+TEST(AsciiLower, Lowercases) {
+  EXPECT_EQ(ascii_lower("CeNSys-Scanner.NET"), "censys-scanner.net");
+  EXPECT_EQ(ascii_lower(""), "");
+}
+
+TEST(Etl, Phase1IpMatchWins) {
+  const KnownScannerEtl etl;
+  const auto* censys = find_known_scanner("Censys");
+  ASSERT_NE(censys, nullptr);
+
+  SourceIntelRecord record;
+  record.ip = censys->prefix.at(9);
+  record.whois_network_name = "something unrelated";
+  const auto result = etl.match(record);
+  EXPECT_EQ(result.phase, EtlPhase::kIpMatch);
+  EXPECT_EQ(result.organization, "Censys");
+}
+
+TEST(Etl, Phase2KeywordInWhois) {
+  const KnownScannerEtl etl;
+  SourceIntelRecord record;
+  record.ip = net::Ipv4Address::from_octets(9, 9, 9, 9);  // outside all prefixes
+  record.whois_network_name = "CENSYS-ARIN-01";
+  const auto result = etl.match(record);
+  EXPECT_EQ(result.phase, EtlPhase::kKeywordMatch);
+  EXPECT_EQ(result.organization, "Censys");
+  EXPECT_EQ(result.matched_field, 0);
+}
+
+TEST(Etl, Phase2FieldPriorityOrder) {
+  // A keyword in reverse DNS must report field 3, not an earlier field.
+  const KnownScannerEtl etl;
+  SourceIntelRecord record;
+  record.ip = net::Ipv4Address::from_octets(9, 9, 9, 10);
+  record.reverse_dns = "scan-07.shodan.io";
+  const auto result = etl.match(record);
+  EXPECT_EQ(result.phase, EtlPhase::kKeywordMatch);
+  EXPECT_EQ(result.organization, "Shodan");
+  EXPECT_EQ(result.matched_field, 3);
+}
+
+TEST(Etl, BannerIsLastResort) {
+  const KnownScannerEtl etl;
+  SourceIntelRecord record;
+  record.ip = net::Ipv4Address::from_octets(9, 9, 9, 11);
+  record.service_banner = "HTTP/1.1 200 OK Server: stretchoid-agent";
+  const auto result = etl.match(record);
+  EXPECT_EQ(result.phase, EtlPhase::kKeywordMatch);
+  EXPECT_EQ(result.organization, "Stretchoid");
+  EXPECT_EQ(result.matched_field, 4);
+}
+
+TEST(Etl, UnmatchedRecord) {
+  const KnownScannerEtl etl;
+  SourceIntelRecord record;
+  record.ip = net::Ipv4Address::from_octets(9, 9, 9, 12);
+  record.whois_network_name = "COMCAST-RESIDENTIAL";
+  record.reverse_dns = "c-73-158-1-2.hsd1.ca.comcast.net";
+  const auto result = etl.match(record);
+  EXPECT_EQ(result.phase, EtlPhase::kUnmatched);
+}
+
+TEST(Etl, ManualKeywordsExtendTheList) {
+  KnownScannerEtl etl;
+  const auto before = etl.keyword_count();
+  etl.add_keyword("sonar-probe", "Rapid7 Project Sonar");
+  EXPECT_EQ(etl.keyword_count(), before + 1);
+
+  SourceIntelRecord record;
+  record.ip = net::Ipv4Address::from_octets(9, 9, 9, 13);
+  record.reverse_dns = "SONAR-PROBE-3.example.org";
+  const auto result = etl.match(record);
+  EXPECT_EQ(result.phase, EtlPhase::kKeywordMatch);
+  EXPECT_EQ(result.organization, "Rapid7 Project Sonar");
+}
+
+TEST(Etl, GenericTokensAreNotKeywords) {
+  // "university" alone must not attribute traffic to any university.
+  const KnownScannerEtl etl;
+  SourceIntelRecord record;
+  record.ip = net::Ipv4Address::from_octets(9, 9, 9, 14);
+  record.organization_name = "University of Nowhere";
+  // "university" is filtered as generic; "nowhere" is not a catalog word.
+  EXPECT_EQ(etl.match(record).phase, EtlPhase::kUnmatched);
+}
+
+TEST(Etl, CaseInsensitiveMatching) {
+  const KnownScannerEtl etl;
+  SourceIntelRecord record;
+  record.ip = net::Ipv4Address::from_octets(9, 9, 9, 15);
+  record.abuse_email = "abuse@ONYPHE.io";
+  const auto result = etl.match(record);
+  EXPECT_EQ(result.phase, EtlPhase::kKeywordMatch);
+  EXPECT_EQ(result.organization, "Onyphe");
+  EXPECT_EQ(result.matched_field, 2);
+}
+
+TEST(Etl, BatchSummaryCounts) {
+  const KnownScannerEtl etl;
+  const auto* censys = find_known_scanner("Censys");
+  ASSERT_NE(censys, nullptr);
+
+  std::vector<SourceIntelRecord> records(4);
+  records[0].ip = censys->prefix.at(3);  // phase 1
+  records[1].ip = net::Ipv4Address::from_octets(9, 1, 1, 1);
+  records[1].reverse_dns = "probe.shadowserver.org";  // phase 2
+  records[2].ip = net::Ipv4Address::from_octets(9, 1, 1, 2);  // unmatched
+  records[3].ip = net::Ipv4Address::from_octets(9, 1, 1, 3);
+  records[3].whois_network_name = "driftnet.io scanning";  // phase 2
+
+  const auto summary = etl.run(records);
+  EXPECT_EQ(summary.total, 4u);
+  EXPECT_EQ(summary.ip_matched, 1u);
+  EXPECT_EQ(summary.keyword_matched, 2u);
+  EXPECT_EQ(summary.matched(), 3u);
+}
+
+}  // namespace
+}  // namespace synscan::enrich

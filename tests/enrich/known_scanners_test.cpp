@@ -1,0 +1,89 @@
+#include "enrich/known_scanners.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace synscan::enrich {
+namespace {
+
+TEST(KnownScanners, CatalogSizeMatchesPaperCounts) {
+  // Appendix A: 36 organizations identified in 2023, 40 in 2024.
+  EXPECT_EQ(active_known_scanners(2023), 36u);
+  EXPECT_EQ(active_known_scanners(2024), 40u);
+}
+
+TEST(KnownScanners, FullRangeScannersIn2024) {
+  // Fig. 8: Censys, Palo Alto (and others) cover all 65,536 ports by 2024.
+  for (const char* name : {"Censys", "Palo Alto Cortex Xpanse", "Shodan", "Criminal IP"}) {
+    const auto* spec = find_known_scanner(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_EQ(spec->ports_2024, 65536u) << name;
+  }
+}
+
+TEST(KnownScanners, OnypheScalesUpBetween2023And2024) {
+  // §6.8: Onyphe went from under half the ports to the full range.
+  const auto* spec = find_known_scanner("Onyphe");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_LT(spec->ports_2023, 32768u);
+  EXPECT_EQ(spec->ports_2024, 65536u);
+}
+
+TEST(KnownScanners, PartialCoverageOrgs) {
+  // Shadowserver and Rapid7 are "not yet scanning all available ports".
+  for (const char* name : {"Shadowserver Foundation", "Rapid7 Project Sonar"}) {
+    const auto* spec = find_known_scanner(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_LT(spec->ports_2024, 65536u) << name;
+    EXPECT_GT(spec->ports_2024, 1000u) << name;
+  }
+}
+
+TEST(KnownScanners, UniversitiesStaySmallAndFlat) {
+  // §6.8: universities target only a few ports with no growth.
+  for (const auto& spec : known_scanner_specs()) {
+    if (!spec.academic) continue;
+    EXPECT_LE(spec.ports_2024, 64u) << spec.name;
+    EXPECT_EQ(spec.ports_2023, spec.ports_2024) << spec.name;
+  }
+}
+
+TEST(KnownScanners, PrefixesAreDisjointAndInstitutionalSpace) {
+  std::unordered_set<std::uint32_t> bases;
+  for (const auto& spec : known_scanner_specs()) {
+    EXPECT_TRUE(bases.insert(spec.prefix.base().value()).second) << spec.name;
+    // All carved from 64.0.0.0/10.
+    EXPECT_EQ(spec.prefix.base().octet(0), 64) << spec.name;
+    EXPECT_EQ(spec.prefix.length(), 22) << spec.name;
+  }
+}
+
+TEST(KnownScanners, AsnsAreUnique) {
+  std::unordered_set<std::uint32_t> asns;
+  for (const auto& spec : known_scanner_specs()) {
+    EXPECT_TRUE(asns.insert(spec.asn).second) << spec.name;
+  }
+}
+
+TEST(KnownScanners, NewcomersAbsentIn2023) {
+  const auto* spec = find_known_scanner("Validin");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->ports_2023, 0u);
+  EXPECT_GT(spec->ports_2024, 0u);
+}
+
+TEST(KnownScanners, LookupByNameWorks) {
+  EXPECT_NE(find_known_scanner("Censys"), nullptr);
+  EXPECT_EQ(find_known_scanner("Acme Scanning Inc"), nullptr);
+}
+
+TEST(KnownScanners, InstitutionalScannersAreFast) {
+  // §6.8: institutions scan magnitudes faster than residential sources.
+  for (const auto& spec : known_scanner_specs()) {
+    EXPECT_GE(spec.packets_per_second, 8000.0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace synscan::enrich

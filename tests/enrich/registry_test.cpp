@@ -1,0 +1,144 @@
+#include "enrich/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "enrich/known_scanners.h"
+
+namespace synscan::enrich {
+namespace {
+
+TEST(CountryCode, Construction) {
+  EXPECT_EQ(CountryCode("NL").to_string(), "NL");
+  EXPECT_TRUE(CountryCode("NL").known());
+  EXPECT_FALSE(CountryCode().known());
+  EXPECT_EQ(CountryCode().to_string(), "??");
+  EXPECT_EQ(CountryCode("TOOLONG").to_string(), "??");
+}
+
+TEST(CountryCode, PackedIsUniquePerCode) {
+  EXPECT_NE(CountryCode("NL").packed(), CountryCode("LN").packed());
+  EXPECT_EQ(CountryCode("US").packed(), CountryCode("US").packed());
+}
+
+TEST(InternetRegistry, LongestPrefixMatchWins) {
+  std::vector<PrefixRecord> records;
+  records.push_back({*net::Ipv4Prefix::parse("10.0.0.0/8"), 100, CountryCode("US"),
+                     ScannerType::kResidential, "big-pool"});
+  records.push_back({*net::Ipv4Prefix::parse("10.1.0.0/16"), 200, CountryCode("DE"),
+                     ScannerType::kHosting, "carve-out"});
+  const InternetRegistry registry(std::move(records));
+
+  const auto* broad = registry.lookup(net::Ipv4Address::from_octets(10, 2, 0, 1));
+  ASSERT_NE(broad, nullptr);
+  EXPECT_EQ(broad->asn, 100u);
+
+  const auto* narrow = registry.lookup(net::Ipv4Address::from_octets(10, 1, 2, 3));
+  ASSERT_NE(narrow, nullptr);
+  EXPECT_EQ(narrow->asn, 200u);
+  EXPECT_EQ(narrow->country, CountryCode("DE"));
+  EXPECT_EQ(narrow->type, ScannerType::kHosting);
+}
+
+TEST(InternetRegistry, MissReturnsNull) {
+  std::vector<PrefixRecord> records;
+  records.push_back({*net::Ipv4Prefix::parse("10.0.0.0/8"), 1, CountryCode("US"),
+                     ScannerType::kResidential, ""});
+  const InternetRegistry registry(std::move(records));
+  EXPECT_EQ(registry.lookup(net::Ipv4Address::from_octets(11, 0, 0, 1)), nullptr);
+  EXPECT_EQ(registry.type_of(net::Ipv4Address::from_octets(11, 0, 0, 1)),
+            ScannerType::kUnknown);
+  EXPECT_FALSE(registry.country_of(net::Ipv4Address::from_octets(11, 0, 0, 1)).known());
+}
+
+TEST(InternetRegistry, EmptyRegistryAlwaysMisses) {
+  const InternetRegistry registry({});
+  EXPECT_EQ(registry.lookup(net::Ipv4Address::from_octets(1, 2, 3, 4)), nullptr);
+}
+
+TEST(SyntheticRegistry, CoversAllScannerTypes) {
+  const auto& registry = InternetRegistry::synthetic_default();
+  EXPECT_FALSE(registry.records_of(ScannerType::kResidential).empty());
+  EXPECT_FALSE(registry.records_of(ScannerType::kHosting).empty());
+  EXPECT_FALSE(registry.records_of(ScannerType::kEnterprise).empty());
+  EXPECT_FALSE(registry.records_of(ScannerType::kInstitutional).empty());
+}
+
+TEST(SyntheticRegistry, AvoidsTelescopeSpace) {
+  const auto& registry = InternetRegistry::synthetic_default();
+  for (const auto& record : registry.records()) {
+    EXPECT_FALSE(record.prefix.contains(net::Ipv4Address::from_octets(198, 51, 1, 1)))
+        << record.prefix.to_string();
+    EXPECT_FALSE(record.prefix.contains(net::Ipv4Address::from_octets(203, 0, 100, 1)))
+        << record.prefix.to_string();
+    EXPECT_FALSE(record.prefix.contains(net::Ipv4Address::from_octets(192, 88, 1, 1)))
+        << record.prefix.to_string();
+  }
+}
+
+TEST(SyntheticRegistry, AvoidsReservedSpace) {
+  const auto& registry = InternetRegistry::synthetic_default();
+  EXPECT_EQ(registry.lookup(net::Ipv4Address::from_octets(10, 1, 1, 1)), nullptr);
+  EXPECT_EQ(registry.lookup(net::Ipv4Address::from_octets(127, 0, 0, 1)), nullptr);
+  EXPECT_EQ(registry.lookup(net::Ipv4Address::from_octets(224, 0, 0, 1)), nullptr);
+  EXPECT_EQ(registry.lookup(net::Ipv4Address::from_octets(192, 168, 0, 1)), nullptr);
+}
+
+TEST(SyntheticRegistry, AllocationsAreDisjoint) {
+  // LPM would paper over overlaps; the synthetic plan promises disjoint
+  // allocations, so any address resolving to a record must be contained
+  // by exactly one record.
+  const auto& registry = InternetRegistry::synthetic_default();
+  const auto records = registry.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    for (std::size_t j = i + 1; j < records.size(); ++j) {
+      const bool overlap = records[i].prefix.contains(records[j].prefix.base()) ||
+                           records[j].prefix.contains(records[i].prefix.base());
+      EXPECT_FALSE(overlap) << records[i].prefix.to_string() << " vs "
+                            << records[j].prefix.to_string();
+    }
+  }
+}
+
+TEST(SyntheticRegistry, KnownScannersResolveToInstitutional) {
+  const auto& registry = InternetRegistry::synthetic_default();
+  for (const auto& spec : known_scanner_specs()) {
+    const auto* record = registry.lookup(spec.prefix.at(5));
+    ASSERT_NE(record, nullptr) << spec.name;
+    EXPECT_EQ(record->type, ScannerType::kInstitutional) << spec.name;
+    EXPECT_EQ(record->organization, spec.name);
+    EXPECT_EQ(record->country, spec.country);
+  }
+}
+
+TEST(SyntheticRegistry, MajorCountriesPresent) {
+  const auto& registry = InternetRegistry::synthetic_default();
+  for (const char* code : {"CN", "US", "NL", "RU", "BR", "IR", "TW", "VN"}) {
+    EXPECT_FALSE(registry.records_of(CountryCode(code)).empty()) << code;
+  }
+}
+
+TEST(SyntheticRegistry, FptEnterpriseAsnPresent) {
+  // §6.7 calls out ASN 18403 (FPT, VN) as the JSON-RPC scanning origin.
+  const auto& registry = InternetRegistry::synthetic_default();
+  bool found = false;
+  for (const auto& record : registry.records()) {
+    if (record.asn == 18403) {
+      found = true;
+      EXPECT_EQ(record.country, CountryCode("VN"));
+      EXPECT_EQ(record.type, ScannerType::kEnterprise);
+      EXPECT_EQ(record.organization, "FPT-AS-AP");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScannerType, NamesAreStable) {
+  EXPECT_EQ(to_string(ScannerType::kInstitutional), "institutional");
+  EXPECT_EQ(to_string(ScannerType::kHosting), "hosting");
+  EXPECT_EQ(to_string(ScannerType::kEnterprise), "enterprise");
+  EXPECT_EQ(to_string(ScannerType::kResidential), "residential");
+  EXPECT_EQ(to_string(ScannerType::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace synscan::enrich

@@ -1,0 +1,184 @@
+#include "fingerprint/matchers.h"
+
+#include <gtest/gtest.h>
+
+#include "simgen/rng.h"
+#include "simgen/wire.h"
+#include "telescope/sensor.h"
+#include "test_support.h"
+
+namespace synscan::fingerprint {
+namespace {
+
+using synscan::testing::ProbeBuilder;
+
+telescope::ScanProbe probe_from_wire(simgen::WireState& wire, net::Ipv4Address dst,
+                                     std::uint16_t port) {
+  net::TcpFrameSpec spec;
+  wire.craft(spec, dst, port);
+  telescope::ScanProbe probe;
+  probe.source = spec.src_ip;
+  probe.destination = dst;
+  probe.source_port = spec.src_port;
+  probe.destination_port = port;
+  probe.sequence = spec.sequence;
+  probe.ip_id = spec.ip_id;
+  return probe;
+}
+
+TEST(ZmapMatcher, MatchesMarkedIpId) {
+  EXPECT_TRUE(matches_zmap(ProbeBuilder().ipid(54321)));
+  EXPECT_FALSE(matches_zmap(ProbeBuilder().ipid(54320)));
+  EXPECT_FALSE(matches_zmap(ProbeBuilder().ipid(0)));
+}
+
+TEST(MasscanMatcher, PaperRelationHolds) {
+  // IPid = destIP ^ destPort ^ SeqNum (folded to 16 bits).
+  const auto dst = net::Ipv4Address::from_octets(198, 51, 9, 9);
+  const std::uint32_t seq = 0x13572468;
+  const std::uint16_t port = 443;
+  const auto probe =
+      ProbeBuilder().to(dst).port(port).seq(seq).ipid(masscan_ip_id(dst.value(), port, seq));
+  EXPECT_TRUE(matches_masscan(probe));
+}
+
+TEST(MasscanMatcher, RejectsOffByOne) {
+  const auto dst = net::Ipv4Address::from_octets(198, 51, 9, 9);
+  const auto good = masscan_ip_id(dst.value(), 443, 0x1111);
+  const auto probe = ProbeBuilder()
+                         .to(dst)
+                         .port(443)
+                         .seq(0x1111)
+                         .ipid(static_cast<std::uint16_t>(good ^ 1));
+  EXPECT_FALSE(matches_masscan(probe));
+}
+
+TEST(MiraiMatcher, SequenceEqualsDestination) {
+  const auto dst = net::Ipv4Address::from_octets(203, 0, 113, 5);
+  EXPECT_TRUE(matches_mirai(ProbeBuilder().to(dst).seq(dst.value())));
+  EXPECT_FALSE(matches_mirai(ProbeBuilder().to(dst).seq(dst.value() + 1)));
+}
+
+TEST(NmapMatcher, PairRelation) {
+  // seq = (nfo||nfo) ^ secret: the XOR of any two has equal halves.
+  const std::uint32_t secret = 0xcafebabe;
+  const auto enc = [&](std::uint16_t nfo) {
+    return ((static_cast<std::uint32_t>(nfo) << 16) | nfo) ^ secret;
+  };
+  EXPECT_TRUE(matches_nmap_pair(enc(0x1234), enc(0x5678)));
+  EXPECT_TRUE(matches_nmap_pair(enc(0x0000), enc(0xffff)));
+  EXPECT_FALSE(matches_nmap_pair(enc(0x1234), enc(0x5678) ^ 0x1));
+}
+
+TEST(NmapMatcher, IdenticalSequencesTriviallyMatch) {
+  EXPECT_TRUE(matches_nmap_pair(0xabcdabcd, 0xabcdabcd));
+}
+
+TEST(NmapMatcher, RandomPairsRarelyMatch) {
+  simgen::Rng rng(5);
+  int matches = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (matches_nmap_pair(rng.next_u32(), rng.next_u32())) ++matches;
+  }
+  // Chance of a random match is 2^-16 ~ 1.5e-5; expect ~1.5 in 1e5.
+  EXPECT_LT(matches, 12);
+}
+
+TEST(UnicornMatcher, PaperRelationHolds) {
+  const std::uint32_t key = 0x5eed5eed;
+  const auto make = [&](net::Ipv4Address dst, std::uint16_t sport, std::uint16_t dport) {
+    return ProbeBuilder()
+        .to(dst)
+        .sport(sport)
+        .port(dport)
+        .seq(key ^ dst.value() ^ sport ^ (static_cast<std::uint32_t>(dport) << 16))
+        .probe;
+  };
+  const auto a = make(net::Ipv4Address::from_octets(198, 51, 1, 1), 1111, 80);
+  const auto b = make(net::Ipv4Address::from_octets(198, 51, 200, 9), 2222, 8080);
+  EXPECT_TRUE(matches_unicorn_pair(a, b));
+
+  auto c = b;
+  c.sequence ^= 0x10;
+  EXPECT_FALSE(matches_unicorn_pair(a, c));
+}
+
+// Property sweep: the wire synthesizer and the matchers must agree for
+// every fingerprintable tool, at any destination/port.
+struct WireCase {
+  simgen::WireTool tool;
+  bool zmap, masscan, mirai;
+};
+
+class WireMatcherTest : public ::testing::TestWithParam<WireCase> {};
+
+TEST_P(WireMatcherTest, SinglePacketFingerprintsAgree) {
+  simgen::Rng rng(77);
+  simgen::WireState wire(GetParam().tool, rng.fork(1));
+  for (int i = 0; i < 200; ++i) {
+    const auto dst = net::Ipv4Address(0xcb007100u + rng.next_u32() % 65536);
+    const auto port = static_cast<std::uint16_t>(1 + rng.uniform(65535));
+    const auto probe = probe_from_wire(wire, dst, port);
+    EXPECT_EQ(matches_zmap(probe), GetParam().zmap) << i;
+    EXPECT_EQ(matches_masscan(probe), GetParam().masscan) << i;
+    EXPECT_EQ(matches_mirai(probe), GetParam().mirai) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tools, WireMatcherTest,
+    ::testing::Values(WireCase{simgen::WireTool::kZmap, true, false, false},
+                      WireCase{simgen::WireTool::kMasscan, false, true, false},
+                      WireCase{simgen::WireTool::kMirai, false, false, true}));
+
+TEST(WireMatcher, NmapPairsAlwaysSatisfyRelation) {
+  simgen::Rng rng(78);
+  simgen::WireState wire(simgen::WireTool::kNmap, rng.fork(2));
+  std::uint32_t previous = 0;
+  bool have_previous = false;
+  for (int i = 0; i < 300; ++i) {
+    const auto probe = probe_from_wire(
+        wire, net::Ipv4Address(0xcb007100u + static_cast<std::uint32_t>(i)), 22);
+    if (have_previous) {
+      EXPECT_TRUE(matches_nmap_pair(previous, probe.sequence)) << i;
+    }
+    previous = probe.sequence;
+    have_previous = true;
+  }
+}
+
+TEST(WireMatcher, UnicornPairsAlwaysSatisfyRelation) {
+  simgen::Rng rng(79);
+  simgen::WireState wire(simgen::WireTool::kUnicorn, rng.fork(3));
+  telescope::ScanProbe previous;
+  bool have_previous = false;
+  for (int i = 0; i < 300; ++i) {
+    const auto dst = net::Ipv4Address(0xcb007100u + rng.next_u32() % 65536);
+    const auto port = static_cast<std::uint16_t>(1 + rng.uniform(65535));
+    const auto probe = probe_from_wire(wire, dst, port);
+    if (have_previous) {
+      EXPECT_TRUE(matches_unicorn_pair(previous, probe)) << i;
+    }
+    previous = probe;
+    have_previous = true;
+  }
+}
+
+TEST(WireMatcher, StealthVariantsDodgeTheirFingerprints) {
+  simgen::Rng rng(80);
+  simgen::WireState zmap_stealth(simgen::WireTool::kZmapStealth, rng.fork(4));
+  simgen::WireState masscan_stealth(simgen::WireTool::kMasscanStealth, rng.fork(5));
+  int zmap_hits = 0;
+  int masscan_hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto dst = net::Ipv4Address(0xcb007100u + rng.next_u32() % 65536);
+    if (matches_zmap(probe_from_wire(zmap_stealth, dst, 80))) ++zmap_hits;
+    if (matches_masscan(probe_from_wire(masscan_stealth, dst, 80))) ++masscan_hits;
+  }
+  EXPECT_LE(zmap_hits, 1);     // 1/65536 chance per probe
+  EXPECT_LE(masscan_hits, 1);
+}
+
+}  // namespace
+}  // namespace synscan::fingerprint

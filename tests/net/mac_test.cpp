@@ -1,0 +1,58 @@
+#include "net/mac.h"
+
+#include <gtest/gtest.h>
+
+namespace synscan::net {
+namespace {
+
+TEST(MacAddress, ParseAndFormatRoundTrip) {
+  const auto mac = MacAddress::parse("02:00:5e:10:ff:01");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:00:5e:10:ff:01");
+}
+
+TEST(MacAddress, ParseAcceptsUppercase) {
+  const auto mac = MacAddress::parse("AA:BB:CC:DD:EE:FF");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:5e:10:ff").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:5e:10:ff:01:02").has_value());
+  EXPECT_FALSE(MacAddress::parse("02-00-5e-10-ff-01").has_value());
+  EXPECT_FALSE(MacAddress::parse("0g:00:00:00:00:00").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:5e:10:ff:0").has_value());
+}
+
+TEST(MacAddress, BroadcastDetection) {
+  EXPECT_TRUE(MacAddress::parse("ff:ff:ff:ff:ff:ff")->is_broadcast());
+  EXPECT_FALSE(MacAddress::parse("ff:ff:ff:ff:ff:fe")->is_broadcast());
+}
+
+TEST(MacAddress, MulticastBit) {
+  EXPECT_TRUE(MacAddress::parse("01:00:5e:00:00:01")->is_multicast());
+  EXPECT_FALSE(MacAddress::parse("02:00:5e:00:00:01")->is_multicast());
+}
+
+TEST(MacAddress, LocalAddressesAreUnicastAndDistinct) {
+  const auto a = MacAddress::local(1);
+  const auto b = MacAddress::local(2);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.is_multicast());
+  EXPECT_FALSE(a.is_broadcast());
+  // Locally administered bit set.
+  EXPECT_EQ(a.octets()[0] & 0x02, 0x02);
+}
+
+TEST(MacAddress, LocalEncodesIdInLowOctets) {
+  const auto mac = MacAddress::local(0x01020304u);
+  EXPECT_EQ(mac.octets()[2], 0x01);
+  EXPECT_EQ(mac.octets()[3], 0x02);
+  EXPECT_EQ(mac.octets()[4], 0x03);
+  EXPECT_EQ(mac.octets()[5], 0x04);
+}
+
+}  // namespace
+}  // namespace synscan::net

@@ -1,0 +1,122 @@
+#include "report/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/series.h"
+
+namespace synscan::report {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table table({"port", "packets", "share"});
+  table.add_row({"80", "1000", "50.0%"});
+  table.add_row({"443", "500", "25.0%"});
+  const auto text = table.render();
+  EXPECT_NE(text.find("port"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_NE(text.find("443"), std::string::npos);
+  // Header, rule, two rows -> 4 lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Table, PadsColumnsToWidestCell) {
+  Table table({"a", "b"});
+  table.add_row({"wide-cell-content", "1"});
+  const auto text = table.render();
+  std::istringstream stream(text);
+  std::string header;
+  std::getline(stream, header);
+  EXPECT_GE(header.size(), std::string("wide-cell-content  b").size());
+}
+
+TEST(Table, ShortRowsPadAndLongRowsTruncate) {
+  Table table({"a", "b"});
+  table.add_row({"only-one"});
+  table.add_row({"x", "y", "dropped"});
+  const auto text = table.render();
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("only-one"), std::string::npos);
+}
+
+TEST(Table, FirstColumnLeftAlignedRestRight) {
+  Table table({"name", "num"});
+  table.add_row({"ab", "7"});
+  const auto text = table.render();
+  std::istringstream stream(text);
+  std::string line;
+  std::getline(stream, line);  // header
+  std::getline(stream, line);  // rule
+  std::getline(stream, line);  // row
+  EXPECT_EQ(line.substr(0, 2), "ab");
+  EXPECT_EQ(line.back(), '7');
+}
+
+TEST(Table, StreamOperator) {
+  Table table({"x"});
+  table.add_row({"1"});
+  std::ostringstream out;
+  out << table;
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(percent(0.5), "50.0%");
+  EXPECT_EQ(percent(0.123456, 2), "12.35%");
+  EXPECT_EQ(percent(0.0), "0.0%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Formatting, HumanCount) {
+  EXPECT_EQ(human_count(950), "950");
+  EXPECT_EQ(human_count(95), "95.0");
+  EXPECT_EQ(human_count(1500), "1.5 K");
+  EXPECT_EQ(human_count(11e6), "11.0 M");
+  EXPECT_EQ(human_count(45e9), "45.0 B");
+  EXPECT_EQ(human_count(345e6), "345 M");
+}
+
+TEST(Formatting, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Series, PrintCdfEmitsMonotonePoints) {
+  std::ostringstream out;
+  print_cdf(out, "test-cdf", stats::Ecdf({1.0, 2.0, 2.0, 5.0}));
+  const auto text = out.str();
+  EXPECT_NE(text.find("test-cdf"), std::string::npos);
+  EXPECT_NE(text.find("n=4"), std::string::npos);
+  EXPECT_NE(text.find("1.0000"), std::string::npos);  // final F value
+}
+
+TEST(Series, PrintCdfHandlesEmpty) {
+  std::ostringstream out;
+  print_cdf(out, "empty", stats::Ecdf{});
+  EXPECT_NE(out.str().find("(empty)"), std::string::npos);
+}
+
+TEST(Series, CdfSummaryTable) {
+  std::vector<stats::NamedEcdf> series;
+  series.push_back({"fast", stats::Ecdf({100.0, 200.0, 300.0})});
+  series.push_back({"empty", stats::Ecdf{}});
+  std::ostringstream out;
+  print_cdf_summary(out, "speeds", series);
+  const auto text = out.str();
+  EXPECT_NE(text.find("fast"), std::string::npos);
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("200.00"), std::string::npos);
+  EXPECT_NE(text.find('-'), std::string::npos);  // empty series placeholder
+}
+
+TEST(Series, CsvSeries) {
+  std::ostringstream out;
+  const double xs[] = {1.0, 2.0};
+  const double ys[] = {10.0, 20.0};
+  print_csv_series(out, "s", xs, ys);
+  EXPECT_EQ(out.str(), "s,1,10\ns,2,20\n");
+}
+
+}  // namespace
+}  // namespace synscan::report

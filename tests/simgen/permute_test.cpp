@@ -1,0 +1,73 @@
+#include "simgen/permute.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace synscan::simgen {
+namespace {
+
+class PermutationSizeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PermutationSizeTest, IsABijection) {
+  const auto n = GetParam();
+  const Permutation perm(0xfeedbeef, n);
+  std::vector<bool> seen(n, false);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto image = perm.at(i);
+    ASSERT_LT(image, n);
+    ASSERT_FALSE(seen[image]) << "collision at " << i;
+    seen[image] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSizeTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 16u, 17u, 100u, 255u, 256u,
+                                           257u, 1000u, 4096u, 65535u, 65536u, 71536u));
+
+TEST(Permutation, DifferentKeysGiveDifferentOrders) {
+  const Permutation a(1, 1000);
+  const Permutation b(2, 1000);
+  int same = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    if (a.at(i) == b.at(i)) ++same;
+  }
+  EXPECT_LT(same, 30);  // a couple of fixed coincidences are fine
+}
+
+TEST(Permutation, SameKeyIsDeterministic) {
+  const Permutation a(99, 500);
+  const Permutation b(99, 500);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.at(i), b.at(i));
+  }
+}
+
+TEST(Permutation, ShufflesRatherThanShifts) {
+  // The permutation should not be close to the identity or a rotation:
+  // count fixed points and adjacent mappings.
+  const Permutation perm(0xabcdef, 10000);
+  int fixed = 0;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    if (perm.at(i) == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 30);  // expectation is ~1 for a random permutation
+}
+
+TEST(Permutation, CoversFullPortRange) {
+  // The institutional full-range scans rely on exact coverage of
+  // [0, 65536).
+  const Permutation perm(0x5eed, 65536);
+  std::vector<bool> seen(65536, false);
+  for (std::uint32_t i = 0; i < 65536; ++i) seen[perm.at(i)] = true;
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), 65536);
+}
+
+TEST(Permutation, SizeOneMapsToZero) {
+  const Permutation perm(123, 1);
+  EXPECT_EQ(perm.at(0), 0u);
+}
+
+}  // namespace
+}  // namespace synscan::simgen

@@ -1,0 +1,141 @@
+#include "simgen/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace synscan::simgen {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(7);
+  Rng fork1 = parent.fork(1);
+  Rng fork2 = parent.fork(1);
+  // Two forks taken sequentially consume parent state and differ.
+  EXPECT_NE(fork1.next_u64(), fork2.next_u64());
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform(1), 0u);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(10)];
+  for (const auto count : counts) {
+    EXPECT_NEAR(count, kDraws / 10, 500);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits, 3000, 200);
+  Rng rng2(16);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.bernoulli(0.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianMatches) {
+  Rng rng(21);
+  std::vector<double> sample(20001);
+  for (auto& x : sample) x = rng.lognormal(100.0, 2.0);
+  std::nth_element(sample.begin(), sample.begin() + 10000, sample.end());
+  EXPECT_NEAR(sample[10000], 100.0, 5.0);
+  // Sigma of 1 collapses to the median exactly.
+  EXPECT_DOUBLE_EQ(rng.lognormal(42.0, 1.0), 42.0);
+}
+
+TEST(Rng, WeightedFollowsWeights) {
+  Rng rng(23);
+  const double weights[] = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_NEAR(counts[0], kDraws / 10, 500);
+  EXPECT_NEAR(counts[1], 3 * kDraws / 10, 800);
+  EXPECT_NEAR(counts[2], 6 * kDraws / 10, 800);
+}
+
+TEST(Rng, WeightedDegenerateInputs) {
+  Rng rng(25);
+  EXPECT_EQ(rng.weighted({}), 0u);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted(zeros), 0u);
+  const double single[] = {5.0};
+  EXPECT_EQ(rng.weighted(single), 0u);
+}
+
+TEST(Rng, HashLabelIsStableAndDistinct) {
+  EXPECT_EQ(Rng::hash_label("censys"), Rng::hash_label("censys"));
+  EXPECT_NE(Rng::hash_label("censys"), Rng::hash_label("shodan"));
+  EXPECT_NE(Rng::hash_label(""), Rng::hash_label("a"));
+}
+
+}  // namespace
+}  // namespace synscan::simgen

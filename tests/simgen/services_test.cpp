@@ -1,0 +1,83 @@
+#include "simgen/services.h"
+
+#include <gtest/gtest.h>
+
+namespace synscan::simgen {
+namespace {
+
+TEST(ServiceDeployment, DeterministicPerHost) {
+  const ServiceDeployment deployment(42);
+  const auto host = net::Ipv4Address::from_octets(1, 2, 3, 4);
+  EXPECT_EQ(deployment.open_ports(host), deployment.open_ports(host));
+}
+
+TEST(ServiceDeployment, DifferentSeedsDiffer) {
+  const ServiceDeployment a(1);
+  const ServiceDeployment b(2);
+  // Over a sample, the exposure sets must differ.
+  int differing = 0;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const net::Ipv4Address host(0x01020000u + i);
+    if (a.open_ports(host) != b.open_ports(host)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(ServiceDeployment, MostHostsExposeNothing) {
+  const ServiceDeployment deployment(7);
+  std::uint32_t exposed = 0;
+  constexpr std::uint32_t kSample = 5000;
+  for (std::uint32_t i = 0; i < kSample; ++i) {
+    if (!deployment.open_ports(net::Ipv4Address(0x20000000u + i * 977)).empty()) {
+      ++exposed;
+    }
+  }
+  // ~8% exposure rate.
+  EXPECT_NEAR(static_cast<double>(exposed) / kSample, 0.08, 0.02);
+}
+
+TEST(ServiceDeployment, ExposedHostsRunFewServices) {
+  const ServiceDeployment deployment(9);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const auto ports = deployment.open_ports(net::Ipv4Address(0x30000000u + i));
+    EXPECT_LE(ports.size(), 5u);
+  }
+}
+
+TEST(ServiceDeployment, VerticalScanFindsCommonServicesOnTop) {
+  const ServiceDeployment deployment(11);
+  const auto counts = deployment.services_per_port(30000);
+  ASSERT_EQ(counts.size(), 65536u);
+  // HTTP and HTTPS lead the deployment profile.
+  EXPECT_GT(counts[80], counts[3306]);
+  EXPECT_GT(counts[443], counts[21]);
+  EXPECT_GT(counts[22], counts[6379]);
+  // And there is a long tail on unexpected ports (LZR's finding).
+  std::uint64_t tail = 0;
+  for (std::uint32_t port = 1024; port < 65536; ++port) {
+    if (port == 8080 || port == 8443 || port == 8000 || port == 8888 || port == 2222 ||
+        port == 2323 || port == 3306 || port == 3389 || port == 5432 || port == 5900 ||
+        port == 6379 || port == 9200 || port == 1433 || port == 8081 || port == 10000 ||
+        port == 5060) {
+      continue;
+    }
+    tail += counts[port];
+  }
+  EXPECT_GT(tail, 0u);
+}
+
+TEST(ServiceDeployment, SampleSizeScalesCounts) {
+  const ServiceDeployment deployment(13);
+  const auto small = deployment.services_per_port(5000);
+  const auto large = deployment.services_per_port(20000);
+  std::uint64_t small_total = 0;
+  std::uint64_t large_total = 0;
+  for (std::size_t port = 0; port < 65536; ++port) {
+    small_total += small[port];
+    large_total += large[port];
+  }
+  EXPECT_GT(large_total, 2 * small_total);
+}
+
+}  // namespace
+}  // namespace synscan::simgen

@@ -1,0 +1,97 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include "simgen/rng.h"
+
+namespace synscan::stats {
+namespace {
+
+TEST(Ecdf, EmptyBehavior) {
+  const Ecdf ecdf;
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_EQ(ecdf.fraction_at_or_below(10.0), 0.0);
+  EXPECT_TRUE(ecdf.curve().empty());
+  EXPECT_THROW((void)ecdf.value_at_fraction(0.5), std::logic_error);
+}
+
+TEST(Ecdf, FractionAtOrBelow) {
+  const Ecdf ecdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  const Ecdf ecdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(1.99), 0.0);
+}
+
+TEST(Ecdf, ValueAtFraction) {
+  const Ecdf ecdf({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(ecdf.value_at_fraction(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.value_at_fraction(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(ecdf.value_at_fraction(0.75), 30.0);
+  EXPECT_DOUBLE_EQ(ecdf.value_at_fraction(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(ecdf.value_at_fraction(0.01), 10.0);
+}
+
+TEST(Ecdf, ValueAtFractionRejectsBadInput) {
+  const Ecdf ecdf({1.0});
+  EXPECT_THROW((void)ecdf.value_at_fraction(0.0), std::invalid_argument);
+  EXPECT_THROW((void)ecdf.value_at_fraction(1.5), std::invalid_argument);
+}
+
+TEST(Ecdf, InverseAndForwardAreConsistent) {
+  simgen::Rng rng(17);
+  std::vector<double> sample(500);
+  for (auto& x : sample) x = rng.normal();
+  const Ecdf ecdf(sample);
+  for (const double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double v = ecdf.value_at_fraction(q);
+    EXPECT_GE(ecdf.fraction_at_or_below(v), q);
+  }
+}
+
+TEST(Ecdf, CurveIsMonotone) {
+  simgen::Rng rng(23);
+  std::vector<double> sample(1000);
+  for (auto& x : sample) x = rng.uniform_real() * 10;
+  const Ecdf ecdf(sample);
+  const auto curve = ecdf.curve(64);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_LE(curve.size(), 64u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].x, curve[i - 1].x);
+    EXPECT_GE(curve[i].f, curve[i - 1].f);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().f, 1.0);
+}
+
+TEST(Ecdf, CurveWithFewDistinctValuesHasOneStepEach) {
+  const Ecdf ecdf({1.0, 1.0, 2.0, 2.0, 2.0, 9.0});
+  const auto curve = ecdf.curve();
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].x, 1.0);
+  EXPECT_NEAR(curve[0].f, 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[1].x, 2.0);
+  EXPECT_NEAR(curve[1].f, 5.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[2].x, 9.0);
+  EXPECT_DOUBLE_EQ(curve[2].f, 1.0);
+}
+
+TEST(Ecdf, UniformSampleIsRoughlyLinear) {
+  simgen::Rng rng(29);
+  std::vector<double> sample(20000);
+  for (auto& x : sample) x = rng.uniform_real();
+  const Ecdf ecdf(sample);
+  for (double x = 0.1; x < 1.0; x += 0.2) {
+    EXPECT_NEAR(ecdf.fraction_at_or_below(x), x, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace synscan::stats

@@ -1,0 +1,91 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace synscan::stats {
+namespace {
+
+TEST(LinearHistogram, BinAssignment) {
+  LinearHistogram hist(0.0, 10.0, 10);
+  hist.add(0.0);
+  hist.add(0.999);
+  hist.add(5.0);
+  hist.add(9.999);
+  EXPECT_EQ(hist.count(0), 2u);
+  EXPECT_EQ(hist.count(5), 1u);
+  EXPECT_EQ(hist.count(9), 1u);
+  EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(LinearHistogram, UnderAndOverflow) {
+  LinearHistogram hist(0.0, 10.0, 5);
+  hist.add(-1.0);
+  hist.add(10.0);
+  hist.add(1e9);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 2u);
+  EXPECT_EQ(hist.total(), 3u);
+}
+
+TEST(LinearHistogram, WeightsAccumulate) {
+  LinearHistogram hist(0.0, 10.0, 2);
+  hist.add(1.0, 5);
+  hist.add(6.0, 3);
+  EXPECT_EQ(hist.count(0), 5u);
+  EXPECT_EQ(hist.count(1), 3u);
+}
+
+TEST(LinearHistogram, BinGeometry) {
+  LinearHistogram hist(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(hist.bin_left(0), 10.0);
+  EXPECT_DOUBLE_EQ(hist.bin_center(0), 11.0);
+  EXPECT_DOUBLE_EQ(hist.bin_left(4), 18.0);
+}
+
+TEST(LinearHistogram, ModeBin) {
+  LinearHistogram hist(0.0, 3.0, 3);
+  hist.add(0.5);
+  hist.add(1.5);
+  hist.add(1.6);
+  hist.add(2.5);
+  EXPECT_EQ(hist.mode_bin(), 1u);
+}
+
+TEST(LinearHistogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(LinearHistogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, DecadeSpacing) {
+  LogHistogram hist(1.0, 1e6, 1);  // one bin per decade
+  hist.add(2.0);      // decade [1, 10)
+  hist.add(200.0);    // decade [100, 1000)
+  hist.add(999.0);
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(2), 2u);
+  EXPECT_EQ(hist.total(), 3u);
+}
+
+TEST(LogHistogram, NonPositiveSaturatesLow) {
+  LogHistogram hist(1.0, 100.0);
+  hist.add(0.0);
+  hist.add(-5.0);
+  EXPECT_EQ(hist.count(0), 2u);
+}
+
+TEST(LogHistogram, BinEdgesArePowers) {
+  LogHistogram hist(1.0, 1000.0, 1);
+  EXPECT_NEAR(hist.bin_left(0), 1.0, 1e-9);
+  EXPECT_NEAR(hist.bin_left(1), 10.0, 1e-9);
+  EXPECT_NEAR(hist.bin_left(2), 100.0, 1e-9);
+}
+
+TEST(LogHistogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace synscan::stats

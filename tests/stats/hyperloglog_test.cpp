@@ -1,0 +1,92 @@
+#include "stats/hyperloglog.h"
+
+#include <gtest/gtest.h>
+
+#include "simgen/rng.h"
+
+namespace synscan::stats {
+namespace {
+
+TEST(HyperLogLog, EmptyEstimatesZero) {
+  const HyperLogLog hll;
+  EXPECT_NEAR(hll.estimate(), 0.0, 1e-9);
+}
+
+TEST(HyperLogLog, SmallCountsAreNearExact) {
+  HyperLogLog hll;
+  for (std::uint64_t i = 0; i < 100; ++i) hll.add(i);
+  EXPECT_NEAR(hll.estimate(), 100.0, 5.0);  // linear-counting regime
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll;
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t i = 0; i < 200; ++i) hll.add(i);
+  }
+  EXPECT_NEAR(hll.estimate(), 200.0, 10.0);
+}
+
+class HllCardinalityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HllCardinalityTest, ErrorWithinTheoreticalBound) {
+  const auto n = GetParam();
+  HyperLogLog hll(12);  // standard error ~1.63%
+  simgen::Rng rng(n);
+  for (std::uint64_t i = 0; i < n; ++i) hll.add(rng.next_u64());
+  const double error =
+      std::fabs(hll.estimate() - static_cast<double>(n)) / static_cast<double>(n);
+  EXPECT_LT(error, 0.05) << "estimate " << hll.estimate() << " for n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HllCardinalityTest,
+                         ::testing::Values(1000u, 10000u, 100000u, 1000000u));
+
+TEST(HyperLogLog, PrecisionControlsAccuracy) {
+  // Telescope-scale check: 45 million distinct sources (the paper's
+  // total) estimated within a few percent from 64 KiB of registers.
+  HyperLogLog hll(16);
+  simgen::Rng rng(45);
+  constexpr std::uint64_t kSources = 4'500'000;  // 1/10 for test speed
+  for (std::uint64_t i = 0; i < kSources; ++i) hll.add(rng.next_u64());
+  const double error = std::fabs(hll.estimate() - kSources) / kSources;
+  EXPECT_LT(error, 0.02);
+}
+
+TEST(HyperLogLog, MergeMatchesUnion) {
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  HyperLogLog combined(12);
+  simgen::Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const auto value = rng.next_u64();
+    if (i % 2 == 0) a.add(value);
+    else b.add(value);
+    combined.add(value);
+  }
+  // Overlap: re-add a shared chunk to both.
+  simgen::Rng shared(9);
+  for (int i = 0; i < 5000; ++i) {
+    const auto value = shared.next_u64();
+    a.add(value);
+    b.add(value);
+    combined.add(value);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.estimate(), combined.estimate(), combined.estimate() * 0.01);
+}
+
+TEST(HyperLogLog, MergePrecisionMismatchThrows) {
+  HyperLogLog a(12);
+  const HyperLogLog b(10);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(HyperLogLog, PrecisionBoundsEnforced) {
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(17), std::invalid_argument);
+  EXPECT_EQ(HyperLogLog(4).registers(), 16u);
+  EXPECT_EQ(HyperLogLog(16).registers(), 65536u);
+}
+
+}  // namespace
+}  // namespace synscan::stats

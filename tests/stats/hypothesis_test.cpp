@@ -1,0 +1,182 @@
+#include "stats/hypothesis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simgen/rng.h"
+
+namespace synscan::stats {
+namespace {
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricHalf) {
+  // I_{0.5}(a, a) == 0.5 for any a.
+  for (const double a : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(incomplete_beta(a, a, 0.5), 0.5, 1e-9) << a;
+  }
+}
+
+TEST(IncompleteBeta, UniformCase) {
+  // I_x(1, 1) == x.
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-9);
+  }
+}
+
+TEST(IncompleteBeta, KnownValue) {
+  // I_{0.25}(2, 3) = 1 - (1-x)^3 (1+3x) at ... use closed form for a=2,b=3:
+  // I_x(2,3) = 6x^2 - 8x^3 + 3x^4.
+  const double x = 0.25;
+  const double expected = 6 * x * x - 8 * x * x * x + 3 * x * x * x * x;
+  EXPECT_NEAR(incomplete_beta(2.0, 3.0, x), expected, 1e-9);
+}
+
+TEST(StudentT, TwoSidedPValues) {
+  // Known two-sided p for t with 10 dof: t=2.228 -> p ~= 0.05.
+  EXPECT_NEAR(student_t_two_sided_p(2.228, 10), 0.05, 0.002);
+  // t = 0 -> p = 1.
+  EXPECT_NEAR(student_t_two_sided_p(0.0, 10), 1.0, 1e-12);
+  // Huge t -> p ~ 0.
+  EXPECT_LT(student_t_two_sided_p(50.0, 10), 1e-6);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  const auto result = pearson(x, y);
+  EXPECT_DOUBLE_EQ(result.r, 1.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 0.0);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_DOUBLE_EQ(pearson(x, y).r, -1.0);
+}
+
+TEST(Pearson, ZeroVarianceYieldsZero) {
+  const std::vector<double> x = {1, 1, 1, 1};
+  const std::vector<double> y = {1, 2, 3, 4};
+  const auto result = pearson(x, y);
+  EXPECT_EQ(result.r, 0.0);
+  EXPECT_EQ(result.p_value, 1.0);
+}
+
+TEST(Pearson, TooFewSamples) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {2, 1};
+  EXPECT_EQ(pearson(x, y).r, 0.0);
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 2};
+  EXPECT_THROW((void)pearson(x, y), std::invalid_argument);
+}
+
+TEST(Pearson, KnownRAndP) {
+  // Hand-computed: r = 16 / sqrt(17.5 * 70/3) = 0.79183,
+  // t = r * sqrt(4 / (1 - r^2)) = 2.5934, two-sided p (4 dof) = 0.0605.
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> y = {2, 1, 4, 3, 7, 5};
+  const auto result = pearson(x, y);
+  EXPECT_NEAR(result.r, 0.79183, 1e-4);
+  EXPECT_NEAR(result.p_value, 0.0605, 0.002);
+}
+
+TEST(Pearson, IndependentSamplesHaveHighP) {
+  simgen::Rng rng(41);
+  std::vector<double> x(200);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  const auto result = pearson(x, y);
+  EXPECT_LT(std::fabs(result.r), 0.2);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(Pearson, StrongTrendDetectedInNoise) {
+  simgen::Rng rng(43);
+  std::vector<double> x(100);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = static_cast<double>(i) + rng.normal() * 10.0;
+  }
+  const auto result = pearson(x, y);
+  EXPECT_GT(result.r, 0.8);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};  // x^3
+  EXPECT_DOUBLE_EQ(spearman(x, y).r, 1.0);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y).r, 1.0, 1e-12);
+}
+
+TEST(KolmogorovSmirnov, IdenticalSamplesHaveZeroDistance) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const auto result = kolmogorov_smirnov(a, a);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-9);
+}
+
+TEST(KolmogorovSmirnov, DisjointSamplesHaveDistanceOne) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {10, 11, 12};
+  const auto result = kolmogorov_smirnov(a, b);
+  EXPECT_DOUBLE_EQ(result.statistic, 1.0);
+}
+
+TEST(KolmogorovSmirnov, EmptyInputs) {
+  const std::vector<double> a = {1.0};
+  EXPECT_DOUBLE_EQ(kolmogorov_smirnov({}, {}).statistic, 0.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_smirnov(a, {}).statistic, 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_smirnov(a, {}).p_value, 0.0);
+}
+
+TEST(KolmogorovSmirnov, SameDistributionHighP) {
+  simgen::Rng rng(47);
+  std::vector<double> a(400);
+  std::vector<double> b(400);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  const auto result = kolmogorov_smirnov(a, b);
+  EXPECT_LT(result.statistic, 0.15);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(KolmogorovSmirnov, ShiftedDistributionLowP) {
+  simgen::Rng rng(53);
+  std::vector<double> a(400);
+  std::vector<double> b(400);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal() + 1.0;
+  const auto result = kolmogorov_smirnov(a, b);
+  EXPECT_GT(result.statistic, 0.3);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KolmogorovSmirnov, KnownSmallCase) {
+  // scipy.stats.ks_2samp([1,2,3,4], [1.5,2.5,3.5,4.5]) -> D = 0.25
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {1.5, 2.5, 3.5, 4.5};
+  EXPECT_NEAR(kolmogorov_smirnov(a, b).statistic, 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace synscan::stats

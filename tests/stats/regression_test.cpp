@@ -1,0 +1,93 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simgen/rng.h"
+
+namespace synscan::stats {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  const double x[] = {1, 2, 3, 4};
+  const double y[] = {3, 5, 7, 9};  // y = 2x + 1
+  const auto fit = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 2.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 1.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+  EXPECT_DOUBLE_EQ(fit.predict(10.0), 21.0);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+  simgen::Rng rng(5);
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 0.5 * x[i] + 10.0 + rng.normal() * 5.0;
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 10.0, 2.0);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_EQ(linear_fit({}, {}).n, 0u);
+  const double one_x[] = {3.0};
+  const double one_y[] = {7.0};
+  const auto single = linear_fit(one_x, one_y);
+  EXPECT_DOUBLE_EQ(single.slope, 0.0);
+  EXPECT_DOUBLE_EQ(single.intercept, 7.0);
+
+  const double flat_x[] = {2.0, 2.0, 2.0};
+  const double ys[] = {1.0, 2.0, 3.0};
+  const auto flat = linear_fit(flat_x, ys);
+  EXPECT_DOUBLE_EQ(flat.slope, 0.0);
+  EXPECT_DOUBLE_EQ(flat.intercept, 2.0);  // mean of y
+}
+
+TEST(LinearFit, SizeMismatchThrows) {
+  const double x[] = {1.0, 2.0};
+  const double y[] = {1.0};
+  EXPECT_THROW((void)linear_fit(x, y), std::invalid_argument);
+}
+
+TEST(LinearFit, ConstantYHasPerfectFlatFit) {
+  const double x[] = {1, 2, 3};
+  const double y[] = {5, 5, 5};
+  const auto fit = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(AnnualGrowthRate, PaperHeadline) {
+  // §5.3: scan volume grows 63% per annum 2015-2020. Six points with
+  // exactly that growth recover it.
+  std::vector<double> series = {100.0};
+  for (int i = 0; i < 5; ++i) series.push_back(series.back() * 1.63);
+  EXPECT_NEAR(annual_growth_rate(series), 0.63, 1e-12);
+}
+
+TEST(AnnualGrowthRate, ThirtyFoldOverTenYears) {
+  // Table 1: 11M -> 345M packets/day over nine year-steps ~= 46.7%/year.
+  const double series[] = {11e6, 1, 1, 1, 1, 1, 1, 1, 1, 345e6};
+  EXPECT_NEAR(annual_growth_rate(series), std::pow(345.0 / 11.0, 1.0 / 9.0) - 1.0,
+              1e-12);
+  const double endpoints[] = {11e6, 345e6};
+  EXPECT_NEAR(annual_growth_rate(endpoints), 345.0 / 11.0 - 1.0, 1e-9);
+}
+
+TEST(AnnualGrowthRate, DegenerateInputs) {
+  EXPECT_EQ(annual_growth_rate({}), 0.0);
+  const double one[] = {5.0};
+  EXPECT_EQ(annual_growth_rate(one), 0.0);
+  const double with_zero[] = {0.0, 10.0};
+  EXPECT_EQ(annual_growth_rate(with_zero), 0.0);
+  const double declining[] = {100.0, 25.0};
+  EXPECT_NEAR(annual_growth_rate(declining), -0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace synscan::stats

@@ -1,0 +1,93 @@
+#include "stats/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace synscan::stats {
+namespace {
+
+TEST(BucketedSeries, BucketsByWidth) {
+  BucketedSeries series(0, 100);
+  series.add(0);
+  series.add(99);
+  series.add(100);
+  series.add(250, 3);
+  EXPECT_EQ(series.at(0), 2u);
+  EXPECT_EQ(series.at(1), 1u);
+  EXPECT_EQ(series.at(2), 3u);
+  EXPECT_EQ(series.bucket_count(), 3u);
+}
+
+TEST(BucketedSeries, EarlySamplesClampToBucketZero) {
+  BucketedSeries series(1000, 100);
+  series.add(5);
+  EXPECT_EQ(series.at(0), 1u);
+}
+
+TEST(BucketedSeries, DenseFillsGaps) {
+  BucketedSeries series(0, 10);
+  series.add(5);
+  series.add(35);
+  const auto dense = series.dense();
+  ASSERT_EQ(dense.size(), 4u);
+  EXPECT_EQ(dense[0], 1u);
+  EXPECT_EQ(dense[1], 0u);
+  EXPECT_EQ(dense[2], 0u);
+  EXPECT_EQ(dense[3], 1u);
+}
+
+TEST(BucketedSeries, EmptyHasNoBuckets) {
+  BucketedSeries series(0, 10);
+  EXPECT_EQ(series.bucket_count(), 0u);
+  EXPECT_TRUE(series.dense().empty());
+}
+
+TEST(BucketedSeries, RejectsNonPositiveWidth) {
+  EXPECT_THROW(BucketedSeries(0, 0), std::invalid_argument);
+  EXPECT_THROW(BucketedSeries(0, -5), std::invalid_argument);
+}
+
+TEST(ChangeFactors, SymmetricUpAndDown) {
+  // 100 -> 200 and 200 -> 100 are both "a factor of 2".
+  const std::uint64_t up[] = {100, 200};
+  const std::uint64_t down[] = {200, 100};
+  EXPECT_DOUBLE_EQ(change_factors(up)[0], 2.0);
+  EXPECT_DOUBLE_EQ(change_factors(down)[0], 2.0);
+}
+
+TEST(ChangeFactors, StableWeekIsFactorOne) {
+  const std::uint64_t series[] = {50, 50, 50};
+  const auto factors = change_factors(series);
+  ASSERT_EQ(factors.size(), 2u);
+  EXPECT_DOUBLE_EQ(factors[0], 1.0);
+  EXPECT_DOUBLE_EQ(factors[1], 1.0);
+}
+
+TEST(ChangeFactors, ZeroTransitionsUseZeroFactor) {
+  const std::uint64_t series[] = {0, 10, 0};
+  const auto factors = change_factors(series, 64.0);
+  ASSERT_EQ(factors.size(), 2u);
+  EXPECT_DOUBLE_EQ(factors[0], 64.0);  // appearance
+  EXPECT_DOUBLE_EQ(factors[1], 64.0);  // disappearance
+}
+
+TEST(ChangeFactors, BothZeroPairsSkipped) {
+  const std::uint64_t series[] = {0, 0, 5, 5};
+  const auto factors = change_factors(series);
+  ASSERT_EQ(factors.size(), 2u);  // (0,0) skipped; (0,5) and (5,5) counted
+}
+
+TEST(ChangeFactors, ShortSeriesYieldNothing) {
+  EXPECT_TRUE(change_factors({}).empty());
+  const std::uint64_t one[] = {7};
+  EXPECT_TRUE(change_factors(one).empty());
+}
+
+TEST(ChangeFactors, AlwaysAtLeastOne) {
+  const std::uint64_t series[] = {3, 9, 7, 7, 2, 100};
+  for (const auto factor : change_factors(series)) {
+    EXPECT_GE(factor, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace synscan::stats

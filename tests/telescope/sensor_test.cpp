@@ -1,0 +1,147 @@
+#include "telescope/sensor.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace synscan::telescope {
+namespace {
+
+class SensorTest : public ::testing::Test {
+ protected:
+  SensorTest()
+      : telescope_({{*net::Ipv4Prefix::parse("203.0.113.0/24"), 1000}},
+                   {{23, 1000 * net::kMicrosPerSecond}}),
+        sensor_(telescope_) {}
+
+  static net::RawFrame frame_at(net::TimeUs t, std::vector<std::uint8_t> bytes) {
+    return {t, std::move(bytes)};
+  }
+
+  net::Ipv4Address dark_dst() { return net::Ipv4Address::from_octets(203, 0, 113, 7); }
+  net::Ipv4Address src() { return net::Ipv4Address::from_octets(93, 184, 216, 34); }
+
+  Telescope telescope_;
+  Sensor sensor_;
+};
+
+TEST_F(SensorTest, AcceptsSynProbe) {
+  ScanProbe probe;
+  const auto frame = frame_at(5, testing::syn_frame(src(), dark_dst(), 80));
+  EXPECT_EQ(sensor_.classify(frame, probe), FrameClass::kScanProbe);
+  EXPECT_EQ(probe.source, src());
+  EXPECT_EQ(probe.destination, dark_dst());
+  EXPECT_EQ(probe.destination_port, 80);
+  EXPECT_EQ(probe.timestamp_us, 5);
+  EXPECT_EQ(sensor_.counters().scan_probes, 1u);
+}
+
+TEST_F(SensorTest, SynAckIsBackscatter) {
+  ScanProbe probe;
+  const auto flags =
+      net::flag_bit(net::TcpFlag::kSyn) | net::flag_bit(net::TcpFlag::kAck);
+  const auto frame = frame_at(5, testing::syn_frame(src(), dark_dst(), 80, flags));
+  EXPECT_EQ(sensor_.classify(frame, probe), FrameClass::kBackscatter);
+  EXPECT_EQ(sensor_.counters().backscatter, 1u);
+}
+
+TEST_F(SensorTest, RstIsBackscatter) {
+  ScanProbe probe;
+  const auto frame = frame_at(
+      5, testing::syn_frame(src(), dark_dst(), 80, net::flag_bit(net::TcpFlag::kRst)));
+  EXPECT_EQ(sensor_.classify(frame, probe), FrameClass::kBackscatter);
+}
+
+TEST_F(SensorTest, XmasAndNullAreCountedSeparately) {
+  ScanProbe probe;
+  EXPECT_EQ(sensor_.classify(frame_at(1, testing::syn_frame(src(), dark_dst(), 80, 0x3f)),
+                             probe),
+            FrameClass::kXmasOrNull);
+  EXPECT_EQ(sensor_.classify(frame_at(2, testing::syn_frame(src(), dark_dst(), 80, 0x00)),
+                             probe),
+            FrameClass::kXmasOrNull);
+  EXPECT_EQ(sensor_.counters().xmas_or_null, 2u);
+}
+
+TEST_F(SensorTest, FinScanIsOtherTcp) {
+  ScanProbe probe;
+  const auto frame = frame_at(
+      1, testing::syn_frame(src(), dark_dst(), 80, net::flag_bit(net::TcpFlag::kFin)));
+  EXPECT_EQ(sensor_.classify(frame, probe), FrameClass::kOtherTcp);
+}
+
+TEST_F(SensorTest, NonMonitoredDestinationIgnored) {
+  ScanProbe probe;
+  const auto frame = frame_at(
+      1, testing::syn_frame(src(), net::Ipv4Address::from_octets(203, 0, 114, 7), 80));
+  EXPECT_EQ(sensor_.classify(frame, probe), FrameClass::kNotMonitored);
+}
+
+TEST_F(SensorTest, IngressBlockAppliesAfterEffectiveDate) {
+  ScanProbe probe;
+  const auto bytes = testing::syn_frame(src(), dark_dst(), 23);
+  EXPECT_EQ(sensor_.classify(frame_at(999 * net::kMicrosPerSecond, bytes), probe),
+            FrameClass::kScanProbe);
+  EXPECT_EQ(sensor_.classify(frame_at(1001 * net::kMicrosPerSecond, bytes), probe),
+            FrameClass::kIngressBlocked);
+  EXPECT_EQ(sensor_.counters().ingress_blocked, 1u);
+}
+
+TEST_F(SensorTest, SpoofedSourcesRejected) {
+  ScanProbe probe;
+  const auto reserved = testing::syn_frame(
+      net::Ipv4Address::from_octets(127, 0, 0, 1), dark_dst(), 80);
+  EXPECT_EQ(sensor_.classify(frame_at(1, reserved), probe), FrameClass::kSpoofedSource);
+  const auto private_src = testing::syn_frame(
+      net::Ipv4Address::from_octets(192, 168, 1, 1), dark_dst(), 80);
+  EXPECT_EQ(sensor_.classify(frame_at(1, private_src), probe),
+            FrameClass::kSpoofedSource);
+}
+
+TEST_F(SensorTest, UdpAndMalformedCounted) {
+  ScanProbe probe;
+  net::UdpFrameSpec udp;
+  udp.src_ip = src();
+  udp.dst_ip = dark_dst();
+  udp.dst_port = 53;
+  EXPECT_EQ(sensor_.classify(frame_at(1, net::build_udp_frame(udp)), probe),
+            FrameClass::kUdp);
+
+  EXPECT_EQ(sensor_.classify(frame_at(1, {1, 2, 3}), probe), FrameClass::kMalformed);
+  EXPECT_EQ(sensor_.counters().udp, 1u);
+  EXPECT_EQ(sensor_.counters().malformed, 1u);
+}
+
+TEST_F(SensorTest, CountersTotalMatchesFramesFed) {
+  ScanProbe probe;
+  for (int i = 0; i < 7; ++i) {
+    (void)sensor_.classify(frame_at(i, testing::syn_frame(src(), dark_dst(), 80)), probe);
+  }
+  (void)sensor_.classify(frame_at(99, {0xff}), probe);
+  EXPECT_EQ(sensor_.counters().total(), 8u);
+  sensor_.reset_counters();
+  EXPECT_EQ(sensor_.counters().total(), 0u);
+}
+
+TEST_F(SensorTest, ProbeCarriesFingerprintFields) {
+  net::TcpFrameSpec spec;
+  spec.src_ip = src();
+  spec.dst_ip = dark_dst();
+  spec.src_port = 4444;
+  spec.dst_port = 8080;
+  spec.sequence = 0xfeedface;
+  spec.ip_id = 54321;
+  spec.window = 2048;
+  spec.ttl = 57;
+  ScanProbe probe;
+  EXPECT_EQ(sensor_.classify(frame_at(1, net::build_tcp_frame(spec)), probe),
+            FrameClass::kScanProbe);
+  EXPECT_EQ(probe.sequence, 0xfeedface);
+  EXPECT_EQ(probe.ip_id, 54321);
+  EXPECT_EQ(probe.window, 2048);
+  EXPECT_EQ(probe.ttl, 57);
+  EXPECT_EQ(probe.source_port, 4444);
+}
+
+}  // namespace
+}  // namespace synscan::telescope

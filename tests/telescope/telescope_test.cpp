@@ -1,0 +1,108 @@
+#include "telescope/telescope.h"
+
+#include <gtest/gtest.h>
+
+namespace synscan::telescope {
+namespace {
+
+TEST(Telescope, PaperDefaultSizeIsRoughlyOneSlash16) {
+  const auto telescope = Telescope::paper_default();
+  // §3.2: on average 71,536 unrouted addresses. The deterministic
+  // population predicate lands within a small tolerance.
+  EXPECT_NEAR(static_cast<double>(telescope.monitored_count()), 71536.0, 1500.0);
+  EXPECT_EQ(telescope.blocks().size(), 3u);
+}
+
+TEST(Telescope, MonitorsOnlyDarkAddressesOfItsBlocks) {
+  const auto telescope = Telescope::paper_default();
+  // Outside any block: never monitored.
+  EXPECT_FALSE(telescope.monitors(net::Ipv4Address::from_octets(8, 8, 8, 8)));
+  EXPECT_FALSE(telescope.monitors(net::Ipv4Address::from_octets(198, 52, 0, 1)));
+
+  // Inside a block: monitored iff the population predicate says dark.
+  std::uint64_t dark = 0;
+  const auto& block = telescope.blocks().front();
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (telescope.monitors(block.prefix.at(i))) ++dark;
+  }
+  EXPECT_GT(dark, 300u);  // 40% population
+  EXPECT_LT(dark, 500u);
+}
+
+TEST(Telescope, DarkAddressesMatchMonitorsPredicate) {
+  // A small custom telescope so enumeration is cheap.
+  const Telescope telescope({{*net::Ipv4Prefix::parse("203.0.113.0/24"), 500}}, {});
+  const auto dark = telescope.dark_addresses();
+  EXPECT_EQ(dark.size(), telescope.monitored_count());
+  for (const auto addr : dark) {
+    EXPECT_TRUE(telescope.monitors(addr)) << addr.to_string();
+  }
+  EXPECT_NEAR(static_cast<double>(dark.size()), 128.0, 40.0);  // ~50% of 256
+}
+
+TEST(Telescope, DarkAddressAtIndexesEnumeration) {
+  const Telescope telescope({{*net::Ipv4Prefix::parse("203.0.113.0/24"), 700}}, {});
+  const auto dark = telescope.dark_addresses();
+  ASSERT_FALSE(dark.empty());
+  EXPECT_EQ(telescope.dark_address_at(0), dark.front());
+  EXPECT_EQ(telescope.dark_address_at(dark.size() - 1), dark.back());
+  EXPECT_THROW((void)telescope.dark_address_at(dark.size()), std::out_of_range);
+}
+
+TEST(Telescope, FullPopulationMonitorsEverything) {
+  const Telescope telescope({{*net::Ipv4Prefix::parse("203.0.113.0/24"), 1000}}, {});
+  EXPECT_EQ(telescope.monitored_count(), 256u);
+}
+
+TEST(Telescope, ZeroPopulationMonitorsNothing) {
+  const Telescope telescope({{*net::Ipv4Prefix::parse("203.0.113.0/24"), 0}}, {});
+  EXPECT_EQ(telescope.monitored_count(), 0u);
+}
+
+TEST(Telescope, IngressRulesApplyFromEffectiveDate) {
+  constexpr net::TimeUs kCutover = 1000 * net::kMicrosPerSecond;
+  const Telescope telescope({{*net::Ipv4Prefix::parse("203.0.113.0/24"), 1000}},
+                            {{23, kCutover}, {445, kCutover}});
+  EXPECT_FALSE(telescope.ingress_blocked(23, kCutover - 1));
+  EXPECT_TRUE(telescope.ingress_blocked(23, kCutover));
+  EXPECT_TRUE(telescope.ingress_blocked(445, kCutover + 1));
+  EXPECT_FALSE(telescope.ingress_blocked(22, kCutover + 1));
+}
+
+TEST(Telescope, PaperDefaultBlocksTelnetAndSambaFrom2017) {
+  const auto telescope = Telescope::paper_default();
+  constexpr net::TimeUs k2016 = 1451606400LL * net::kMicrosPerSecond;  // 2016-01-01
+  constexpr net::TimeUs k2018 = 1514764800LL * net::kMicrosPerSecond;  // 2018-01-01
+  EXPECT_FALSE(telescope.ingress_blocked(23, k2016));
+  EXPECT_TRUE(telescope.ingress_blocked(23, k2018));
+  EXPECT_TRUE(telescope.ingress_blocked(445, k2018));
+  EXPECT_FALSE(telescope.ingress_blocked(2323, k2018));  // Mirai's alias port stays visible
+}
+
+TEST(Telescope, RejectsEmptyAndInvalidConfig) {
+  EXPECT_THROW(Telescope({}, {}), std::invalid_argument);
+  EXPECT_THROW(Telescope({{*net::Ipv4Prefix::parse("10.0.0.0/24"), 1001}}, {}),
+               std::invalid_argument);
+}
+
+TEST(Telescope, PopulationPredicateIsStable) {
+  // The predicate must never change: generator and sensor both rely on
+  // it. Pin a few concrete values.
+  EXPECT_TRUE(Telescope::address_is_dark(net::Ipv4Address(0), 1000));
+  EXPECT_FALSE(Telescope::address_is_dark(net::Ipv4Address(1), 0));
+  std::uint64_t dark = 0;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    if (Telescope::address_is_dark(net::Ipv4Address(i), 400)) ++dark;
+  }
+  EXPECT_NEAR(static_cast<double>(dark), 4000.0, 200.0);
+}
+
+TEST(Telescope, ModelUsesMonitoredCount) {
+  const auto telescope = Telescope::paper_default();
+  const auto model = telescope.model();
+  EXPECT_NEAR(model.hit_probability(),
+              static_cast<double>(telescope.monitored_count()) / 4294967296.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace synscan::telescope

@@ -1,0 +1,73 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "telescope/sensor.h"
+
+namespace synscan::testing {
+
+/// Builds a ScanProbe with sensible defaults, overridable per field.
+struct ProbeBuilder {
+  telescope::ScanProbe probe;
+
+  ProbeBuilder() {
+    probe.timestamp_us = 1'000'000;
+    probe.source = net::Ipv4Address::from_octets(5, 6, 7, 8);
+    probe.destination = net::Ipv4Address::from_octets(198, 51, 3, 4);
+    probe.source_port = 40000;
+    probe.destination_port = 80;
+    probe.sequence = 0x12345678;
+    probe.ip_id = 7;
+    probe.window = 1024;
+    probe.ttl = 64;
+  }
+
+  ProbeBuilder& at(net::TimeUs t) {
+    probe.timestamp_us = t;
+    return *this;
+  }
+  ProbeBuilder& from(net::Ipv4Address src) {
+    probe.source = src;
+    return *this;
+  }
+  ProbeBuilder& to(net::Ipv4Address dst) {
+    probe.destination = dst;
+    return *this;
+  }
+  ProbeBuilder& port(std::uint16_t p) {
+    probe.destination_port = p;
+    return *this;
+  }
+  ProbeBuilder& sport(std::uint16_t p) {
+    probe.source_port = p;
+    return *this;
+  }
+  ProbeBuilder& seq(std::uint32_t s) {
+    probe.sequence = s;
+    return *this;
+  }
+  ProbeBuilder& ipid(std::uint16_t id) {
+    probe.ip_id = id;
+    return *this;
+  }
+  operator telescope::ScanProbe() const { return probe; }  // NOLINT(google-explicit-constructor)
+};
+
+/// A minimal valid SYN frame for sensor-level tests.
+inline std::vector<std::uint8_t> syn_frame(net::Ipv4Address src, net::Ipv4Address dst,
+                                           std::uint16_t dst_port,
+                                           std::uint8_t flags = net::flag_bit(net::TcpFlag::kSyn)) {
+  net::TcpFrameSpec spec;
+  spec.src_ip = src;
+  spec.dst_ip = dst;
+  spec.src_port = 12345;
+  spec.dst_port = dst_port;
+  spec.sequence = 42;
+  spec.flags = flags;
+  return net::build_tcp_frame(spec);
+}
+
+}  // namespace synscan::testing
