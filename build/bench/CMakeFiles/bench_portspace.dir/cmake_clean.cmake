@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_portspace.dir/bench_portspace.cpp.o"
+  "CMakeFiles/bench_portspace.dir/bench_portspace.cpp.o.d"
+  "bench_portspace"
+  "bench_portspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_portspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

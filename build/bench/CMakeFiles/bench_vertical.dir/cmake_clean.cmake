@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vertical.dir/bench_vertical.cpp.o"
+  "CMakeFiles/bench_vertical.dir/bench_vertical.cpp.o.d"
+  "bench_vertical"
+  "bench_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zmap_daily.dir/bench_zmap_daily.cpp.o"
+  "CMakeFiles/bench_zmap_daily.dir/bench_zmap_daily.cpp.o.d"
+  "bench_zmap_daily"
+  "bench_zmap_daily.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zmap_daily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longitudinal_report.dir/longitudinal_report.cpp.o"
+  "CMakeFiles/longitudinal_report.dir/longitudinal_report.cpp.o.d"
+  "longitudinal_report"
+  "longitudinal_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longitudinal_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirai_outbreak.dir/mirai_outbreak.cpp.o"
+  "CMakeFiles/mirai_outbreak.dir/mirai_outbreak.cpp.o.d"
+  "mirai_outbreak"
+  "mirai_outbreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirai_outbreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

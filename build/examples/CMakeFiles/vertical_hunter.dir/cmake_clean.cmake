@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertical_hunter.dir/vertical_hunter.cpp.o"
+  "CMakeFiles/vertical_hunter.dir/vertical_hunter.cpp.o.d"
+  "vertical_hunter"
+  "vertical_hunter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertical_hunter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

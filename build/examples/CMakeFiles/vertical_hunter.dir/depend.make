@@ -1,0 +1,2 @@
+# Empty dependencies file for vertical_hunter.
+# This may be replaced when dependencies are built.

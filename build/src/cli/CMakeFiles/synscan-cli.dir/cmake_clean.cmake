@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan-cli.dir/main.cpp.o"
+  "CMakeFiles/synscan-cli.dir/main.cpp.o.d"
+  "synscan"
+  "synscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_cli_lib.dir/commands.cpp.o"
+  "CMakeFiles/synscan_cli_lib.dir/commands.cpp.o.d"
+  "libsynscan_cli_lib.a"
+  "libsynscan_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis_campaigns.cpp" "src/core/CMakeFiles/synscan_core.dir/analysis_campaigns.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/analysis_campaigns.cpp.o.d"
+  "/root/repo/src/core/analysis_geo.cpp" "src/core/CMakeFiles/synscan_core.dir/analysis_geo.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/analysis_geo.cpp.o.d"
+  "/root/repo/src/core/analysis_recurrence.cpp" "src/core/CMakeFiles/synscan_core.dir/analysis_recurrence.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/analysis_recurrence.cpp.o.d"
+  "/root/repo/src/core/analysis_summary.cpp" "src/core/CMakeFiles/synscan_core.dir/analysis_summary.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/analysis_summary.cpp.o.d"
+  "/root/repo/src/core/analysis_tools.cpp" "src/core/CMakeFiles/synscan_core.dir/analysis_tools.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/analysis_tools.cpp.o.d"
+  "/root/repo/src/core/analysis_types.cpp" "src/core/CMakeFiles/synscan_core.dir/analysis_types.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/analysis_types.cpp.o.d"
+  "/root/repo/src/core/blocklist.cpp" "src/core/CMakeFiles/synscan_core.dir/blocklist.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/blocklist.cpp.o.d"
+  "/root/repo/src/core/collaboration.cpp" "src/core/CMakeFiles/synscan_core.dir/collaboration.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/collaboration.cpp.o.d"
+  "/root/repo/src/core/daily_series.cpp" "src/core/CMakeFiles/synscan_core.dir/daily_series.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/daily_series.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/core/CMakeFiles/synscan_core.dir/parallel.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/parallel.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/synscan_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/port_tally.cpp" "src/core/CMakeFiles/synscan_core.dir/port_tally.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/port_tally.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/synscan_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/tracker.cpp.o.d"
+  "/root/repo/src/core/volatility.cpp" "src/core/CMakeFiles/synscan_core.dir/volatility.cpp.o" "gcc" "src/core/CMakeFiles/synscan_core.dir/volatility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/synscan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/synscan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/synscan_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/synscan_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/enrich/CMakeFiles/synscan_enrich.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_core.dir/analysis_campaigns.cpp.o"
+  "CMakeFiles/synscan_core.dir/analysis_campaigns.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/analysis_geo.cpp.o"
+  "CMakeFiles/synscan_core.dir/analysis_geo.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/analysis_recurrence.cpp.o"
+  "CMakeFiles/synscan_core.dir/analysis_recurrence.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/analysis_summary.cpp.o"
+  "CMakeFiles/synscan_core.dir/analysis_summary.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/analysis_tools.cpp.o"
+  "CMakeFiles/synscan_core.dir/analysis_tools.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/analysis_types.cpp.o"
+  "CMakeFiles/synscan_core.dir/analysis_types.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/blocklist.cpp.o"
+  "CMakeFiles/synscan_core.dir/blocklist.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/collaboration.cpp.o"
+  "CMakeFiles/synscan_core.dir/collaboration.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/daily_series.cpp.o"
+  "CMakeFiles/synscan_core.dir/daily_series.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/parallel.cpp.o"
+  "CMakeFiles/synscan_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/pipeline.cpp.o"
+  "CMakeFiles/synscan_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/port_tally.cpp.o"
+  "CMakeFiles/synscan_core.dir/port_tally.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/tracker.cpp.o"
+  "CMakeFiles/synscan_core.dir/tracker.cpp.o.d"
+  "CMakeFiles/synscan_core.dir/volatility.cpp.o"
+  "CMakeFiles/synscan_core.dir/volatility.cpp.o.d"
+  "libsynscan_core.a"
+  "libsynscan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

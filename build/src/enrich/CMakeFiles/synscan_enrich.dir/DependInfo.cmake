@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enrich/etl.cpp" "src/enrich/CMakeFiles/synscan_enrich.dir/etl.cpp.o" "gcc" "src/enrich/CMakeFiles/synscan_enrich.dir/etl.cpp.o.d"
+  "/root/repo/src/enrich/known_scanners.cpp" "src/enrich/CMakeFiles/synscan_enrich.dir/known_scanners.cpp.o" "gcc" "src/enrich/CMakeFiles/synscan_enrich.dir/known_scanners.cpp.o.d"
+  "/root/repo/src/enrich/registry.cpp" "src/enrich/CMakeFiles/synscan_enrich.dir/registry.cpp.o" "gcc" "src/enrich/CMakeFiles/synscan_enrich.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/synscan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_enrich.dir/etl.cpp.o"
+  "CMakeFiles/synscan_enrich.dir/etl.cpp.o.d"
+  "CMakeFiles/synscan_enrich.dir/known_scanners.cpp.o"
+  "CMakeFiles/synscan_enrich.dir/known_scanners.cpp.o.d"
+  "CMakeFiles/synscan_enrich.dir/registry.cpp.o"
+  "CMakeFiles/synscan_enrich.dir/registry.cpp.o.d"
+  "libsynscan_enrich.a"
+  "libsynscan_enrich.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_enrich.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

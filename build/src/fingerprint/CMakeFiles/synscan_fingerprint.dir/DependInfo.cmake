@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/classifier.cpp" "src/fingerprint/CMakeFiles/synscan_fingerprint.dir/classifier.cpp.o" "gcc" "src/fingerprint/CMakeFiles/synscan_fingerprint.dir/classifier.cpp.o.d"
+  "/root/repo/src/fingerprint/matchers.cpp" "src/fingerprint/CMakeFiles/synscan_fingerprint.dir/matchers.cpp.o" "gcc" "src/fingerprint/CMakeFiles/synscan_fingerprint.dir/matchers.cpp.o.d"
+  "/root/repo/src/fingerprint/tool.cpp" "src/fingerprint/CMakeFiles/synscan_fingerprint.dir/tool.cpp.o" "gcc" "src/fingerprint/CMakeFiles/synscan_fingerprint.dir/tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/synscan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/synscan_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/synscan_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_fingerprint.dir/classifier.cpp.o"
+  "CMakeFiles/synscan_fingerprint.dir/classifier.cpp.o.d"
+  "CMakeFiles/synscan_fingerprint.dir/matchers.cpp.o"
+  "CMakeFiles/synscan_fingerprint.dir/matchers.cpp.o.d"
+  "CMakeFiles/synscan_fingerprint.dir/tool.cpp.o"
+  "CMakeFiles/synscan_fingerprint.dir/tool.cpp.o.d"
+  "libsynscan_fingerprint.a"
+  "libsynscan_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

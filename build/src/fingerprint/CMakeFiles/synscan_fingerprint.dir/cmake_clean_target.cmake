@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsynscan_fingerprint.a"
+)

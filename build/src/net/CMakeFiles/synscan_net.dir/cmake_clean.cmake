@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_net.dir/checksum.cpp.o"
+  "CMakeFiles/synscan_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/synscan_net.dir/headers.cpp.o"
+  "CMakeFiles/synscan_net.dir/headers.cpp.o.d"
+  "CMakeFiles/synscan_net.dir/ipv4.cpp.o"
+  "CMakeFiles/synscan_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/synscan_net.dir/mac.cpp.o"
+  "CMakeFiles/synscan_net.dir/mac.cpp.o.d"
+  "CMakeFiles/synscan_net.dir/packet.cpp.o"
+  "CMakeFiles/synscan_net.dir/packet.cpp.o.d"
+  "libsynscan_net.a"
+  "libsynscan_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_pcap.dir/pcap.cpp.o"
+  "CMakeFiles/synscan_pcap.dir/pcap.cpp.o.d"
+  "CMakeFiles/synscan_pcap.dir/pcapng.cpp.o"
+  "CMakeFiles/synscan_pcap.dir/pcapng.cpp.o.d"
+  "libsynscan_pcap.a"
+  "libsynscan_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

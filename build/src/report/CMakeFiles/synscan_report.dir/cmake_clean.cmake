@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_report.dir/json.cpp.o"
+  "CMakeFiles/synscan_report.dir/json.cpp.o.d"
+  "CMakeFiles/synscan_report.dir/series.cpp.o"
+  "CMakeFiles/synscan_report.dir/series.cpp.o.d"
+  "CMakeFiles/synscan_report.dir/table.cpp.o"
+  "CMakeFiles/synscan_report.dir/table.cpp.o.d"
+  "libsynscan_report.a"
+  "libsynscan_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

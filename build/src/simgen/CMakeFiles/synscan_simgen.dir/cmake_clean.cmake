@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_simgen.dir/ecosystem.cpp.o"
+  "CMakeFiles/synscan_simgen.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/synscan_simgen.dir/generator.cpp.o"
+  "CMakeFiles/synscan_simgen.dir/generator.cpp.o.d"
+  "CMakeFiles/synscan_simgen.dir/services.cpp.o"
+  "CMakeFiles/synscan_simgen.dir/services.cpp.o.d"
+  "CMakeFiles/synscan_simgen.dir/wire.cpp.o"
+  "CMakeFiles/synscan_simgen.dir/wire.cpp.o.d"
+  "libsynscan_simgen.a"
+  "libsynscan_simgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_simgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

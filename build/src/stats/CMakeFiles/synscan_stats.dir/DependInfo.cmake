@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/synscan_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/synscan_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/synscan_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/synscan_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/synscan_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/synscan_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/hyperloglog.cpp" "src/stats/CMakeFiles/synscan_stats.dir/hyperloglog.cpp.o" "gcc" "src/stats/CMakeFiles/synscan_stats.dir/hyperloglog.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "src/stats/CMakeFiles/synscan_stats.dir/hypothesis.cpp.o" "gcc" "src/stats/CMakeFiles/synscan_stats.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/synscan_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/synscan_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/telescope_model.cpp" "src/stats/CMakeFiles/synscan_stats.dir/telescope_model.cpp.o" "gcc" "src/stats/CMakeFiles/synscan_stats.dir/telescope_model.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/synscan_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/synscan_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

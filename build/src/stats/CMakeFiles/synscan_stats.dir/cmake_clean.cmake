@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/synscan_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/synscan_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/synscan_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/synscan_stats.dir/histogram.cpp.o"
+  "CMakeFiles/synscan_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/synscan_stats.dir/hyperloglog.cpp.o"
+  "CMakeFiles/synscan_stats.dir/hyperloglog.cpp.o.d"
+  "CMakeFiles/synscan_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/synscan_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/synscan_stats.dir/regression.cpp.o"
+  "CMakeFiles/synscan_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/synscan_stats.dir/telescope_model.cpp.o"
+  "CMakeFiles/synscan_stats.dir/telescope_model.cpp.o.d"
+  "CMakeFiles/synscan_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/synscan_stats.dir/timeseries.cpp.o.d"
+  "libsynscan_stats.a"
+  "libsynscan_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telescope/sensor.cpp" "src/telescope/CMakeFiles/synscan_telescope.dir/sensor.cpp.o" "gcc" "src/telescope/CMakeFiles/synscan_telescope.dir/sensor.cpp.o.d"
+  "/root/repo/src/telescope/telescope.cpp" "src/telescope/CMakeFiles/synscan_telescope.dir/telescope.cpp.o" "gcc" "src/telescope/CMakeFiles/synscan_telescope.dir/telescope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/synscan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/synscan_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

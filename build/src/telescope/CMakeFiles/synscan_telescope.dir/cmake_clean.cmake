@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_telescope.dir/sensor.cpp.o"
+  "CMakeFiles/synscan_telescope.dir/sensor.cpp.o.d"
+  "CMakeFiles/synscan_telescope.dir/telescope.cpp.o"
+  "CMakeFiles/synscan_telescope.dir/telescope.cpp.o.d"
+  "libsynscan_telescope.a"
+  "libsynscan_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_core_tests.dir/core/analysis_test.cpp.o"
+  "CMakeFiles/synscan_core_tests.dir/core/analysis_test.cpp.o.d"
+  "CMakeFiles/synscan_core_tests.dir/core/blocklist_test.cpp.o"
+  "CMakeFiles/synscan_core_tests.dir/core/blocklist_test.cpp.o.d"
+  "CMakeFiles/synscan_core_tests.dir/core/collaboration_test.cpp.o"
+  "CMakeFiles/synscan_core_tests.dir/core/collaboration_test.cpp.o.d"
+  "CMakeFiles/synscan_core_tests.dir/core/daily_series_test.cpp.o"
+  "CMakeFiles/synscan_core_tests.dir/core/daily_series_test.cpp.o.d"
+  "CMakeFiles/synscan_core_tests.dir/core/parallel_test.cpp.o"
+  "CMakeFiles/synscan_core_tests.dir/core/parallel_test.cpp.o.d"
+  "CMakeFiles/synscan_core_tests.dir/core/pipeline_unit_test.cpp.o"
+  "CMakeFiles/synscan_core_tests.dir/core/pipeline_unit_test.cpp.o.d"
+  "CMakeFiles/synscan_core_tests.dir/core/port_tally_test.cpp.o"
+  "CMakeFiles/synscan_core_tests.dir/core/port_tally_test.cpp.o.d"
+  "CMakeFiles/synscan_core_tests.dir/core/recurrence_test.cpp.o"
+  "CMakeFiles/synscan_core_tests.dir/core/recurrence_test.cpp.o.d"
+  "CMakeFiles/synscan_core_tests.dir/core/tracker_test.cpp.o"
+  "CMakeFiles/synscan_core_tests.dir/core/tracker_test.cpp.o.d"
+  "CMakeFiles/synscan_core_tests.dir/core/volatility_test.cpp.o"
+  "CMakeFiles/synscan_core_tests.dir/core/volatility_test.cpp.o.d"
+  "synscan_core_tests"
+  "synscan_core_tests.pdb"
+  "synscan_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_enrich_tests.dir/enrich/etl_test.cpp.o"
+  "CMakeFiles/synscan_enrich_tests.dir/enrich/etl_test.cpp.o.d"
+  "CMakeFiles/synscan_enrich_tests.dir/enrich/known_scanners_test.cpp.o"
+  "CMakeFiles/synscan_enrich_tests.dir/enrich/known_scanners_test.cpp.o.d"
+  "CMakeFiles/synscan_enrich_tests.dir/enrich/registry_test.cpp.o"
+  "CMakeFiles/synscan_enrich_tests.dir/enrich/registry_test.cpp.o.d"
+  "synscan_enrich_tests"
+  "synscan_enrich_tests.pdb"
+  "synscan_enrich_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_enrich_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

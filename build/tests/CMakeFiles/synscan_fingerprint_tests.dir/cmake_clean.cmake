@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_fingerprint_tests.dir/fingerprint/classifier_test.cpp.o"
+  "CMakeFiles/synscan_fingerprint_tests.dir/fingerprint/classifier_test.cpp.o.d"
+  "CMakeFiles/synscan_fingerprint_tests.dir/fingerprint/matchers_test.cpp.o"
+  "CMakeFiles/synscan_fingerprint_tests.dir/fingerprint/matchers_test.cpp.o.d"
+  "synscan_fingerprint_tests"
+  "synscan_fingerprint_tests.pdb"
+  "synscan_fingerprint_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_fingerprint_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/synscan_integration_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/synscan_integration_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/synscan_integration_tests.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_integration_tests.dir/integration/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcap/CMakeFiles/synscan_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgen/CMakeFiles/synscan_simgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/synscan_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/synscan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/synscan_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/synscan_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/synscan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/enrich/CMakeFiles/synscan_enrich.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/synscan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/synscan_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/synscan_integration_tests.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/synscan_integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "CMakeFiles/synscan_integration_tests.dir/integration/property_test.cpp.o"
+  "CMakeFiles/synscan_integration_tests.dir/integration/property_test.cpp.o.d"
+  "synscan_integration_tests"
+  "synscan_integration_tests.pdb"
+  "synscan_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

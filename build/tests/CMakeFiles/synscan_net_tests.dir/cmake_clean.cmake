@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_net_tests.dir/net/checksum_test.cpp.o"
+  "CMakeFiles/synscan_net_tests.dir/net/checksum_test.cpp.o.d"
+  "CMakeFiles/synscan_net_tests.dir/net/decode_fuzz_test.cpp.o"
+  "CMakeFiles/synscan_net_tests.dir/net/decode_fuzz_test.cpp.o.d"
+  "CMakeFiles/synscan_net_tests.dir/net/headers_test.cpp.o"
+  "CMakeFiles/synscan_net_tests.dir/net/headers_test.cpp.o.d"
+  "CMakeFiles/synscan_net_tests.dir/net/ipv4_test.cpp.o"
+  "CMakeFiles/synscan_net_tests.dir/net/ipv4_test.cpp.o.d"
+  "CMakeFiles/synscan_net_tests.dir/net/mac_test.cpp.o"
+  "CMakeFiles/synscan_net_tests.dir/net/mac_test.cpp.o.d"
+  "CMakeFiles/synscan_net_tests.dir/net/packet_test.cpp.o"
+  "CMakeFiles/synscan_net_tests.dir/net/packet_test.cpp.o.d"
+  "CMakeFiles/synscan_net_tests.dir/net/pcap_test.cpp.o"
+  "CMakeFiles/synscan_net_tests.dir/net/pcap_test.cpp.o.d"
+  "CMakeFiles/synscan_net_tests.dir/net/pcapng_test.cpp.o"
+  "CMakeFiles/synscan_net_tests.dir/net/pcapng_test.cpp.o.d"
+  "synscan_net_tests"
+  "synscan_net_tests.pdb"
+  "synscan_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_report_tests.dir/report/json_test.cpp.o"
+  "CMakeFiles/synscan_report_tests.dir/report/json_test.cpp.o.d"
+  "CMakeFiles/synscan_report_tests.dir/report/report_test.cpp.o"
+  "CMakeFiles/synscan_report_tests.dir/report/report_test.cpp.o.d"
+  "synscan_report_tests"
+  "synscan_report_tests.pdb"
+  "synscan_report_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_report_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/ecosystem_test.cpp.o"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/ecosystem_test.cpp.o.d"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/generator_test.cpp.o"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/generator_test.cpp.o.d"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/permute_test.cpp.o"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/permute_test.cpp.o.d"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/rng_test.cpp.o"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/rng_test.cpp.o.d"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/services_test.cpp.o"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/services_test.cpp.o.d"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/wire_test.cpp.o"
+  "CMakeFiles/synscan_simgen_tests.dir/simgen/wire_test.cpp.o.d"
+  "synscan_simgen_tests"
+  "synscan_simgen_tests.pdb"
+  "synscan_simgen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_simgen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

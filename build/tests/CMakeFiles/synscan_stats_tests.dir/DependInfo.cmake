@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/synscan_stats_tests.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_stats_tests.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/ecdf_test.cpp" "tests/CMakeFiles/synscan_stats_tests.dir/stats/ecdf_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_stats_tests.dir/stats/ecdf_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/synscan_stats_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/hyperloglog_test.cpp" "tests/CMakeFiles/synscan_stats_tests.dir/stats/hyperloglog_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_stats_tests.dir/stats/hyperloglog_test.cpp.o.d"
+  "/root/repo/tests/stats/hypothesis_test.cpp" "tests/CMakeFiles/synscan_stats_tests.dir/stats/hypothesis_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_stats_tests.dir/stats/hypothesis_test.cpp.o.d"
+  "/root/repo/tests/stats/regression_test.cpp" "tests/CMakeFiles/synscan_stats_tests.dir/stats/regression_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_stats_tests.dir/stats/regression_test.cpp.o.d"
+  "/root/repo/tests/stats/telescope_model_test.cpp" "tests/CMakeFiles/synscan_stats_tests.dir/stats/telescope_model_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_stats_tests.dir/stats/telescope_model_test.cpp.o.d"
+  "/root/repo/tests/stats/timeseries_test.cpp" "tests/CMakeFiles/synscan_stats_tests.dir/stats/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/synscan_stats_tests.dir/stats/timeseries_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcap/CMakeFiles/synscan_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgen/CMakeFiles/synscan_simgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/synscan_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/synscan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/synscan_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/synscan_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/synscan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/enrich/CMakeFiles/synscan_enrich.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/synscan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_stats_tests.dir/stats/descriptive_test.cpp.o"
+  "CMakeFiles/synscan_stats_tests.dir/stats/descriptive_test.cpp.o.d"
+  "CMakeFiles/synscan_stats_tests.dir/stats/ecdf_test.cpp.o"
+  "CMakeFiles/synscan_stats_tests.dir/stats/ecdf_test.cpp.o.d"
+  "CMakeFiles/synscan_stats_tests.dir/stats/histogram_test.cpp.o"
+  "CMakeFiles/synscan_stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "CMakeFiles/synscan_stats_tests.dir/stats/hyperloglog_test.cpp.o"
+  "CMakeFiles/synscan_stats_tests.dir/stats/hyperloglog_test.cpp.o.d"
+  "CMakeFiles/synscan_stats_tests.dir/stats/hypothesis_test.cpp.o"
+  "CMakeFiles/synscan_stats_tests.dir/stats/hypothesis_test.cpp.o.d"
+  "CMakeFiles/synscan_stats_tests.dir/stats/regression_test.cpp.o"
+  "CMakeFiles/synscan_stats_tests.dir/stats/regression_test.cpp.o.d"
+  "CMakeFiles/synscan_stats_tests.dir/stats/telescope_model_test.cpp.o"
+  "CMakeFiles/synscan_stats_tests.dir/stats/telescope_model_test.cpp.o.d"
+  "CMakeFiles/synscan_stats_tests.dir/stats/timeseries_test.cpp.o"
+  "CMakeFiles/synscan_stats_tests.dir/stats/timeseries_test.cpp.o.d"
+  "synscan_stats_tests"
+  "synscan_stats_tests.pdb"
+  "synscan_stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synscan_telescope_tests.dir/telescope/sensor_test.cpp.o"
+  "CMakeFiles/synscan_telescope_tests.dir/telescope/sensor_test.cpp.o.d"
+  "CMakeFiles/synscan_telescope_tests.dir/telescope/telescope_test.cpp.o"
+  "CMakeFiles/synscan_telescope_tests.dir/telescope/telescope_test.cpp.o.d"
+  "synscan_telescope_tests"
+  "synscan_telescope_tests.pdb"
+  "synscan_telescope_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synscan_telescope_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/synscan_net_tests[1]_include.cmake")
+include("/root/repo/build/tests/synscan_stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/synscan_telescope_tests[1]_include.cmake")
+include("/root/repo/build/tests/synscan_fingerprint_tests[1]_include.cmake")
+include("/root/repo/build/tests/synscan_enrich_tests[1]_include.cmake")
+include("/root/repo/build/tests/synscan_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/synscan_simgen_tests[1]_include.cmake")
+include("/root/repo/build/tests/synscan_report_tests[1]_include.cmake")
+include("/root/repo/build/tests/synscan_integration_tests[1]_include.cmake")
+add_test([=[cli_help]=] "/root/repo/build/src/cli/synscan" "help")
+set_tests_properties([=[cli_help]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;83;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_simulate_analyze]=] "/usr/bin/cmake" "-DSYNSCAN=/root/repo/build/src/cli/synscan" "-DWORKDIR=/root/repo/build/cli_test" "-P" "/root/repo/tests/cli/smoke.cmake")
+set_tests_properties([=[cli_simulate_analyze]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;84;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_unknown_command]=] "/root/repo/build/src/cli/synscan" "frobnicate")
+set_tests_properties([=[cli_unknown_command]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;89;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_missing_file]=] "/root/repo/build/src/cli/synscan" "analyze" "/nonexistent.pcap")
+set_tests_properties([=[cli_missing_file]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;91;add_test;/root/repo/tests/CMakeLists.txt;0;")
