@@ -2,13 +2,18 @@
 //
 // Every bench binary regenerates one table or figure of the paper from a
 // fresh simulation of the relevant measurement window(s). Command line:
-//   --scale=<x>   divide volumes by x on top of the calibrated scale
-//                 (ecosystem.h documents kPacketScale/kScanScale)
-//   --year=<y>    restrict multi-year benches to one year
-//   --seed=<s>    override the workload seed
+//   --scale=<x>     divide volumes by x on top of the calibrated scale
+//                   (ecosystem.h documents kPacketScale/kScanScale)
+//   --year=<y>      restrict multi-year benches to one year
+//   --seed=<s>      override the workload seed
+//   --metrics[=<f>] emit an obs::RunReport at exit — machine-readable
+//                   JSON when a path is given, an ASCII table otherwise
+//                   (docs/OBSERVABILITY.md documents the schema)
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -20,6 +25,8 @@
 #include "core/port_tally.h"
 #include "core/volatility.h"
 #include "enrich/registry.h"
+#include "obs/run_report.h"
+#include "obs/timer.h"
 #include "simgen/ecosystem.h"
 #include "simgen/generator.h"
 #include "telescope/telescope.h"
@@ -30,7 +37,59 @@ struct Options {
   double scale = 1.0;
   std::optional<int> year;
   std::optional<std::uint64_t> seed;
+  /// Destination of the end-of-run metrics report: empty string = ASCII
+  /// table on stdout, anything else = JSON file path.
+  std::optional<std::string> metrics;
 };
+
+namespace detail {
+
+/// State for the atexit run-report emitter (atexit takes no context).
+inline std::string& metrics_destination() {
+  static std::string destination;
+  return destination;
+}
+inline std::string& metrics_label() {
+  static std::string label;
+  return label;
+}
+
+inline void emit_run_report() {
+  const auto report = obs::RunReport::capture(metrics_label());
+  if (report.metrics.empty()) return;
+  const auto& destination = metrics_destination();
+  if (destination.empty()) {
+    std::cout << "\n-- run report --\n" << report.to_table();
+    return;
+  }
+  std::ofstream out(destination, std::ios::trunc);
+  if (!out.is_open()) {
+    std::cerr << "cannot write run report to " << destination << "\n";
+    return;
+  }
+  report.write_json(out);
+  out << '\n';
+  std::cerr << "wrote run report to " << destination << "\n";
+}
+
+}  // namespace detail
+
+/// Turns observability on and schedules a run report at process exit.
+/// Shared by every bench so each figure/table binary can emit a
+/// machine-readable account of its run next to the paper numbers.
+inline void install_metrics_hook(const Options& options, std::string_view binary) {
+  if (!options.metrics) return;
+  obs::set_enabled(true);
+  // Construct the global registry *before* registering the atexit
+  // emitter: exit-time teardown is LIFO, so anything the callback reads
+  // must already exist here or it will be destroyed first.
+  (void)obs::MetricsRegistry::global();
+  detail::metrics_destination() = *options.metrics;
+  const auto slash = binary.find_last_of('/');
+  detail::metrics_label() =
+      std::string(slash == std::string_view::npos ? binary : binary.substr(slash + 1));
+  std::atexit([] { detail::emit_run_report(); });
+}
 
 inline Options parse_options(int argc, char** argv) {
   Options options;
@@ -44,13 +103,18 @@ inline Options parse_options(int argc, char** argv) {
       options.scale = std::stod(*v);
     } else if (const auto v = value_of("--year=")) {
       options.year = std::stoi(*v);
+    } else if (const auto v = value_of("--metrics=")) {
+      options.metrics = *v;
+    } else if (arg == "--metrics") {
+      options.metrics = std::string();
     } else if (const auto v = value_of("--seed=")) {
       options.seed = std::stoull(*v);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "options: --scale=<x> --year=<y> --seed=<s>\n";
+      std::cout << "options: --scale=<x> --year=<y> --seed=<s> --metrics[=<file>]\n";
       std::exit(0);
     }
   }
+  install_metrics_hook(options, argc > 0 ? argv[0] : "bench");
   return options;
 }
 
@@ -105,8 +169,21 @@ inline YearRun run_window(simgen::YearConfig config, const Observers& observers 
   }
 
   simgen::TrafficGenerator generator(std::move(config), telescope, shared_registry());
-  run.generated = generator.run([&](const net::RawFrame& f) { pipeline.feed_frame(f); });
-  run.result = pipeline.finish();
+  {
+    obs::ScopedTimer generate("bench.generate_and_feed");
+    run.generated = generator.run([&](const net::RawFrame& f) { pipeline.feed_frame(f); });
+  }
+  {
+    const obs::ScopedTimer finish("bench.finish");
+    run.result = pipeline.finish();
+  }
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    obs::publish(registry, run.result.sensor);
+    obs::publish(registry, run.result.tracker);
+    registry.counter("bench.windows").add(1);
+    registry.counter("bench.campaigns").add(run.result.campaigns.size());
+  }
   if (run.volatility) {
     for (const auto& campaign : run.result.campaigns) {
       run.volatility->on_campaign(campaign);

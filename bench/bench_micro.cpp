@@ -8,6 +8,8 @@
 #include "core/tracker.h"
 #include "fingerprint/classifier.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "pcap/pcap.h"
 #include "simgen/permute.h"
 #include "simgen/rng.h"
@@ -127,6 +129,50 @@ void BM_EndToEndPipeline(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(frames.size()));
 }
 BENCHMARK(BM_EndToEndPipeline)->Unit(benchmark::kMillisecond);
+
+// Same workload as BM_EndToEndPipeline but with observability switched
+// on: the delta between the two quantifies the cost of live metrics
+// (the off-state overhead is the <2% acceptance bound; the on-state
+// cost is what `--metrics` users pay).
+void BM_EndToEndPipelineObsOn(benchmark::State& state) {
+  const auto telescope = telescope::Telescope::paper_default();
+  const auto frames = sample_frames(4096);
+  obs::set_enabled(true);
+  for (auto unused : state) {
+    (void)unused;
+    core::Pipeline pipeline(telescope);
+    for (const auto& frame : frames) pipeline.feed_frame(frame);
+    benchmark::DoNotOptimize(pipeline.finish());
+  }
+  obs::set_enabled(false);
+  obs::MetricsRegistry::global().clear();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(frames.size()));
+}
+BENCHMARK(BM_EndToEndPipelineObsOn)->Unit(benchmark::kMillisecond);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("bench.counter");
+  for (auto unused : state) {
+    (void)unused;
+    counter.add(1);
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsScopedTimer(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::set_enabled(true);
+  for (auto unused : state) {
+    (void)unused;
+    const obs::ScopedTimer timer(registry, "bench.span");
+  }
+  obs::set_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedTimer);
 
 void BM_ParallelPipeline(benchmark::State& state) {
   const auto telescope = telescope::Telescope::paper_default();

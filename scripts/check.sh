@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, test, and smoke the observability
+# surface — the same sequence CI runs. Usage:
+#   scripts/check.sh [build-dir]
+# Environment:
+#   SYNSCAN_WERROR=ON|OFF   warnings-as-errors (default ON here, unlike
+#                           the plain CMake default, so local runs match CI)
+#   SANITIZER=thread|...    forward to -DSYNSCAN_SANITIZER
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-${repo}/build-check}"
+werror="${SYNSCAN_WERROR:-ON}"
+sanitizer="${SANITIZER:-}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure (${build}, WERROR=${werror}${sanitizer:+, sanitizer=${sanitizer}})"
+cmake -B "${build}" -S "${repo}" \
+  -DSYNSCAN_WERROR="${werror}" \
+  ${sanitizer:+-DSYNSCAN_SANITIZER="${sanitizer}"}
+
+echo "== build"
+cmake --build "${build}" -j "${jobs}"
+
+echo "== test"
+ctest --test-dir "${build}" --output-on-failure -j "${jobs}"
+
+echo "== metrics smoke"
+workdir="${build}/check-smoke"
+mkdir -p "${workdir}"
+cli="${build}/src/cli/synscan"
+"${cli}" simulate --year=2020 --scale=128 --days=1 --out="${workdir}/window.pcap"
+"${cli}" analyze "${workdir}/window.pcap" --metrics="${workdir}/metrics.json"
+for needle in '"schema":"synscan.run_report/1"' 'sensor.scan_probes' \
+              'tracker.probes' 'parallel.items' '"timings"'; do
+  grep -qF "${needle}" "${workdir}/metrics.json" || {
+    echo "metrics smoke: missing ${needle} in metrics.json" >&2
+    exit 1
+  }
+done
+echo "== OK"

@@ -1,18 +1,23 @@
 #include "cli/commands.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "core/analysis_campaigns.h"
 #include "core/analysis_geo.h"
 #include "core/analysis_summary.h"
 #include "core/analysis_types.h"
+#include "core/parallel.h"
 #include "core/pipeline.h"
 #include "core/port_tally.h"
 #include "fingerprint/classifier.h"
+#include "obs/run_report.h"
+#include "obs/timer.h"
 #include "pcap/pcap.h"
 #include "pcap/pcapng.h"
 #include "report/json.h"
@@ -89,18 +94,55 @@ pcap::ReadStatus for_each_frame(const std::string& path, Sink&& sink) {
   return status;
 }
 
-Analysis analyze_capture(const std::string& path) {
-  Analysis analysis;
-  core::Pipeline pipeline(shared_telescope());
-  pipeline.add_observer(analysis.ports);
-  pipeline.add_observer(analysis.types);
-  pipeline.add_observer(analysis.geo);
+/// Replay workers when `--workers` is not given: keep one core for the
+/// feeder, stay within a sane span. Always >= 2 so the `parallel.*`
+/// metrics namespace is populated on any multi-core host.
+std::size_t default_workers() {
+  const auto hw = static_cast<std::size_t>(std::thread::hardware_concurrency());
+  return std::clamp<std::size_t>(hw == 0 ? 2 : hw - 1, 2, 8);
+}
 
-  analysis.final_status = for_each_frame(path, [&](const net::RawFrame& frame) {
-    pipeline.feed_frame(frame);
-    ++analysis.frames;
-  });
-  analysis.result = pipeline.finish();
+Analysis analyze_capture(const std::string& path, std::size_t workers) {
+  Analysis analysis;
+  if (workers <= 1) {
+    core::Pipeline pipeline(shared_telescope());
+    pipeline.add_observer(analysis.ports);
+    pipeline.add_observer(analysis.types);
+    pipeline.add_observer(analysis.geo);
+
+    {
+      obs::ScopedTimer ingest("analyze.ingest");
+      analysis.final_status = for_each_frame(path, [&](const net::RawFrame& frame) {
+        pipeline.feed_frame(frame);
+        ++analysis.frames;
+      });
+    }
+    const obs::ScopedTimer finish("analyze.finish");
+    analysis.result = pipeline.finish();
+    return analysis;
+  }
+
+  // Multi-core replay: campaign tracking runs sharded by source across
+  // the workers; the streaming observers are not thread-safe, so the
+  // feeder classifies each frame once more and drives them in file
+  // order, exactly as the serial path would.
+  core::ParallelAnalyzer analyzer(shared_telescope(), workers);
+  telescope::Sensor observer_sensor(shared_telescope());
+  telescope::ScanProbe probe;
+  {
+    obs::ScopedTimer ingest("analyze.ingest");
+    analysis.final_status = for_each_frame(path, [&](const net::RawFrame& frame) {
+      ++analysis.frames;
+      analyzer.feed_frame(frame);
+      if (observer_sensor.classify(frame, probe) == telescope::FrameClass::kScanProbe) {
+        analysis.ports.on_probe(probe);
+        analysis.types.on_probe(probe);
+        analysis.geo.on_probe(probe);
+      }
+    });
+  }
+  const obs::ScopedTimer finish("analyze.finish");
+  analysis.result = analyzer.finish();
   return analysis;
 }
 
@@ -150,7 +192,14 @@ int run_analyze(const std::vector<std::string>& args) {
     throw std::invalid_argument("analyze requires a capture path");
   }
   const auto top_n = static_cast<std::size_t>(parsed.number("top", 10));
-  auto analysis = analyze_capture(parsed.positional().front());
+  // `--metrics` prints a run report; `--metrics=<file>` writes it as
+  // JSON (schema in docs/OBSERVABILITY.md). Must be enabled before the
+  // pipeline is built: instrumentation resolves its cells at construction.
+  const auto metrics = parsed.flag("metrics");
+  if (metrics) obs::set_enabled(true);
+  const auto workers = static_cast<std::size_t>(parsed.number(
+      "workers", static_cast<double>(default_workers())));
+  auto analysis = analyze_capture(parsed.positional().front(), workers);
   warn_on_truncation(analysis);
   const auto& campaigns = analysis.result.campaigns;
 
@@ -205,6 +254,22 @@ int run_analyze(const std::vector<std::string>& args) {
     report::write_campaigns_jsonl(json_out, campaigns);
     std::cout << "\nwrote counters + " << campaigns.size() << " campaigns to "
               << *json_path << " (JSON lines)\n";
+  }
+
+  if (metrics) {
+    const auto report = obs::RunReport::capture(
+        "analyze " + parsed.positional().front(), &analysis.result);
+    if (*metrics == "true" || metrics->empty()) {  // no file: print the table
+      std::cout << "\n-- run report --\n" << report.to_table();
+    } else {
+      std::ofstream metrics_out(*metrics, std::ios::trunc);
+      if (!metrics_out.is_open()) {
+        throw std::runtime_error("cannot write " + *metrics);
+      }
+      report.write_json(metrics_out);
+      metrics_out << '\n';
+      std::cout << "\nwrote run report to " << *metrics << "\n";
+    }
   }
   return 0;
 }

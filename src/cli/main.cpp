@@ -3,9 +3,10 @@
 //   synscan simulate --year=2020 --out=window.pcap [--scale=32] [--seed=7]
 //       Generate a calibrated measurement window as a pcap capture.
 //
-//   synscan analyze <capture.pcap> [--top=10]
+//   synscan analyze <capture.pcap> [--top=10] [--workers=N] [--metrics[=file]]
 //       Full analysis: sensor statistics, campaign census, tool shares,
-//       top ports, scanner types, country mix.
+//       top ports, scanner types, country mix. --metrics adds an
+//       observability run report (docs/OBSERVABILITY.md).
 //
 //   synscan fingerprint <capture.pcap>
 //       Per-source tool verdicts with evidence counts.
@@ -32,7 +33,9 @@ void print_usage(std::ostream& os) {
         "\ncommon options:\n"
         "  simulate: --year=<2015..2024> --out=<file> [--scale=<x>] [--seed=<n>]\n"
         "            [--days=<n>]\n"
-        "  analyze:  <capture.pcap> [--top=<n>]\n";
+        "  analyze:  <capture.pcap> [--top=<n>] [--json=<file>] [--workers=<n>]\n"
+        "            [--metrics[=<file>]]   run report: ASCII table, or JSON\n"
+        "            with per-stage timings (docs/OBSERVABILITY.md)\n";
 }
 
 }  // namespace

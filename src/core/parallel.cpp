@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/timer.h"
 
 namespace synscan::core {
 
@@ -12,6 +15,9 @@ ParallelAnalyzer::ParallelAnalyzer(const telescope::Telescope& telescope,
   pending_.resize(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(telescope, tracker_config));
+  }
+  if (obs::enabled()) {
+    obs_batch_items_ = &obs::MetricsRegistry::global().histogram("parallel.batch_items");
   }
   for (const auto& worker : workers_) {
     worker->thread = std::thread([w = worker.get()] {
@@ -51,11 +57,15 @@ ParallelAnalyzer::~ParallelAnalyzer() {
 void ParallelAnalyzer::flush(std::size_t index) {
   auto& batch = pending_[index];
   if (batch.empty()) return;
+  if (obs_batch_items_ != nullptr) obs_batch_items_->observe(batch.size());
   auto& worker = *workers_[index];
   {
     const std::lock_guard lock(worker.mutex);
     worker.queue.insert(worker.queue.end(), std::make_move_iterator(batch.begin()),
                         std::make_move_iterator(batch.end()));
+    worker.items += batch.size();
+    ++worker.batches;
+    worker.peak_queue = std::max(worker.peak_queue, worker.queue.size());
   }
   worker.ready.notify_one();
   batch.clear();
@@ -67,13 +77,17 @@ void ParallelAnalyzer::feed_frame(const net::RawFrame& frame) {
     ++undecodable_;
     return;
   }
+  feed_decoded(frame.timestamp_us, std::move(*decoded));
+}
+
+void ParallelAnalyzer::feed_decoded(net::TimeUs timestamp_us, net::DecodedFrame frame) {
   // Same-source frames must land on the same worker (campaigns are
   // per-source); any stable hash works.
-  const auto source = decoded->ip.source.value();
+  const auto source = frame.ip.source.value();
   const auto index = static_cast<std::size_t>(
       (static_cast<std::uint64_t>(source) * 0x9e3779b97f4a7c15ull) >> 32) %
       workers_.size();
-  pending_[index].push_back({frame.timestamp_us, std::move(*decoded)});
+  pending_[index].push_back({timestamp_us, std::move(frame)});
   if (pending_[index].size() >= kBatch) flush(index);
 }
 
@@ -91,6 +105,7 @@ PipelineResult ParallelAnalyzer::finish() {
   }
   for (const auto& worker : workers_) worker->thread.join();
 
+  obs::ScopedTimer merge_timer("parallel.merge");
   PipelineResult merged;
   for (const auto& worker : workers_) {
     auto result = worker->pipeline.finish();
@@ -113,6 +128,11 @@ PipelineResult ParallelAnalyzer::finish() {
     merged.tracker.campaigns += result.tracker.campaigns;
     merged.tracker.subthreshold_flows += result.tracker.subthreshold_flows;
     merged.tracker.subthreshold_packets += result.tracker.subthreshold_packets;
+    merged.tracker.expired_flows += result.tracker.expired_flows;
+    merged.tracker.sweeps += result.tracker.sweeps;
+    // Worker flow tables are disjoint (per-source sharding), so the sum
+    // of per-worker peaks bounds total simultaneous memory.
+    merged.tracker.peak_open_flows += result.tracker.peak_open_flows;
   }
   merged.sensor.malformed += undecodable_;
 
@@ -127,6 +147,24 @@ PipelineResult ParallelAnalyzer::finish() {
             });
   std::uint64_t next_id = 1;
   for (auto& campaign : merged.campaigns) campaign.id = next_id++;
+  merge_timer.stop();
+
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.gauge("parallel.workers").store(static_cast<std::int64_t>(workers_.size()));
+    registry.counter("parallel.undecodable").add(undecodable_);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const auto& worker = *workers_[i];
+      registry.counter("parallel.items").add(worker.items);
+      registry.counter("parallel.batches").add(worker.batches);
+      registry.gauge("parallel.peak_queue")
+          .record_max(static_cast<std::int64_t>(worker.peak_queue));
+      const auto prefix = "parallel.worker." + std::to_string(i);
+      registry.counter(prefix + ".items").add(worker.items);
+      registry.gauge(prefix + ".peak_queue")
+          .record_max(static_cast<std::int64_t>(worker.peak_queue));
+    }
+  }
   return merged;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "telescope/telescope.h"
 
 namespace synscan::core {
@@ -40,7 +41,15 @@ class ParallelAnalyzer {
   /// Decodes and dispatches one frame. Call from one thread only.
   void feed_frame(const net::RawFrame& frame);
 
+  /// Dispatches an already decoded frame (callers that decode on the
+  /// feeding thread anyway, e.g. to drive streaming observers, avoid a
+  /// second decode).
+  void feed_decoded(net::TimeUs timestamp_us, net::DecodedFrame frame);
+
   /// Flushes queues, joins workers and merges everything. Call once.
+  /// When observability is on, publishes `parallel.*` metrics (per-worker
+  /// peak queue depth and item counts, batch-size distribution, merge
+  /// time) to the global registry.
   [[nodiscard]] PipelineResult finish();
 
   [[nodiscard]] std::size_t workers() const noexcept { return workers_.size(); }
@@ -61,6 +70,11 @@ class ParallelAnalyzer {
     std::vector<Item> queue;
     bool done = false;
     std::thread thread;
+    // Feeder-side stats, updated under `mutex` in flush(); cheap enough
+    // to keep unconditionally.
+    std::uint64_t items = 0;        ///< frames enqueued to this worker
+    std::uint64_t batches = 0;      ///< flush batches delivered
+    std::size_t peak_queue = 0;     ///< deepest pending queue observed
   };
 
   void flush(std::size_t index);
@@ -69,6 +83,8 @@ class ParallelAnalyzer {
   std::vector<std::vector<Item>> pending_;  ///< feeder-side batches
   std::uint64_t undecodable_ = 0;
   bool finished_ = false;
+  /// Batch-size distribution; resolved at construction iff obs is on.
+  obs::Histogram* obs_batch_items_ = nullptr;
 
   static constexpr std::size_t kBatch = 256;
 };

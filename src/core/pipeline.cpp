@@ -1,16 +1,25 @@
 #include "core/pipeline.h"
 
+#include "obs/timer.h"
+
 namespace synscan::core {
 
 Pipeline::Pipeline(const telescope::Telescope& telescope, TrackerConfig tracker_config)
     : telescope_(&telescope),
       sensor_(telescope),
       tracker_(tracker_config, telescope.monitored_count(),
-               [this](Campaign&& campaign) { campaigns_.push_back(std::move(campaign)); }) {}
+               [this](Campaign&& campaign) { campaigns_.push_back(std::move(campaign)); }) {
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    obs_frames_ = &registry.counter("pipeline.frames");
+    obs_probes_ = &registry.counter("pipeline.probes");
+  }
+}
 
 void Pipeline::add_observer(ProbeObserver& observer) { observers_.push_back(&observer); }
 
 void Pipeline::feed_frame(const net::RawFrame& frame) {
+  if (obs_frames_ != nullptr) obs_frames_->add();
   telescope::ScanProbe probe;
   if (sensor_.classify(frame, probe) == telescope::FrameClass::kScanProbe) {
     feed_probe(probe);
@@ -18,6 +27,7 @@ void Pipeline::feed_frame(const net::RawFrame& frame) {
 }
 
 void Pipeline::feed_decoded(net::TimeUs timestamp_us, const net::DecodedFrame& frame) {
+  if (obs_frames_ != nullptr) obs_frames_->add();
   telescope::ScanProbe probe;
   if (sensor_.classify_decoded(timestamp_us, frame, probe) ==
       telescope::FrameClass::kScanProbe) {
@@ -26,12 +36,16 @@ void Pipeline::feed_decoded(net::TimeUs timestamp_us, const net::DecodedFrame& f
 }
 
 void Pipeline::feed_probe(const telescope::ScanProbe& probe) {
+  if (obs_probes_ != nullptr) obs_probes_->add();
   for (auto* observer : observers_) observer->on_probe(probe);
   tracker_.feed(probe);
 }
 
 PipelineResult Pipeline::finish() {
-  tracker_.finish();
+  {
+    obs::ScopedTimer finish_timer("pipeline.finish");
+    tracker_.finish();
+  }
   PipelineResult result;
   result.campaigns = std::move(campaigns_);
   result.sensor = sensor_.counters();

@@ -7,6 +7,7 @@
 
 #include "core/observers.h"
 #include "core/tracker.h"
+#include "obs/metrics.h"
 #include "telescope/sensor.h"
 #include "telescope/telescope.h"
 
@@ -54,6 +55,10 @@ class Pipeline {
   std::vector<Campaign> campaigns_;
   CampaignTracker tracker_;
   std::vector<ProbeObserver*> observers_;
+  // Resolved once at construction iff obs is enabled; null pointers keep
+  // the per-frame cost at one predictable branch when it is off.
+  obs::Counter* obs_frames_ = nullptr;
+  obs::Counter* obs_probes_ = nullptr;
 };
 
 }  // namespace synscan::core

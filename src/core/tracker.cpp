@@ -19,10 +19,15 @@ void CampaignTracker::feed(const telescope::ScanProbe& probe) {
   if (inserted) {
     flow.first_seen_us = probe.timestamp_us;
     flow.evidence = fingerprint::ToolEvidence(config_.classifier);
+    // The table only grows on insertion, so the high-water mark can
+    // only move here — keeps the per-probe path free of it.
+    counters_.peak_open_flows =
+        std::max<std::uint64_t>(counters_.peak_open_flows, flows_.size());
   } else if (probe.timestamp_us - flow.last_seen_us > config_.expiry) {
     // The source went quiet for longer than the expiry: that scan is
     // over; what follows is a new one.
     close_flow(it->first, flow);
+    ++counters_.expired_flows;
     flow = Flow{};
     flow.first_seen_us = probe.timestamp_us;
     flow.evidence = fingerprint::ToolEvidence(config_.classifier);
@@ -74,9 +79,11 @@ void CampaignTracker::close_flow(net::Ipv4Address source, Flow& flow) {
 }
 
 void CampaignTracker::sweep(net::TimeUs now) {
+  ++counters_.sweeps;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (now - it->second.last_seen_us > config_.expiry) {
       close_flow(it->first, it->second);
+      ++counters_.expired_flows;
       it = flows_.erase(it);
     } else {
       ++it;

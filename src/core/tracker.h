@@ -40,6 +40,9 @@ struct TrackerCounters {
   std::uint64_t campaigns = 0;
   std::uint64_t subthreshold_flows = 0;  ///< expired flows that did not qualify
   std::uint64_t subthreshold_packets = 0;
+  std::uint64_t expired_flows = 0;   ///< flows closed by inactivity (not stream end)
+  std::uint64_t sweeps = 0;          ///< expiry sweeps over the flow table
+  std::uint64_t peak_open_flows = 0; ///< high-water mark of the flow table
 };
 
 /// Streaming campaign detector. Feed probes in timestamp order; expired

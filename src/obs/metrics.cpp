@@ -1,0 +1,179 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace synscan::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Bucket 0 holds sample 0; bucket i >= 1 holds [2^(i-1), 2^i).
+std::size_t bucket_index(std::uint64_t sample) noexcept {
+  return sample == 0 ? 0 : static_cast<std::size_t>(64 - std::countl_zero(sample));
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::uint64_t HistogramData::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      // Upper bound of bucket i, clamped into the observed range.
+      const std::uint64_t upper = i == 0 ? 0 : (i >= 64 ? UINT64_MAX : (1ull << i) - 1);
+      return std::clamp(upper, min, max);
+    }
+  }
+  return max;
+}
+
+void Histogram::observe(std::uint64_t sample) noexcept {
+  const auto index = std::min<std::size_t>(bucket_index(sample), 63);
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  auto min = min_.load(std::memory_order_relaxed);
+  while (sample < min &&
+         !min_.compare_exchange_weak(min, sample, std::memory_order_relaxed)) {
+  }
+  auto max = max_.load(std::memory_order_relaxed);
+  while (sample > max &&
+         !max_.compare_exchange_weak(max, sample, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::data() const noexcept {
+  HistogramData out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  const auto min = min_.load(std::memory_order_relaxed);
+  out.min = out.count == 0 ? 0 : min;
+  out.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Timing::record(std::uint64_t wall_us, std::uint64_t cpu_us) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  wall_us_.fetch_add(wall_us, std::memory_order_relaxed);
+  cpu_us_.fetch_add(cpu_us, std::memory_order_relaxed);
+  auto max = max_wall_us_.load(std::memory_order_relaxed);
+  while (wall_us > max &&
+         !max_wall_us_.compare_exchange_weak(max, wall_us, std::memory_order_relaxed)) {
+  }
+}
+
+TimingData Timing::data() const noexcept {
+  TimingData out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.wall_us = wall_us_.load(std::memory_order_relaxed);
+  out.cpu_us = cpu_us_.load(std::memory_order_relaxed);
+  out.max_wall_us = max_wall_us_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Timing::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  wall_us_.store(0, std::memory_order_relaxed);
+  cpu_us_.store(0, std::memory_order_relaxed);
+  max_wall_us_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+template <typename T>
+T& MetricsRegistry::get_or_create(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>& metrics,
+    std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  const auto it = metrics.find(name);
+  if (it != metrics.end()) return *it->second;
+  return *metrics.emplace(std::string(name), std::make_unique<T>()).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) { return get_or_create(gauges_, name); }
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return get_or_create(histograms_, name);
+}
+
+Timing& MetricsRegistry::timing(std::string_view name) {
+  return get_or_create(timings_, name);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  Snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) out.counters.emplace_back(name, cell->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, cell] : gauges_) out.gauges.emplace_back(name, cell->value());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, cell] : histograms_) {
+    out.histograms.emplace_back(name, cell->data());
+  }
+  out.timings.reserve(timings_.size());
+  for (const auto& [name, cell] : timings_) out.timings.emplace_back(name, cell->data());
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() + timings_.size());
+  for (const auto& [name, cell] : counters_) out.push_back(name);
+  for (const auto& [name, cell] : gauges_) out.push_back(name);
+  for (const auto& [name, cell] : histograms_) out.push_back(name);
+  for (const auto& [name, cell] : timings_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  const std::lock_guard lock(mutex_);
+  return counters_.find(name) != counters_.end() || gauges_.find(name) != gauges_.end() ||
+         histograms_.find(name) != histograms_.end() ||
+         timings_.find(name) != timings_.end();
+}
+
+void MetricsRegistry::reset_values() {
+  const std::lock_guard lock(mutex_);
+  for (const auto& [name, cell] : counters_) cell->reset();
+  for (const auto& [name, cell] : gauges_) cell->reset();
+  for (const auto& [name, cell] : histograms_) cell->reset();
+  for (const auto& [name, cell] : timings_) cell->reset();
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  timings_.clear();
+}
+
+}  // namespace synscan::obs

@@ -1,0 +1,183 @@
+// Pipeline observability: a lock-cheap registry of named counters,
+// gauges, histograms and stage timings.
+//
+// Design constraints, in order:
+//   1. Zero cost when disabled. Instrumented code checks `obs::enabled()`
+//      once per construction (not per event) wherever possible and holds
+//      plain pointers to metric cells; with observability off those
+//      pointers are null and the hot path pays one predictable branch.
+//   2. Lock-cheap when enabled. Name lookup takes a mutex exactly once
+//      (registration); every subsequent update is a relaxed atomic on a
+//      stable cell. Cells never move or die before process exit.
+//   3. No dependencies. Everything below is std-only so that net, pcap,
+//      telescope and core can link it without cycles; serialization to
+//      JSON/ASCII lives in obs/run_report.h, which may depend on report.
+//
+// Naming convention: dot-separated lowercase namespaces mirroring the
+// pipeline stages — `pcap.*`, `sensor.*`, `tracker.*`, `parallel.*`,
+// plus driver-level stage timings (`analyze.*`, `bench.*`). The full
+// namespace is documented in docs/OBSERVABILITY.md; a test greps the
+// doc against the registry to keep the two in sync.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace synscan::obs {
+
+/// Process-wide observability toggle. Off by default; drivers that want
+/// a run report (CLI `--metrics`, bench `--metrics`) switch it on before
+/// constructing the pipeline.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotonic event count. `add` is a relaxed atomic increment; `store`
+/// exists for publishing externally-maintained tallies (e.g. folding a
+/// `SensorCounters` into the registry at the end of a run).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  void store(std::uint64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, table size).
+/// `record_max` keeps the high-water mark instead.
+class Gauge {
+ public:
+  void store(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void record_max(std::int64_t v) noexcept {
+    auto current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Plain-old-data snapshot of a histogram (see Histogram::data()).
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, 64> buckets{};  ///< bucket i counts samples in [2^(i-1), 2^i)
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket holding quantile `q` (0 < q <= 1).
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+};
+
+/// Log2-bucketed histogram over non-negative integer samples (batch
+/// sizes, queue depths, latencies in µs). Thread-safe, wait-free.
+class Histogram {
+ public:
+  void observe(std::uint64_t sample) noexcept;
+  [[nodiscard]] HistogramData data() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, 64> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Plain-old-data snapshot of a stage timing (see Timing::data()).
+struct TimingData {
+  std::uint64_t count = 0;        ///< completed spans
+  std::uint64_t wall_us = 0;      ///< accumulated wall-clock time
+  std::uint64_t cpu_us = 0;       ///< accumulated thread CPU time
+  std::uint64_t max_wall_us = 0;  ///< slowest single span
+};
+
+/// Wall + CPU time accumulated by ScopedTimer spans. Thread-safe.
+class Timing {
+ public:
+  void record(std::uint64_t wall_us, std::uint64_t cpu_us) noexcept;
+  [[nodiscard]] TimingData data() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> wall_us_{0};
+  std::atomic<std::uint64_t> cpu_us_{0};
+  std::atomic<std::uint64_t> max_wall_us_{0};
+};
+
+/// Named metric cells with stable addresses. Registration (name lookup)
+/// is mutex-guarded; returned references stay valid for the registry's
+/// lifetime, so callers resolve once and update lock-free afterwards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by all built-in instrumentation.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  Timing& timing(std::string_view name);
+
+  /// A coherent point-in-time copy of every metric, each kind sorted by
+  /// name. Counters registered but never touched are included (value 0).
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramData>> histograms;
+    std::vector<std::pair<std::string, TimingData>> timings;
+
+    [[nodiscard]] bool empty() const noexcept {
+      return counters.empty() && gauges.empty() && histograms.empty() && timings.empty();
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Every registered metric name, sorted; for doc-consistency checks.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Zeroes all values; registered names and cell addresses survive.
+  void reset_values();
+  /// Drops every metric. Only safe when no instrumented component still
+  /// holds cell pointers (tests, between CLI runs).
+  void clear();
+
+ private:
+  template <typename T>
+  T& get_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& metrics,
+                   std::string_view name);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Timing>, std::less<>> timings_;
+};
+
+}  // namespace synscan::obs

@@ -1,0 +1,318 @@
+#include "obs/run_report.h"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "report/json.h"
+#include "report/table.h"
+
+namespace synscan::obs {
+namespace {
+
+constexpr std::string_view kSchema = "synscan.run_report/1";
+
+void write_timing_json(std::ostream& os, const TimingData& timing) {
+  os << "{\"count\":" << timing.count << ",\"wall_us\":" << timing.wall_us
+     << ",\"cpu_us\":" << timing.cpu_us << ",\"max_wall_us\":" << timing.max_wall_us
+     << "}";
+}
+
+void write_histogram_json(std::ostream& os, const HistogramData& histogram) {
+  os << "{\"count\":" << histogram.count << ",\"sum\":" << histogram.sum
+     << ",\"min\":" << histogram.min << ",\"max\":" << histogram.max << ",\"buckets\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+    if (histogram.buckets[i] == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << i << "\":" << histogram.buckets[i];
+  }
+  os << "}}";
+}
+
+/// Minimal recursive-descent parser for the subset of JSON this file
+/// emits: objects, string keys, unsigned/signed integers, strings.
+/// Enough to read a run report back; not a general-purpose parser.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  void fail() noexcept { failed_ = true; }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      failed_ = true;
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    skip_space();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  /// Parses a JSON string; handles the escapes report::json_escape emits.
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              failed_ = true;
+              return out;
+            }
+            c = static_cast<char>(std::stoi(std::string(text_.substr(pos_, 4)), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc; break;
+        }
+      }
+      out += c;
+    }
+    consume('"');
+    return out;
+  }
+
+  std::int64_t parse_int() {
+    skip_space();
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      failed_ = true;
+      return 0;
+    }
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      value = value * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+    }
+    return negative ? -static_cast<std::int64_t>(value) : static_cast<std::int64_t>(value);
+  }
+
+  std::uint64_t parse_uint() { return static_cast<std::uint64_t>(parse_int()); }
+
+  /// Iterates `{"key": value}` pairs; `on_pair` must consume the value.
+  template <typename OnPair>
+  void parse_object(OnPair&& on_pair) {
+    if (!consume('{')) return;
+    if (peek('}')) {
+      consume('}');
+      return;
+    }
+    do {
+      const auto key = parse_string();
+      if (failed_ || !consume(':')) return;
+      on_pair(key);
+      if (failed_) return;
+    } while (peek(',') && consume(','));
+    consume('}');
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+void publish(MetricsRegistry& registry, const telescope::SensorCounters& counters) {
+  registry.counter("sensor.scan_probes").add(counters.scan_probes);
+  registry.counter("sensor.backscatter").add(counters.backscatter);
+  registry.counter("sensor.xmas_or_null").add(counters.xmas_or_null);
+  registry.counter("sensor.other_tcp").add(counters.other_tcp);
+  registry.counter("sensor.udp").add(counters.udp);
+  registry.counter("sensor.icmp").add(counters.icmp);
+  registry.counter("sensor.not_monitored").add(counters.not_monitored);
+  registry.counter("sensor.ingress_blocked").add(counters.ingress_blocked);
+  registry.counter("sensor.malformed").add(counters.malformed);
+  registry.counter("sensor.spoofed_source").add(counters.spoofed_source);
+}
+
+void publish(MetricsRegistry& registry, const core::TrackerCounters& counters) {
+  registry.counter("tracker.probes").add(counters.probes);
+  registry.counter("tracker.campaigns").add(counters.campaigns);
+  registry.counter("tracker.subthreshold_flows").add(counters.subthreshold_flows);
+  registry.counter("tracker.subthreshold_packets").add(counters.subthreshold_packets);
+  registry.counter("tracker.expired_flows").add(counters.expired_flows);
+  registry.counter("tracker.sweeps").add(counters.sweeps);
+  registry.gauge("tracker.peak_open_flows")
+      .record_max(static_cast<std::int64_t>(counters.peak_open_flows));
+}
+
+RunReport RunReport::capture(std::string label, const core::PipelineResult* result,
+                             MetricsRegistry& registry) {
+  if (result != nullptr) {
+    publish(registry, result->sensor);
+    publish(registry, result->tracker);
+  }
+  RunReport report;
+  report.label = std::move(label);
+  report.metrics = registry.snapshot();
+  return report;
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  os << "{\"schema\":\"" << kSchema << "\",\"label\":\"" << report::json_escape(label)
+     << "\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << report::json_escape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : metrics.gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << report::json_escape(name) << "\":" << value;
+  }
+  os << "},\"timings\":{";
+  first = true;
+  for (const auto& [name, timing] : metrics.timings) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << report::json_escape(name) << "\":";
+    write_timing_json(os, timing);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : metrics.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << report::json_escape(name) << "\":";
+    write_histogram_json(os, histogram);
+  }
+  os << "}}";
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::optional<RunReport> RunReport::from_json(std::string_view json) {
+  RunReport report;
+  JsonCursor cursor(json);
+  bool schema_ok = false;
+
+  cursor.parse_object([&](const std::string& section) {
+    if (section == "schema") {
+      schema_ok = cursor.parse_string() == kSchema;
+    } else if (section == "label") {
+      report.label = cursor.parse_string();
+    } else if (section == "counters") {
+      cursor.parse_object([&](const std::string& name) {
+        report.metrics.counters.emplace_back(name, cursor.parse_uint());
+      });
+    } else if (section == "gauges") {
+      cursor.parse_object([&](const std::string& name) {
+        report.metrics.gauges.emplace_back(name, cursor.parse_int());
+      });
+    } else if (section == "timings") {
+      cursor.parse_object([&](const std::string& name) {
+        TimingData timing;
+        cursor.parse_object([&](const std::string& field) {
+          if (field == "count") timing.count = cursor.parse_uint();
+          else if (field == "wall_us") timing.wall_us = cursor.parse_uint();
+          else if (field == "cpu_us") timing.cpu_us = cursor.parse_uint();
+          else if (field == "max_wall_us") timing.max_wall_us = cursor.parse_uint();
+          else cursor.fail();
+        });
+        report.metrics.timings.emplace_back(name, timing);
+      });
+    } else if (section == "histograms") {
+      cursor.parse_object([&](const std::string& name) {
+        HistogramData histogram;
+        cursor.parse_object([&](const std::string& field) {
+          if (field == "count") histogram.count = cursor.parse_uint();
+          else if (field == "sum") histogram.sum = cursor.parse_uint();
+          else if (field == "min") histogram.min = cursor.parse_uint();
+          else if (field == "max") histogram.max = cursor.parse_uint();
+          else if (field == "buckets") {
+            cursor.parse_object([&](const std::string& index) {
+              const auto i = static_cast<std::size_t>(std::stoul(index));
+              const auto value = cursor.parse_uint();
+              if (i < histogram.buckets.size()) histogram.buckets[i] = value;
+            });
+          } else {
+            cursor.fail();
+          }
+        });
+        report.metrics.histograms.emplace_back(name, histogram);
+      });
+    } else {
+      cursor.fail();
+    }
+  });
+
+  if (cursor.failed() || !schema_ok) return std::nullopt;
+  return report;
+}
+
+std::string RunReport::to_table() const {
+  std::ostringstream os;
+  if (!label.empty()) os << "run report: " << label << "\n";
+
+  if (!metrics.counters.empty() || !metrics.gauges.empty()) {
+    report::Table values({"metric", "value"});
+    for (const auto& [name, value] : metrics.counters) {
+      values.add_row({name, std::to_string(value)});
+    }
+    for (const auto& [name, value] : metrics.gauges) {
+      values.add_row({name + " (gauge)", std::to_string(value)});
+    }
+    os << values;
+  }
+
+  if (!metrics.timings.empty()) {
+    report::Table timings({"stage", "spans", "wall ms", "cpu ms", "max ms"});
+    for (const auto& [name, timing] : metrics.timings) {
+      timings.add_row({name, std::to_string(timing.count),
+                       report::fixed(static_cast<double>(timing.wall_us) / 1000.0, 2),
+                       report::fixed(static_cast<double>(timing.cpu_us) / 1000.0, 2),
+                       report::fixed(static_cast<double>(timing.max_wall_us) / 1000.0, 2)});
+    }
+    os << "-- stage timings --\n" << timings;
+  }
+
+  if (!metrics.histograms.empty()) {
+    report::Table histograms({"metric", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, histogram] : metrics.histograms) {
+      histograms.add_row({name, std::to_string(histogram.count),
+                          report::fixed(histogram.mean(), 1),
+                          std::to_string(histogram.quantile(0.50)),
+                          std::to_string(histogram.quantile(0.90)),
+                          std::to_string(histogram.quantile(0.99)),
+                          std::to_string(histogram.max)});
+    }
+    os << "-- distributions --\n" << histograms;
+  }
+  return os.str();
+}
+
+}  // namespace synscan::obs

@@ -1,0 +1,26 @@
+#include "obs/timer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#else
+#include <chrono>
+#endif
+
+namespace synscan::obs {
+
+std::uint64_t thread_cpu_ns() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  // No portable per-thread CPU clock: fall back to wall time so the
+  // cpu_us column stays populated rather than silently zero.
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+#endif
+}
+
+}  // namespace synscan::obs

@@ -1,0 +1,64 @@
+// RAII stage timers recording wall and thread-CPU time into a Timing
+// cell of a MetricsRegistry.
+//
+// A timer resolves its Timing cell at construction *only if* obs is
+// enabled at that moment; a disabled timer is two null-pointer stores
+// and a branch in the destructor. Timers nest freely — each span
+// records into its own named cell, so a span's wall time includes the
+// spans it encloses. The convention for nested stages is dotted names
+// (`analyze.ingest`, `analyze.ingest.decode`); self-time is derivable
+// by subtraction and the run report prints spans sorted by name so
+// nesting reads top-down.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace synscan::obs {
+
+/// Current thread's consumed CPU time, in nanoseconds.
+[[nodiscard]] std::uint64_t thread_cpu_ns() noexcept;
+
+class ScopedTimer {
+ public:
+  /// Times a span into `registry.timing(name)` when obs is enabled.
+  ScopedTimer(MetricsRegistry& registry, std::string_view name)
+      : timing_(enabled() ? &registry.timing(name) : nullptr) {
+    if (timing_ != nullptr) {
+      wall_start_ = std::chrono::steady_clock::now();
+      cpu_start_ns_ = thread_cpu_ns();
+    }
+  }
+
+  /// Same, against the global registry.
+  explicit ScopedTimer(std::string_view name) : ScopedTimer(MetricsRegistry::global(), name) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Ends the span early; idempotent.
+  void stop() noexcept {
+    if (timing_ == nullptr) return;
+    const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - wall_start_)
+                          .count();
+    const auto cpu_ns = thread_cpu_ns() - cpu_start_ns_;
+    timing_->record(static_cast<std::uint64_t>(wall), cpu_ns / 1000);
+    timing_ = nullptr;
+  }
+
+  /// Whether this timer is live (obs was enabled at construction).
+  [[nodiscard]] bool active() const noexcept { return timing_ != nullptr; }
+
+ private:
+  Timing* timing_ = nullptr;
+  std::chrono::steady_clock::time_point wall_start_{};
+  std::uint64_t cpu_start_ns_ = 0;
+};
+
+}  // namespace synscan::obs

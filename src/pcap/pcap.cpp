@@ -64,6 +64,14 @@ Reader::Reader(std::unique_ptr<std::istream> stream) : stream_(std::move(stream)
   // bytes 8..15: thiszone + sigfigs, historically zero; ignored.
   info_.snap_length = load32(header.data() + 16, info_.big_endian);
   info_.link_type = static_cast<LinkType>(load32(header.data() + 20, info_.big_endian));
+
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    obs_frames_ = &registry.counter("pcap.frames");
+    obs_bytes_ = &registry.counter("pcap.bytes");
+    obs_truncated_ = &registry.counter("pcap.truncated");
+    obs_bad_records_ = &registry.counter("pcap.bad_records");
+  }
 }
 
 Reader Reader::open(const std::filesystem::path& path) {
@@ -80,7 +88,10 @@ ReadStatus Reader::next(net::RawFrame& out) {
                 static_cast<std::streamsize>(record.size()));
   const auto got = stream_->gcount();
   if (got == 0) return ReadStatus::kEndOfFile;
-  if (got != static_cast<std::streamsize>(record.size())) return ReadStatus::kTruncated;
+  if (got != static_cast<std::streamsize>(record.size())) {
+    if (obs_truncated_ != nullptr) obs_truncated_->add();
+    return ReadStatus::kTruncated;
+  }
 
   const auto ts_seconds = load32(record.data(), info_.big_endian);
   const auto ts_frac = load32(record.data() + 4, info_.big_endian);
@@ -93,11 +104,11 @@ ReadStatus Reader::next(net::RawFrame& out) {
   const auto limit = std::max<std::uint32_t>(info_.snap_length, 65535);
   if (captured_length > limit || captured_length > original_length ||
       captured_length > (1u << 18)) {
+    if (obs_bad_records_ != nullptr) obs_bad_records_->add();
     return ReadStatus::kBadRecord;
   }
-  if (info_.nanosecond) {
-    if (ts_frac >= 1'000'000'000u) return ReadStatus::kBadRecord;
-  } else if (ts_frac >= 1'000'000u) {
+  if (info_.nanosecond ? ts_frac >= 1'000'000'000u : ts_frac >= 1'000'000u) {
+    if (obs_bad_records_ != nullptr) obs_bad_records_->add();
     return ReadStatus::kBadRecord;
   }
 
@@ -105,6 +116,7 @@ ReadStatus Reader::next(net::RawFrame& out) {
   stream_->read(reinterpret_cast<char*>(out.bytes.data()),
                 static_cast<std::streamsize>(captured_length));
   if (stream_->gcount() != static_cast<std::streamsize>(captured_length)) {
+    if (obs_truncated_ != nullptr) obs_truncated_->add();
     return ReadStatus::kTruncated;
   }
   const auto frac_us =
@@ -112,6 +124,10 @@ ReadStatus Reader::next(net::RawFrame& out) {
   out.timestamp_us = static_cast<net::TimeUs>(ts_seconds) * net::kMicrosPerSecond +
                      static_cast<net::TimeUs>(frac_us);
   ++frames_read_;
+  if (obs_frames_ != nullptr) {
+    obs_frames_->add();
+    obs_bytes_->add(captured_length);
+  }
   return ReadStatus::kOk;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
 
 namespace synscan::pcap {
 
@@ -76,6 +77,12 @@ class Reader {
   std::unique_ptr<std::istream> stream_;
   FileInfo info_;
   std::uint64_t frames_read_ = 0;
+  // Resolved once at construction iff obs is enabled; null otherwise,
+  // so the per-record cost with observability off is one branch.
+  obs::Counter* obs_frames_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_truncated_ = nullptr;
+  obs::Counter* obs_bad_records_ = nullptr;
 };
 
 /// Streaming writer mirroring the reader. Always emits little-endian,

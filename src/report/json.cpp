@@ -84,7 +84,11 @@ void write_counters_json(std::ostream& os, const core::PipelineResult& result) {
      << ",\"malformed\":" << result.sensor.malformed
      << ",\"spoofed_source\":" << result.sensor.spoofed_source
      << ",\"campaigns\":" << result.campaigns.size()
-     << ",\"subthreshold_flows\":" << result.tracker.subthreshold_flows << "}";
+     << ",\"subthreshold_flows\":" << result.tracker.subthreshold_flows
+     << ",\"subthreshold_packets\":" << result.tracker.subthreshold_packets
+     << ",\"expired_flows\":" << result.tracker.expired_flows
+     << ",\"sweeps\":" << result.tracker.sweeps
+     << ",\"peak_open_flows\":" << result.tracker.peak_open_flows << "}";
 }
 
 }  // namespace synscan::report

@@ -43,7 +43,7 @@ void HyperLogLog::add_hash(std::uint64_t hash) noexcept {
   // Rank: position of the leftmost 1-bit in the remaining bits, 1-based;
   // an all-zero remainder gets the maximum rank.
   const auto rank = static_cast<std::uint8_t>(
-      rest == 0 ? 65 - precision_ : std::countl_zero(rest) + 1);
+      rest == 0 ? 65 - static_cast<int>(precision_) : std::countl_zero(rest) + 1);
   if (rank > registers_[index]) registers_[index] = rank;
 }
 

@@ -27,3 +27,39 @@ execute_process(
 if(NOT out MATCHES "scanner types")
   message(FATAL_ERROR "analyze output missing sections: ${out}")
 endif()
+
+# Observability: --metrics=<file> writes a run report with the documented
+# schema and the stage/counter sections (docs/OBSERVABILITY.md).
+set(METRICS ${WORKDIR}/metrics.json)
+execute_process(
+  COMMAND ${SYNSCAN} analyze ${CAPTURE} --metrics=${METRICS}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze --metrics failed (${rc}): ${out}${err}")
+endif()
+if(NOT EXISTS ${METRICS})
+  message(FATAL_ERROR "analyze --metrics did not write ${METRICS}")
+endif()
+file(READ ${METRICS} metrics_json)
+foreach(needle
+    "\"schema\":\"synscan.run_report/1\""
+    "\"counters\""
+    "\"timings\""
+    "sensor.scan_probes"
+    "tracker.probes"
+    "parallel.items")
+  if(NOT metrics_json MATCHES "${needle}")
+    message(FATAL_ERROR "run report missing ${needle}: ${metrics_json}")
+  endif()
+endforeach()
+
+# Bare --metrics prints the ASCII table instead.
+execute_process(
+  COMMAND ${SYNSCAN} analyze ${CAPTURE} --metrics
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze --metrics (table) failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "-- run report --")
+  message(FATAL_ERROR "analyze --metrics table output missing: ${out}")
+endif()

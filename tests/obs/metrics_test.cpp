@@ -1,0 +1,243 @@
+// Unit tests for the observability primitives: metric cells, the
+// registry, and RAII stage timers.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/timer.h"
+
+namespace synscan::obs {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  auto& counter = registry.counter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100'000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Counter, StorePublishesExternalTally) {
+  Counter counter;
+  counter.add(3);
+  counter.store(42);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, RecordMaxKeepsHighWaterMark) {
+  Gauge gauge;
+  gauge.record_max(5);
+  gauge.record_max(3);
+  EXPECT_EQ(gauge.value(), 5);
+  gauge.record_max(9);
+  EXPECT_EQ(gauge.value(), 9);
+  gauge.store(-2);
+  EXPECT_EQ(gauge.value(), -2);
+}
+
+TEST(Gauge, ConcurrentRecordMaxConverges) {
+  Gauge gauge;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (int i = 0; i < 10'000; ++i) gauge.record_max(t * 10'000 + i);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(gauge.value(), 3 * 10'000 + 9'999);
+}
+
+TEST(Histogram, TracksCountSumMinMax) {
+  Histogram histogram;
+  for (const std::uint64_t sample : {1u, 2u, 4u, 1024u}) histogram.observe(sample);
+  const auto data = histogram.data();
+  EXPECT_EQ(data.count, 4u);
+  EXPECT_EQ(data.sum, 1031u);
+  EXPECT_EQ(data.min, 1u);
+  EXPECT_EQ(data.max, 1024u);
+  EXPECT_DOUBLE_EQ(data.mean(), 1031.0 / 4.0);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndBounded) {
+  Histogram histogram;
+  for (std::uint64_t i = 0; i < 1000; ++i) histogram.observe(i);
+  const auto data = histogram.data();
+  const auto p50 = data.quantile(0.50);
+  const auto p90 = data.quantile(0.90);
+  const auto p99 = data.quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, data.max);
+  // Log2 buckets: p50 of U[0,1000) lands in [256, 1024).
+  EXPECT_GE(p50, 256u);
+}
+
+TEST(Histogram, EmptyDataIsZero) {
+  Histogram histogram;
+  const auto data = histogram.data();
+  EXPECT_EQ(data.count, 0u);
+  EXPECT_EQ(data.min, 0u);
+  EXPECT_EQ(data.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(data.mean(), 0.0);
+}
+
+TEST(Timing, AccumulatesSpans) {
+  Timing timing;
+  timing.record(100, 80);
+  timing.record(300, 250);
+  const auto data = timing.data();
+  EXPECT_EQ(data.count, 2u);
+  EXPECT_EQ(data.wall_us, 400u);
+  EXPECT_EQ(data.cpu_us, 330u);
+  EXPECT_EQ(data.max_wall_us, 300u);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameCell) {
+  MetricsRegistry registry;
+  auto& a = registry.counter("x.y");
+  auto& b = registry.counter("x.y");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(MetricsRegistry, KindsAreSeparateNamespaces) {
+  MetricsRegistry registry;
+  registry.counter("dual").add(1);
+  registry.gauge("dual").store(5);
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].second, 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 5);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("z.last").add(1);
+  registry.counter("a.first").add(2);
+  registry.counter("m.middle").add(3);
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.first");
+  EXPECT_EQ(snapshot.counters[1].first, "m.middle");
+  EXPECT_EQ(snapshot.counters[2].first, "z.last");
+}
+
+TEST(MetricsRegistry, NamesAndContains) {
+  MetricsRegistry registry;
+  registry.counter("c");
+  registry.gauge("g");
+  registry.histogram("h");
+  registry.timing("t");
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"c", "g", "h", "t"}));
+  EXPECT_TRUE(registry.contains("h"));
+  EXPECT_FALSE(registry.contains("missing"));
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsCells) {
+  MetricsRegistry registry;
+  auto& counter = registry.counter("keep.me");
+  counter.add(9);
+  registry.reset_values();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_TRUE(registry.contains("keep.me"));
+  counter.add(1);  // the cell is still live
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.counter("shared." + std::to_string(i % 10)).add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : registry.snapshot().counters) total += value;
+  EXPECT_EQ(total, 8u * 1000u);
+}
+
+class ScopedTimerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_enabled(true); }
+  void TearDown() override { set_enabled(false); }
+  MetricsRegistry registry_;
+};
+
+TEST_F(ScopedTimerTest, RecordsWallAndCpu) {
+  {
+    const ScopedTimer timer(registry_, "span.outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto data = registry_.timing("span.outer").data();
+  EXPECT_EQ(data.count, 1u);
+  EXPECT_GE(data.wall_us, 5'000u);
+  EXPECT_EQ(data.max_wall_us, data.wall_us);
+  // The span slept, so CPU time must be well below wall time.
+  EXPECT_LE(data.cpu_us, data.wall_us);
+}
+
+TEST_F(ScopedTimerTest, NestedSpansEachRecordAndOuterDominates) {
+  {
+    const ScopedTimer outer(registry_, "span.outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      const ScopedTimer inner(registry_, "span.outer.inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  const auto outer = registry_.timing("span.outer").data();
+  const auto inner = registry_.timing("span.outer.inner").data();
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(inner.count, 1u);
+  // A span's wall time includes the spans it encloses.
+  EXPECT_GE(outer.wall_us, inner.wall_us);
+  EXPECT_GE(inner.wall_us, 2'000u);
+}
+
+TEST_F(ScopedTimerTest, ReentrantSpansAccumulate) {
+  for (int i = 0; i < 3; ++i) {
+    const ScopedTimer timer(registry_, "span.repeated");
+  }
+  EXPECT_EQ(registry_.timing("span.repeated").data().count, 3u);
+}
+
+TEST_F(ScopedTimerTest, StopIsIdempotent) {
+  ScopedTimer timer(registry_, "span.stopped");
+  timer.stop();
+  timer.stop();
+  EXPECT_FALSE(timer.active());
+  EXPECT_EQ(registry_.timing("span.stopped").data().count, 1u);
+}
+
+TEST(ScopedTimerDisabled, IsInertAndRegistersNothing) {
+  ASSERT_FALSE(enabled());
+  MetricsRegistry registry;
+  {
+    const ScopedTimer timer(registry, "span.never");
+    EXPECT_FALSE(timer.active());
+  }
+  EXPECT_FALSE(registry.contains("span.never"));
+}
+
+}  // namespace
+}  // namespace synscan::obs

@@ -1,0 +1,245 @@
+// Integration: the instrumented pipeline populates the global registry
+// end-to-end, the invariants between stages hold, and every metric name
+// documented in docs/OBSERVABILITY.md is actually shipped.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "core/parallel.h"
+#include "core/pipeline.h"
+#include "obs/run_report.h"
+#include "pcap/pcap.h"
+#include "simgen/generator.h"
+#include "test_support.h"
+
+namespace synscan {
+namespace {
+
+const telescope::Telescope& test_telescope() {
+  static const telescope::Telescope telescope(
+      {{*net::Ipv4Prefix::parse("198.51.0.0/20"), 1000}}, {});
+  return telescope;
+}
+
+simgen::YearConfig small_config() {
+  simgen::YearConfig config;
+  config.year = 2021;
+  config.window_days = 1;
+  config.seed = 4242;
+  config.port_table = {{80, 70}, {443, 30}};
+  config.noise_sources = 10;
+  config.backscatter_fraction = 0.1;
+
+  simgen::GroupSpec group;
+  group.name = "obs-group";
+  group.tool = simgen::WireTool::kZmap;
+  group.pool = enrich::ScannerType::kHosting;
+  group.sources = 4;
+  group.campaigns = 4;
+  group.hits_median = 250;
+  group.hits_sigma = 1.1;
+  group.pps_median = 500000;
+  group.pps_sigma = 1.1;
+  config.groups.push_back(group);
+  return config;
+}
+
+/// Every test here drives the *global* registry, exactly like the CLI
+/// and benches do; serialize access and leave a clean slate behind.
+class ObsIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::global().clear();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::MetricsRegistry::global().clear();
+  }
+};
+
+std::uint64_t global_counter(const std::string& name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+TEST_F(ObsIntegration, SensorProbesEqualTrackerProbes) {
+  core::Pipeline pipeline(test_telescope());
+  simgen::TrafficGenerator generator(small_config(), test_telescope(),
+                                     enrich::InternetRegistry::synthetic_default());
+  generator.run([&](const net::RawFrame& f) { pipeline.feed_frame(f); });
+  const auto result = pipeline.finish();
+
+  const auto report = obs::RunReport::capture("integration", &result);
+
+  // Every probe the sensor forwarded reached the tracker: the paper's
+  // pipeline loses nothing between §3.2 classification and §3.4
+  // campaign tracking.
+  ASSERT_GT(result.sensor.scan_probes, 0u);
+  EXPECT_EQ(global_counter("sensor.scan_probes"), result.sensor.scan_probes);
+  EXPECT_EQ(global_counter("tracker.probes"), result.tracker.probes);
+  EXPECT_EQ(global_counter("sensor.scan_probes"), global_counter("tracker.probes"));
+  // The pipeline-level tallies agree with the stage-level ones.
+  EXPECT_EQ(global_counter("pipeline.probes"), result.sensor.scan_probes);
+  EXPECT_GT(global_counter("pipeline.frames"), 0u);
+
+  // The captured report carries the same numbers.
+  bool found = false;
+  for (const auto& [name, value] : report.metrics.counters) {
+    if (name == "sensor.scan_probes") {
+      EXPECT_EQ(value, result.sensor.scan_probes);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsIntegration, ParallelAnalyzerPublishesWorkerMetrics) {
+  constexpr std::size_t kWorkers = 3;
+  core::ParallelAnalyzer analyzer(test_telescope(), kWorkers);
+  simgen::TrafficGenerator generator(small_config(), test_telescope(),
+                                     enrich::InternetRegistry::synthetic_default());
+  const auto stats =
+      generator.run([&](const net::RawFrame& f) { analyzer.feed_frame(f); });
+  const auto result = analyzer.finish();
+
+  auto& registry = obs::MetricsRegistry::global();
+  EXPECT_EQ(registry.gauge("parallel.workers").value(),
+            static_cast<std::int64_t>(kWorkers));
+  // Every decodable frame was dispatched to exactly one worker.
+  EXPECT_EQ(global_counter("parallel.items") + global_counter("parallel.undecodable"),
+            stats.total_frames);
+  EXPECT_GT(global_counter("parallel.batches"), 0u);
+  EXPECT_GT(registry.histogram("parallel.batch_items").data().count, 0u);
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    const auto prefix = "parallel.worker." + std::to_string(i);
+    EXPECT_TRUE(registry.contains(prefix + ".items")) << prefix;
+    EXPECT_TRUE(registry.contains(prefix + ".peak_queue")) << prefix;
+  }
+  EXPECT_GT(registry.timing("parallel.merge").data().count, 0u);
+
+  // Tracker merge preserved the new counters.
+  EXPECT_EQ(result.tracker.probes, result.sensor.scan_probes);
+}
+
+TEST_F(ObsIntegration, PcapReaderCountsFramesAndBytes) {
+  const auto path = std::filesystem::temp_directory_path() / "synscan_obs_test.pcap";
+  std::vector<net::RawFrame> frames;
+  for (int i = 0; i < 32; ++i) {
+    frames.push_back({static_cast<net::TimeUs>(i) * 1000,
+                      testing::syn_frame(net::Ipv4Address::from_octets(5, 6, 7, 8),
+                                         net::Ipv4Address::from_octets(198, 51, 0, 1),
+                                         80)});
+  }
+  pcap::write_file(path, frames);
+
+  auto reader = pcap::Reader::open(path);
+  const auto [read, status] = reader.read_all();
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(status, pcap::ReadStatus::kEndOfFile);
+  EXPECT_EQ(global_counter("pcap.frames"), frames.size());
+  EXPECT_GT(global_counter("pcap.bytes"), 0u);
+  EXPECT_EQ(global_counter("pcap.truncated"), 0u);
+  EXPECT_EQ(global_counter("pcap.bad_records"), 0u);
+}
+
+TEST_F(ObsIntegration, TrackerExposesFlowTableLifecycle) {
+  core::TrackerConfig config;
+  config.sweep_interval = 64;
+  core::Pipeline pipeline(test_telescope(), config);
+  simgen::TrafficGenerator generator(small_config(), test_telescope(),
+                                     enrich::InternetRegistry::synthetic_default());
+  generator.run([&](const net::RawFrame& f) { pipeline.feed_frame(f); });
+  const auto result = pipeline.finish();
+
+  EXPECT_GT(result.tracker.peak_open_flows, 0u);
+  EXPECT_GT(result.tracker.sweeps, 0u);
+  // Every flow closed by inactivity ended up classified as a campaign or
+  // sub-threshold, so expirations never exceed total closed flows.
+  EXPECT_LE(result.tracker.expired_flows,
+            result.tracker.campaigns + result.tracker.subthreshold_flows);
+  // The high-water mark is bounded by the probes that could open flows.
+  EXPECT_LE(result.tracker.peak_open_flows, result.tracker.probes);
+}
+
+// --- documentation consistency -------------------------------------------
+
+/// Extracts backtick-quoted metric names (`namespace.metric`) from the
+/// observability doc, restricted to the namespaces the pipeline itself
+/// publishes (driver-level `analyze.*`/`bench.*` spans only exist when
+/// the CLI or a bench runs).
+std::set<std::string> documented_pipeline_metrics(const std::filesystem::path& doc) {
+  std::ifstream in(doc);
+  EXPECT_TRUE(in.is_open()) << "missing " << doc;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto text = buffer.str();
+
+  std::set<std::string> names;
+  const std::regex token("`([a-z]+(?:\\.[a-z0-9_]+)+)`");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), token);
+       it != std::sregex_iterator(); ++it) {
+    const auto name = (*it)[1].str();
+    for (const std::string_view prefix :
+         {"sensor.", "tracker.", "parallel.", "pcap.", "pipeline."}) {
+      if (name.rfind(prefix, 0) == 0) names.insert(name);
+    }
+  }
+  return names;
+}
+
+TEST_F(ObsIntegration, DocumentedMetricNamesExistInRegistry) {
+  // Drive every instrumented component once so the registry holds the
+  // full shipped namespace.
+  {
+    const auto path = std::filesystem::temp_directory_path() / "synscan_obs_doc.pcap";
+    const std::vector<net::RawFrame> frames{
+        {0, testing::syn_frame(net::Ipv4Address::from_octets(5, 6, 7, 8),
+                               net::Ipv4Address::from_octets(198, 51, 0, 1), 80)}};
+    pcap::write_file(path, frames);
+    auto reader = pcap::Reader::open(path);
+    (void)reader.read_all();
+    std::filesystem::remove(path);
+  }
+  {
+    core::ParallelAnalyzer analyzer(test_telescope(), 2);
+    simgen::TrafficGenerator generator(small_config(), test_telescope(),
+                                       enrich::InternetRegistry::synthetic_default());
+    generator.run([&](const net::RawFrame& f) { analyzer.feed_frame(f); });
+    const auto result = analyzer.finish();
+    auto& registry = obs::MetricsRegistry::global();
+    obs::publish(registry, result.sensor);
+    obs::publish(registry, result.tracker);
+  }
+  {
+    // The serial pipeline counters.
+    core::Pipeline pipeline(test_telescope());
+    pipeline.feed_frame({0, testing::syn_frame(net::Ipv4Address::from_octets(5, 6, 7, 8),
+                                               net::Ipv4Address::from_octets(198, 51, 0, 1),
+                                               80)});
+    (void)pipeline.finish();
+  }
+
+  const auto doc =
+      std::filesystem::path(SYNSCAN_SOURCE_DIR) / "docs" / "OBSERVABILITY.md";
+  const auto documented = documented_pipeline_metrics(doc);
+  ASSERT_GE(documented.size(), 20u)
+      << "suspiciously few metric names parsed from " << doc;
+
+  auto& registry = obs::MetricsRegistry::global();
+  for (const auto& name : documented) {
+    // `parallel.worker.<i>.*` is a per-worker template; check worker 0.
+    auto resolved = name;
+    const auto placeholder = resolved.find(".n.");
+    if (placeholder != std::string::npos) resolved.replace(placeholder, 3, ".0.");
+    EXPECT_TRUE(registry.contains(resolved))
+        << "documented metric `" << name << "` is not published by the pipeline";
+  }
+}
+
+}  // namespace
+}  // namespace synscan

@@ -1,0 +1,140 @@
+// RunReport: publishing pipeline counters into the registry, JSON
+// serialization round-trip, and ASCII rendering.
+#include "obs/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace synscan::obs {
+namespace {
+
+telescope::SensorCounters sample_sensor() {
+  telescope::SensorCounters counters;
+  counters.scan_probes = 100;
+  counters.backscatter = 20;
+  counters.udp = 7;
+  counters.malformed = 1;
+  return counters;
+}
+
+core::TrackerCounters sample_tracker() {
+  core::TrackerCounters counters;
+  counters.probes = 100;
+  counters.campaigns = 3;
+  counters.subthreshold_flows = 12;
+  counters.subthreshold_packets = 50;
+  counters.expired_flows = 4;
+  counters.sweeps = 2;
+  counters.peak_open_flows = 17;
+  return counters;
+}
+
+TEST(Publish, SensorCountersLandUnderCanonicalNames) {
+  MetricsRegistry registry;
+  publish(registry, sample_sensor());
+  EXPECT_EQ(registry.counter("sensor.scan_probes").value(), 100u);
+  EXPECT_EQ(registry.counter("sensor.backscatter").value(), 20u);
+  EXPECT_EQ(registry.counter("sensor.udp").value(), 7u);
+  EXPECT_EQ(registry.counter("sensor.malformed").value(), 1u);
+  EXPECT_EQ(registry.counter("sensor.not_monitored").value(), 0u);
+}
+
+TEST(Publish, IsAdditiveAcrossWindows) {
+  MetricsRegistry registry;
+  publish(registry, sample_sensor());
+  publish(registry, sample_sensor());
+  EXPECT_EQ(registry.counter("sensor.scan_probes").value(), 200u);
+}
+
+TEST(Publish, TrackerCountersIncludeFlowTableStats) {
+  MetricsRegistry registry;
+  publish(registry, sample_tracker());
+  EXPECT_EQ(registry.counter("tracker.probes").value(), 100u);
+  EXPECT_EQ(registry.counter("tracker.campaigns").value(), 3u);
+  EXPECT_EQ(registry.counter("tracker.expired_flows").value(), 4u);
+  EXPECT_EQ(registry.counter("tracker.sweeps").value(), 2u);
+  EXPECT_EQ(registry.gauge("tracker.peak_open_flows").value(), 17);
+}
+
+TEST(RunReport, CaptureFoldsResultCounters) {
+  MetricsRegistry registry;
+  core::PipelineResult result;
+  result.sensor = sample_sensor();
+  result.tracker = sample_tracker();
+  const auto report = RunReport::capture("unit", &result, registry);
+  EXPECT_EQ(report.label, "unit");
+  bool found = false;
+  for (const auto& [name, value] : report.metrics.counters) {
+    if (name == "sensor.scan_probes") {
+      EXPECT_EQ(value, 100u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+RunReport sample_report() {
+  MetricsRegistry registry;
+  publish(registry, sample_sensor());
+  publish(registry, sample_tracker());
+  registry.gauge("parallel.workers").store(4);
+  registry.timing("analyze.ingest").record(1234, 1100);
+  auto& histogram = registry.histogram("parallel.batch_items");
+  for (const std::uint64_t sample : {1u, 16u, 256u, 256u, 300u}) {
+    histogram.observe(sample);
+  }
+  return RunReport::capture("round-trip \"label\"", nullptr, registry);
+}
+
+TEST(RunReport, JsonRoundTripIsExact) {
+  const auto report = sample_report();
+  const auto json = report.to_json();
+
+  const auto parsed = RunReport::from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->label, report.label);
+  EXPECT_EQ(parsed->metrics.counters, report.metrics.counters);
+  EXPECT_EQ(parsed->metrics.gauges, report.metrics.gauges);
+  // Serialize again: byte-identical (timings and histogram buckets
+  // survive, derived quantiles are recomputed from the buckets).
+  EXPECT_EQ(parsed->to_json(), json);
+}
+
+TEST(RunReport, JsonContainsSchemaAndSections) {
+  const auto json = sample_report().to_json();
+  EXPECT_NE(json.find("\"schema\":\"synscan.run_report/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"timings\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"sensor.scan_probes\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_us\":1234"), std::string::npos);
+}
+
+TEST(RunReport, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(RunReport::from_json("").has_value());
+  EXPECT_FALSE(RunReport::from_json("{}").has_value());  // no schema
+  EXPECT_FALSE(RunReport::from_json("not json at all").has_value());
+  EXPECT_FALSE(
+      RunReport::from_json("{\"schema\":\"synscan.run_report/999\"}").has_value());
+}
+
+TEST(RunReport, EmptyRegistrySerializesAndParses) {
+  MetricsRegistry registry;
+  const auto report = RunReport::capture("empty", nullptr, registry);
+  const auto parsed = RunReport::from_json(report.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->metrics.empty());
+}
+
+TEST(RunReport, TableListsMetricsAndStages) {
+  const auto table = sample_report().to_table();
+  EXPECT_NE(table.find("sensor.scan_probes"), std::string::npos);
+  EXPECT_NE(table.find("tracker.peak_open_flows (gauge)"), std::string::npos);
+  EXPECT_NE(table.find("-- stage timings --"), std::string::npos);
+  EXPECT_NE(table.find("analyze.ingest"), std::string::npos);
+  EXPECT_NE(table.find("-- distributions --"), std::string::npos);
+  EXPECT_NE(table.find("parallel.batch_items"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace synscan::obs
