@@ -1,0 +1,154 @@
+// Tracker-replay perf workload: a deterministic, telescope-shaped probe
+// stream driven straight into CampaignTracker::feed, reported as JSON.
+//
+// This is the repo's recorded perf baseline for the tracker hot path
+// (see scripts/bench_baseline.sh and BENCH_tracker.json). Unlike the
+// google-benchmark microbenchmarks it replays a *mixed* population —
+// mostly single-digit-packet noise sources, a band of heavy horizontal
+// scanners, a few vertical scanners — with periodic quiet gaps so the
+// expiry, sweep, and same-source-restart paths are all on the measured
+// path, matching the traffic mix of Table 1 / Fig. 3 rather than a
+// single uniform loop.
+//
+// Usage: bench_tracker_replay [--probes=N] [--label=STR] [--seed=N]
+// Output: one JSON object on stdout.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/tracker.h"
+#include "simgen/rng.h"
+#include "telescope/sensor.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace {
+
+using namespace synscan;
+
+/// Peak resident set size in kilobytes, or 0 where unsupported.
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;  // bytes on macOS
+#else
+  return usage.ru_maxrss;  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+struct Options {
+  std::uint64_t probes = 4'000'000;
+  std::uint64_t seed = 20240806;
+  std::string label = "tracker_replay";
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--probes=", 0) == 0) {
+      options.probes = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--label=", 0) == 0) {
+      options.label = arg.substr(8);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Pre-generates the probe stream so that generation cost is excluded
+/// from the timed section.
+std::vector<telescope::ScanProbe> make_workload(const Options& options) {
+  simgen::Rng rng(options.seed);
+  std::vector<telescope::ScanProbe> probes;
+  probes.reserve(options.probes);
+
+  constexpr std::uint32_t kNoiseSources = 1u << 21;   // mostly-new flows
+  constexpr std::uint32_t kHeavySources = 512;        // horizontal scanners
+  constexpr std::uint32_t kVerticalSources = 64;      // port sweepers
+  constexpr std::uint16_t kCommonPorts[] = {23, 80, 443, 445, 22, 8080, 3389, 5060};
+
+  net::TimeUs now = 0;
+  std::uint16_t vertical_port = 0;
+  for (std::uint64_t i = 0; i < options.probes; ++i) {
+    // Quiet gap every ~1/8 of the stream: expires open flows, forces
+    // sweeps, and makes surviving heavy sources restart in place.
+    if (i > 0 && i % (options.probes / 8 + 1) == 0) now += 2 * net::kMicrosPerHour;
+    now += 40;  // ~25k probes/s of telescope time
+
+    telescope::ScanProbe probe;
+    probe.timestamp_us = now;
+    const std::uint64_t draw = rng.next_u64() % 100;
+    if (draw < 70) {
+      // Background noise: huge sparse source pool, 1-3 packets each.
+      probe.source = net::Ipv4Address(0x0a000000u + rng.next_u32() % kNoiseSources);
+      probe.destination = net::Ipv4Address(0xc6330000u + rng.next_u32() % 4096);
+      probe.destination_port = kCommonPorts[rng.next_u32() % 8];
+    } else if (draw < 95) {
+      // Heavy horizontal scanners: few sources, wide destination fan-out.
+      probe.source = net::Ipv4Address(0x05050000u + rng.next_u32() % kHeavySources);
+      probe.destination = net::Ipv4Address(0xc6330000u + rng.next_u32() % 65536);
+      probe.destination_port = kCommonPorts[rng.next_u32() % 2];
+    } else {
+      // Vertical scanners: few sources, few destinations, the whole port
+      // space — drives the port-map promotion path.
+      probe.source = net::Ipv4Address(0x07070000u + rng.next_u32() % kVerticalSources);
+      probe.destination = net::Ipv4Address(0xc6330000u + rng.next_u32() % 64);
+      probe.destination_port = ++vertical_port;
+    }
+    probe.source_port = static_cast<std::uint16_t>(40000 + rng.next_u32() % 20000);
+    probe.ttl = 64;
+    probe.window = 65535;
+    probes.push_back(probe);
+  }
+  return probes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse(argc, argv);
+  const auto probes = make_workload(options);
+
+  core::TrackerConfig config;
+  std::uint64_t campaign_packets = 0;
+  std::uint64_t campaigns = 0;
+  core::CampaignTracker tracker(config, 71536, [&](core::Campaign&& campaign) {
+    ++campaigns;
+    campaign_packets += campaign.packets;
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& probe : probes) tracker.feed(probe);
+  tracker.finish();
+  const auto stop = std::chrono::steady_clock::now();
+
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  const auto& counters = tracker.counters();
+  std::printf(
+      "{\"label\":\"%s\",\"probes\":%" PRIu64 ",\"seconds\":%.4f,"
+      "\"probes_per_sec\":%.0f,\"peak_rss_kb\":%ld,"
+      "\"campaigns\":%" PRIu64 ",\"campaign_packets\":%" PRIu64 ","
+      "\"subthreshold_flows\":%" PRIu64 ",\"expired_flows\":%" PRIu64 ","
+      "\"sweeps\":%" PRIu64 ",\"peak_open_flows\":%" PRIu64 "}\n",
+      options.label.c_str(), counters.probes, seconds,
+      static_cast<double>(counters.probes) / seconds, peak_rss_kb(), campaigns,
+      campaign_packets, counters.subthreshold_flows, counters.expired_flows,
+      counters.sweeps, counters.peak_open_flows);
+  return 0;
+}

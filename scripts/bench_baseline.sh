@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Tracker perf baseline: build Release, run the bench_micro tracker-feed
+# microbenchmark plus the bench_tracker_replay mixed workload, and append
+# one record to BENCH_tracker.json at the repo root. Run this before and
+# after any change to the tracker hot path so the perf trajectory stays
+# auditable in-repo (see docs/PERFORMANCE.md).
+#
+# Usage:
+#   scripts/bench_baseline.sh [label]
+# Environment:
+#   BUILD_DIR     build directory (default: build-bench)
+#   REPLAY_PROBES workload size for bench_tracker_replay (default: 4000000)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-${repo}/build-bench}"
+label="${1:-$(git -C "${repo}" rev-parse --abbrev-ref HEAD 2>/dev/null || echo unlabeled)}"
+probes="${REPLAY_PROBES:-4000000}"
+out="${repo}/BENCH_tracker.json"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== build (${build}, Release)" >&2
+cmake -B "${build}" -S "${repo}" -G Ninja \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DSYNSCAN_BUILD_TESTS=OFF \
+  -DSYNSCAN_BUILD_EXAMPLES=OFF >&2
+cmake --build "${build}" -j "${jobs}" --target bench_micro bench_tracker_replay >&2
+
+echo "== bench_micro (BM_TrackerFeed)" >&2
+micro_json="$(mktemp)"
+"${build}/bench/bench_micro" \
+  --benchmark_filter='^BM_TrackerFeed$' \
+  --benchmark_min_time=1.0 \
+  --benchmark_format=json > "${micro_json}"
+micro_items_per_sec="$(grep -o '"items_per_second": [0-9.e+-]*' "${micro_json}" \
+  | head -1 | cut -d' ' -f2)"
+rm -f "${micro_json}"
+if [ -z "${micro_items_per_sec}" ]; then
+  echo "bench_baseline: failed to parse items_per_second from bench_micro" >&2
+  exit 1
+fi
+
+echo "== bench_tracker_replay (${probes} probes)" >&2
+replay_json="$("${build}/bench/bench_tracker_replay" --probes="${probes}" --label="${label}")"
+
+git_rev="$(git -C "${repo}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+record="$(printf '{"label":"%s","git":"%s","date":"%s","micro_tracker_feed_items_per_sec":%s,"tracker_replay":%s}' \
+  "${label}" "${git_rev}" "${date_utc}" "${micro_items_per_sec}" "${replay_json}")"
+
+# BENCH_tracker.json is a JSON array with one record per line, so
+# appending is a three-line edit rather than a JSON-parser dependency.
+if [ -s "${out}" ]; then
+  tmp="$(mktemp)"
+  sed '$ d' "${out}" > "${tmp}"            # drop closing "]"
+  sed -i '$ s/$/,/' "${tmp}"               # comma after previous record
+  printf '%s\n]\n' "${record}" >> "${tmp}"
+  mv "${tmp}" "${out}"
+else
+  printf '[\n%s\n]\n' "${record}" > "${out}"
+fi
+
+echo "== appended record to ${out}" >&2
+echo "${record}"
