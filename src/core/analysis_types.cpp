@@ -19,7 +19,7 @@ void TypeTally::on_probe(const telescope::ScanProbe& probe) {
   ++packets_[index];
   sources_[index].insert(probe.source.value());
   ++port_type_packets_[port_type_key(probe.destination_port, type)];
-  ++port_packets_[probe.destination_port];
+  port_packets_.add(probe.destination_port, 1);
 }
 
 std::uint64_t TypeTally::total_sources() const noexcept {
@@ -31,9 +31,9 @@ std::uint64_t TypeTally::total_sources() const noexcept {
 std::array<double, enrich::kScannerTypeCount> TypeTally::port_type_mix(
     std::uint16_t port) const {
   std::array<double, enrich::kScannerTypeCount> mix{};
-  const auto it = port_packets_.find(port);
-  if (it == port_packets_.end() || it->second == 0) return mix;
-  const auto total = static_cast<double>(it->second);
+  const auto port_total = port_packets_.get(port);
+  if (port_total == 0) return mix;
+  const auto total = static_cast<double>(port_total);
   for (const auto type : enrich::kAllScannerTypes) {
     const auto pt = port_type_packets_.find(port_type_key(port, type));
     if (pt != port_type_packets_.end()) {

@@ -48,7 +48,7 @@ class TypeTally final : public ProbeObserver {
   std::array<std::unordered_set<std::uint32_t>, enrich::kScannerTypeCount> sources_;
   // (port << 3) | type — type fits in 3 bits.
   std::unordered_map<std::uint32_t, std::uint64_t> port_type_packets_;
-  std::unordered_map<std::uint16_t, std::uint64_t> port_packets_;
+  PortPacketMap port_packets_;
   std::uint64_t total_packets_ = 0;
 };
 

@@ -2,9 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "core/port_map.h"
 #include "fingerprint/tool.h"
 #include "net/packet.h"
 
@@ -20,8 +20,11 @@ struct Campaign {
   net::TimeUs last_seen_us = 0;
   std::uint64_t packets = 0;
   std::uint32_t distinct_destinations = 0;
-  /// Probe count per targeted destination port.
-  std::unordered_map<std::uint16_t, std::uint64_t> port_packets;
+  /// Probe count per targeted destination port. Flat inline-first map:
+  /// no heap for the (dominant) few-port campaigns, open addressing for
+  /// vertical scans. Iteration yields `(port, packets)` pairs like the
+  /// `unordered_map` it replaced.
+  PortPacketMap port_packets;
   fingerprint::Tool tool = fingerprint::Tool::kUnknown;
 
   // Derived at finalization time from the telescope's geometric model:

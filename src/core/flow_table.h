@@ -1,0 +1,180 @@
+// Open-addressing flow index: IPv4 source -> slot in the tracker's flow
+// pool.
+//
+// Robin-hood linear probing over a power-of-two slot array with
+// backward-shift deletion, so the table never accumulates tombstones and
+// stays fully probeable at high load — the replacement for the
+// per-source `std::unordered_map` whose node allocations dominated
+// `CampaignTracker::feed` (see docs/PERFORMANCE.md). Entries are 8 bytes
+// (key + pool index) plus a 2-byte probe distance, so a probe sequence
+// touches a handful of contiguous cache lines instead of chasing nodes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace synscan::core {
+
+class FlowIndexTable {
+ public:
+  FlowIndexTable() { rehash(kInitialCapacity); }
+
+  /// Looks `key` up, inserting it when absent. Returns a reference to
+  /// the mapped pool index plus whether the key was inserted; on insert
+  /// the caller must assign the value before the next table operation.
+  std::pair<std::uint32_t&, bool> find_or_insert(std::uint32_t key) {
+    if ((size_ + 1) * 8 >= slots_.size() * 7) rehash(slots_.size() * 2);
+    const std::uint64_t mask = slots_.size() - 1;
+    std::uint64_t index = hash(key) & mask;
+    std::uint16_t dist = 1;  // stored probe distance: 1 = home slot, 0 = empty
+    for (;;) {
+      if (dist_[index] == 0) {
+        slots_[index] = {key, 0};
+        dist_[index] = dist;
+        ++size_;
+        return {slots_[index].value, true};
+      }
+      if (slots_[index].key == key) return {slots_[index].value, false};
+      if (dist_[index] < dist) {
+        // Robin hood: the resident is closer to home than we are; take
+        // its slot and carry it onward.
+        Slot carried = slots_[index];
+        std::uint16_t carried_dist = dist_[index];
+        slots_[index] = {key, 0};
+        dist_[index] = dist;
+        const std::uint64_t placed = index;
+        shift_in(carried, carried_dist, (index + 1) & mask);
+        ++size_;
+        return {slots_[placed].value, true};
+      }
+      index = (index + 1) & mask;
+      if (++dist == kMaxDistance) {
+        // Pathological clustering: grow and retry (rehash resets
+        // distances well below the cap).
+        rehash(slots_.size() * 2);
+        return find_or_insert(key);
+      }
+    }
+  }
+
+  /// Pool index for `key`, or nullptr when absent.
+  [[nodiscard]] const std::uint32_t* find(std::uint32_t key) const noexcept {
+    const std::uint64_t mask = slots_.size() - 1;
+    std::uint64_t index = hash(key) & mask;
+    std::uint16_t dist = 1;
+    for (;;) {
+      if (dist_[index] == 0 || dist_[index] < dist) return nullptr;
+      if (slots_[index].key == key) return &slots_[index].value;
+      index = (index + 1) & mask;
+      ++dist;
+    }
+  }
+
+  /// Removes `key` via backward-shift deletion (no tombstones). Returns
+  /// whether the key was present.
+  bool erase(std::uint32_t key) noexcept {
+    const std::uint64_t mask = slots_.size() - 1;
+    std::uint64_t index = hash(key) & mask;
+    std::uint16_t dist = 1;
+    for (;;) {
+      if (dist_[index] == 0 || dist_[index] < dist) return false;
+      if (slots_[index].key == key) break;
+      index = (index + 1) & mask;
+      ++dist;
+    }
+    // Shift the probe chain back over the vacated slot until a hole or a
+    // home-slot entry terminates it.
+    std::uint64_t hole = index;
+    for (;;) {
+      const std::uint64_t next = (hole + 1) & mask;
+      if (dist_[next] <= 1) break;
+      slots_[hole] = slots_[next];
+      dist_[hole] = static_cast<std::uint16_t>(dist_[next] - 1);
+      hole = next;
+    }
+    dist_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+  /// Calls `f(key, value)` for every entry, in slot order (deterministic
+  /// for a given insertion/erasure history).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (dist_[i] != 0) f(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::uint64_t rehashes() const noexcept { return rehashes_; }
+
+  /// Drops all entries, keeping the current capacity.
+  void clear() noexcept {
+    std::fill(dist_.begin(), dist_.end(), std::uint16_t{0});
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t key = 0;
+    std::uint32_t value = 0;
+  };
+
+  static constexpr std::size_t kInitialCapacity = 1024;
+  static constexpr std::uint16_t kMaxDistance = 128;
+
+  [[nodiscard]] static std::uint64_t hash(std::uint32_t key) noexcept {
+    // Fibonacci multiply; scan sources cluster in prefixes, this spreads
+    // them across the high bits we mask with.
+    std::uint64_t x = (static_cast<std::uint64_t>(key) + 1) * 0x9e3779b97f4a7c15ull;
+    return x ^ (x >> 29);
+  }
+
+  void shift_in(Slot carried, std::uint16_t carried_dist, std::uint64_t index) noexcept {
+    const std::uint64_t mask = slots_.size() - 1;
+    ++carried_dist;
+    for (;;) {
+      if (dist_[index] == 0) {
+        slots_[index] = carried;
+        dist_[index] = carried_dist;
+        return;
+      }
+      if (dist_[index] < carried_dist) {
+        std::swap(carried, slots_[index]);
+        std::swap(carried_dist, dist_[index]);
+      }
+      index = (index + 1) & mask;
+      ++carried_dist;
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old_slots;
+    std::vector<std::uint16_t> old_dist;
+    old_slots.swap(slots_);
+    old_dist.swap(dist_);
+    slots_.resize(new_capacity);
+    dist_.assign(new_capacity, 0);
+    size_ = 0;
+    if (!old_slots.empty()) ++rehashes_;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_dist[i] != 0) {
+        auto [value, inserted] = find_or_insert(old_slots[i].key);
+        value = old_slots[i].value;
+        (void)inserted;
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint16_t> dist_;
+  std::size_t size_ = 0;
+  std::uint64_t rehashes_ = 0;
+};
+
+}  // namespace synscan::core

@@ -1,0 +1,142 @@
+// Hybrid distinct-destination set for the tracker hot path.
+//
+// 83% of scan sources target one port and most never reach the
+// 100-destination campaign threshold (Fig. 3 / §3.4), so the common case
+// is a source with a handful of distinct destinations. Storing those in
+// a per-source `std::unordered_set` pays one node allocation per
+// destination — the dominant cost when digesting tens of billions of
+// probes. This set keeps the first `kInlineCapacity` values in an inline
+// array (no heap at all) and promotes to a linear-probing flat hash set
+// only once a source proves it is fanning out.
+//
+// `clear()` keeps the promoted backing store, so pooled flows recycle
+// capacity instead of re-allocating it (see CampaignTracker's flow pool).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace synscan::core {
+
+class HybridU32Set {
+ public:
+  /// Inline capacity before promotion to the flat hash set. 16 u32s is
+  /// one cache line; the campaign threshold (100 destinations) means
+  /// every qualifying flow promotes, but the millions of sub-threshold
+  /// noise sources never do.
+  static constexpr std::uint32_t kInlineCapacity = 16;
+
+  /// Inserts `value`; returns true when it was not present before.
+  bool insert(std::uint32_t value) {
+    if (!promoted_) {
+      for (std::uint32_t i = 0; i < inline_size_; ++i) {
+        if (inline_[i] == value) return false;
+      }
+      if (inline_size_ < kInlineCapacity) {
+        inline_[inline_size_++] = value;
+        return true;
+      }
+      promote();
+    }
+    return insert_promoted(value);
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t value) const {
+    if (!promoted_) {
+      for (std::uint32_t i = 0; i < inline_size_; ++i) {
+        if (inline_[i] == value) return true;
+      }
+      return false;
+    }
+    if (value == 0) return has_zero_;
+    const std::uint64_t mask = slots_.size() - 1;
+    for (std::uint64_t index = hash(value) & mask;; index = (index + 1) & mask) {
+      if (slots_[index] == value) return true;
+      if (slots_[index] == 0) return false;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return promoted_ ? promoted_size_ : inline_size_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] bool promoted() const noexcept { return promoted_; }
+
+  /// Backing-store capacity (for capacity-recycling assertions).
+  [[nodiscard]] std::size_t slot_capacity() const noexcept { return slots_.capacity(); }
+
+  /// Empties the set but keeps any promoted backing store allocated, so
+  /// a recycled flow re-promotes without touching the allocator.
+  void clear() noexcept {
+    inline_size_ = 0;
+    promoted_ = false;
+    has_zero_ = false;
+    promoted_size_ = 0;
+    slots_.clear();  // keeps capacity
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t hash(std::uint32_t value) noexcept {
+    return (static_cast<std::uint64_t>(value) * 0x9e3779b97f4a7c15ull) >> 13;
+  }
+
+  void promote() {
+    // Start at 64 slots: big enough that a qualifying flow (>= 100
+    // destinations) rehashes only a couple of times, small enough not to
+    // bloat the pool. `assign` reuses a recycled buffer when present,
+    // rounded down to a power of two so the probe mask stays valid.
+    std::size_t capacity = 64;
+    while (capacity * 2 <= slots_.capacity()) capacity *= 2;
+    slots_.assign(capacity, 0);
+    promoted_ = true;
+    has_zero_ = false;
+    promoted_size_ = 0;
+    for (std::uint32_t i = 0; i < inline_size_; ++i) insert_promoted(inline_[i]);
+    inline_size_ = 0;
+  }
+
+  bool insert_promoted(std::uint32_t value) {
+    // Slot value 0 marks "empty"; an actual 0 (0.0.0.0) is tracked in a
+    // side flag so no value is unrepresentable.
+    if (value == 0) {
+      if (has_zero_) return false;
+      has_zero_ = true;
+      ++promoted_size_;
+      return true;
+    }
+    const std::uint64_t mask = slots_.size() - 1;
+    std::uint64_t index = hash(value) & mask;
+    while (slots_[index] != 0) {
+      if (slots_[index] == value) return false;
+      index = (index + 1) & mask;
+    }
+    slots_[index] = value;
+    ++promoted_size_;
+    // Grow at 70% load (counting the zero-flag conservatively).
+    if ((promoted_size_ + 1) * 10 >= slots_.size() * 7) grow();
+    return true;
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> old;
+    old.swap(slots_);
+    slots_.assign(old.size() * 2, 0);
+    const std::uint64_t mask = slots_.size() - 1;
+    for (const auto value : old) {
+      if (value == 0) continue;
+      std::uint64_t index = hash(value) & mask;
+      while (slots_[index] != 0) index = (index + 1) & mask;
+      slots_[index] = value;
+    }
+  }
+
+  std::uint32_t inline_size_ = 0;
+  std::array<std::uint32_t, kInlineCapacity> inline_{};
+  bool promoted_ = false;
+  bool has_zero_ = false;
+  std::size_t promoted_size_ = 0;
+  std::vector<std::uint32_t> slots_;
+};
+
+}  // namespace synscan::core

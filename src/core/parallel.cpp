@@ -13,6 +13,10 @@ ParallelAnalyzer::ParallelAnalyzer(const telescope::Telescope& telescope,
   if (workers == 0) throw std::invalid_argument("ParallelAnalyzer: workers must be >= 1");
   workers_.reserve(workers);
   pending_.resize(workers);
+  // Pre-size the feeder batches: in steady state a batch fills to kBatch
+  // and is flushed, so no push_back should ever reallocate. The
+  // `parallel.feeder_reallocs` counter witnesses regressions.
+  for (auto& batch : pending_) batch.reserve(kBatch);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(telescope, tracker_config));
   }
@@ -59,16 +63,25 @@ void ParallelAnalyzer::flush(std::size_t index) {
   if (batch.empty()) return;
   if (obs_batch_items_ != nullptr) obs_batch_items_->observe(batch.size());
   auto& worker = *workers_[index];
+  const auto batch_size = batch.size();
   {
     const std::lock_guard lock(worker.mutex);
-    worker.queue.insert(worker.queue.end(), std::make_move_iterator(batch.begin()),
-                        std::make_move_iterator(batch.end()));
-    worker.items += batch.size();
+    if (worker.queue.empty()) {
+      // Hand the whole buffer over and take the drained one back: the
+      // feeder and the worker ping-pong two buffers per lane, and no
+      // Item is ever copied or moved element-by-element.
+      worker.queue.swap(batch);
+    } else {
+      worker.queue.insert(worker.queue.end(), std::make_move_iterator(batch.begin()),
+                          std::make_move_iterator(batch.end()));
+      batch.clear();
+    }
+    worker.items += batch_size;
     ++worker.batches;
     worker.peak_queue = std::max(worker.peak_queue, worker.queue.size());
   }
   worker.ready.notify_one();
-  batch.clear();
+  if (batch.capacity() < kBatch) batch.reserve(kBatch);
 }
 
 void ParallelAnalyzer::feed_frame(const net::RawFrame& frame) {
@@ -87,8 +100,10 @@ void ParallelAnalyzer::feed_decoded(net::TimeUs timestamp_us, net::DecodedFrame 
   const auto index = static_cast<std::size_t>(
       (static_cast<std::uint64_t>(source) * 0x9e3779b97f4a7c15ull) >> 32) %
       workers_.size();
-  pending_[index].push_back({timestamp_us, std::move(frame)});
-  if (pending_[index].size() >= kBatch) flush(index);
+  auto& batch = pending_[index];
+  if (batch.size() == batch.capacity()) ++feeder_reallocs_;
+  batch.push_back({timestamp_us, std::move(frame)});
+  if (batch.size() >= kBatch) flush(index);
 }
 
 PipelineResult ParallelAnalyzer::finish() {
@@ -130,6 +145,10 @@ PipelineResult ParallelAnalyzer::finish() {
     merged.tracker.subthreshold_packets += result.tracker.subthreshold_packets;
     merged.tracker.expired_flows += result.tracker.expired_flows;
     merged.tracker.sweeps += result.tracker.sweeps;
+    merged.tracker.flow_reuses += result.tracker.flow_reuses;
+    merged.tracker.dest_promotions += result.tracker.dest_promotions;
+    merged.tracker.port_promotions += result.tracker.port_promotions;
+    merged.tracker.table_rehashes += result.tracker.table_rehashes;
     // Worker flow tables are disjoint (per-source sharding), so the sum
     // of per-worker peaks bounds total simultaneous memory.
     merged.tracker.peak_open_flows += result.tracker.peak_open_flows;
@@ -153,6 +172,7 @@ PipelineResult ParallelAnalyzer::finish() {
     auto& registry = obs::MetricsRegistry::global();
     registry.gauge("parallel.workers").store(static_cast<std::int64_t>(workers_.size()));
     registry.counter("parallel.undecodable").add(undecodable_);
+    registry.counter("parallel.feeder_reallocs").add(feeder_reallocs_);
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       const auto& worker = *workers_[i];
       registry.counter("parallel.items").add(worker.items);

@@ -82,6 +82,10 @@ class ParallelAnalyzer {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::vector<Item>> pending_;  ///< feeder-side batches
   std::uint64_t undecodable_ = 0;
+  /// Feeder-side batch reallocations. Zero in steady state (batches are
+  /// pre-sized to kBatch and recycled); published as
+  /// `parallel.feeder_reallocs` so capacity regressions are visible.
+  std::uint64_t feeder_reallocs_ = 0;
   bool finished_ = false;
   /// Batch-size distribution; resolved at construction iff obs is on.
   obs::Histogram* obs_batch_items_ = nullptr;

@@ -6,19 +6,16 @@ namespace synscan::core {
 
 void PortTally::on_probe(const telescope::ScanProbe& probe) {
   ++total_packets_;
-  ++packets_per_port_[probe.destination_port];
-  const std::uint64_t pair_key =
-      (static_cast<std::uint64_t>(probe.destination_port) << 32) | probe.source.value();
-  if (seen_port_source_.insert(pair_key).second) {
-    ++sources_per_port_[probe.destination_port];
+  packets_per_port_.add(probe.destination_port, 1);
+  if (ports_per_source_[probe.source.value()].insert(probe.destination_port)) {
+    sources_per_port_.add(probe.destination_port, 1);
   }
-  ports_per_source_[probe.source.value()].insert(probe.destination_port);
 }
 
 namespace {
 
-std::vector<PortCount> top_n(const std::unordered_map<std::uint16_t, std::uint64_t>& counts,
-                             std::size_t n, std::uint64_t denominator) {
+std::vector<PortCount> top_n(const PortPacketMap& counts, std::size_t n,
+                             std::uint64_t denominator) {
   std::vector<PortCount> rows;
   rows.reserve(counts.size());
   for (const auto& [port, count] : counts) rows.push_back({port, count, 0.0});
@@ -45,13 +42,11 @@ std::vector<PortCount> PortTally::top_ports_by_sources(std::size_t n) const {
 }
 
 std::uint64_t PortTally::packets_on_port(std::uint16_t port) const {
-  const auto it = packets_per_port_.find(port);
-  return it == packets_per_port_.end() ? 0 : it->second;
+  return packets_per_port_.get(port);
 }
 
 std::uint64_t PortTally::sources_on_port(std::uint16_t port) const {
-  const auto it = sources_per_port_.find(port);
-  return it == sources_per_port_.end() ? 0 : it->second;
+  return sources_per_port_.get(port);
 }
 
 std::size_t PortTally::ports_with_at_least(std::uint64_t min_packets) const {

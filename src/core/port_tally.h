@@ -7,10 +7,11 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "core/hybrid_set.h"
 #include "core/observers.h"
+#include "core/port_map.h"
 
 namespace synscan::core {
 
@@ -64,10 +65,13 @@ class PortTally final : public ProbeObserver {
   [[nodiscard]] double co_scan_fraction(std::uint16_t a, std::uint16_t b) const;
 
  private:
-  std::unordered_map<std::uint16_t, std::uint64_t> packets_per_port_;
-  std::unordered_map<std::uint16_t, std::uint64_t> sources_per_port_;
-  std::unordered_set<std::uint64_t> seen_port_source_;  ///< (port << 32) | source
-  std::unordered_map<std::uint32_t, std::unordered_set<std::uint16_t>> ports_per_source_;
+  // Flat inline-first tallies (see docs/PERFORMANCE.md): the per-source
+  // port sets answer "is this (source, port) pair new" from their insert
+  // result, so no separate seen-pair set is needed, and the 83%-of-
+  // sources-scan-one-port population (Fig. 3) never allocates.
+  PortPacketMap packets_per_port_;
+  PortPacketMap sources_per_port_;
+  std::unordered_map<std::uint32_t, HybridU32Set> ports_per_source_;
   std::uint64_t total_packets_ = 0;
 };
 

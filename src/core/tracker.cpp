@@ -10,39 +10,61 @@ CampaignTracker::CampaignTracker(TrackerConfig config, std::uint64_t monitored_a
   if (!sink_) throw std::invalid_argument("CampaignTracker: sink must be callable");
 }
 
+std::uint32_t CampaignTracker::acquire_flow() {
+  if (!free_.empty()) {
+    const auto index = free_.back();
+    free_.pop_back();
+    ++counters_.flow_reuses;
+    return index;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
 void CampaignTracker::feed(const telescope::ScanProbe& probe) {
   ++counters_.probes;
   now_ = std::max(now_, probe.timestamp_us);
 
-  auto [it, inserted] = flows_.try_emplace(probe.source);
-  Flow& flow = it->second;
+  auto [slot, inserted] = table_.find_or_insert(probe.source.value());
   if (inserted) {
-    flow.first_seen_us = probe.timestamp_us;
-    flow.evidence = fingerprint::ToolEvidence(config_.classifier);
+    slot = acquire_flow();
+    Flow& fresh = pool_[slot];
+    fresh.reset(config_.classifier);
+    fresh.first_seen_us = probe.timestamp_us;
     // The table only grows on insertion, so the high-water mark can
     // only move here — keeps the per-probe path free of it.
     counters_.peak_open_flows =
-        std::max<std::uint64_t>(counters_.peak_open_flows, flows_.size());
-  } else if (probe.timestamp_us - flow.last_seen_us > config_.expiry) {
+        std::max<std::uint64_t>(counters_.peak_open_flows, table_.size());
+  }
+  Flow& flow = pool_[slot];
+  if (!inserted && probe.timestamp_us - flow.last_seen_us > config_.expiry) {
     // The source went quiet for longer than the expiry: that scan is
-    // over; what follows is a new one.
-    close_flow(it->first, flow);
+    // over; what follows is a new one. Reset in place — the containers
+    // keep their backing stores (no realloc on restart).
+    close_flow(probe.source, flow);
     ++counters_.expired_flows;
-    flow = Flow{};
+    ++counters_.flow_reuses;
+    flow.reset(config_.classifier);
     flow.first_seen_us = probe.timestamp_us;
-    flow.evidence = fingerprint::ToolEvidence(config_.classifier);
   }
 
   flow.last_seen_us = std::max(flow.last_seen_us, probe.timestamp_us);
   ++flow.packets;
-  flow.destinations.insert(probe.destination.value());
-  ++flow.port_packets[probe.destination_port];
+  if (flow.destinations.insert(probe.destination.value()) &&
+      flow.destinations.size() == HybridU32Set::kInlineCapacity + 1) {
+    ++counters_.dest_promotions;
+  }
+  if (flow.port_packets.add(probe.destination_port, 1) &&
+      flow.port_packets.size() == PortPacketMap::kInlineCapacity + 1) {
+    ++counters_.port_promotions;
+  }
   flow.evidence.observe(probe);
 
   if (++feeds_since_sweep_ >= config_.sweep_interval) {
     feeds_since_sweep_ = 0;
     sweep(now_);
   }
+  counters_.table_rehashes = table_.rehashes();
 }
 
 void CampaignTracker::close_flow(net::Ipv4Address source, Flow& flow) {
@@ -72,6 +94,9 @@ void CampaignTracker::close_flow(net::Ipv4Address source, Flow& flow) {
         model_.coverage_fraction(static_cast<double>(flow.destinations.size()));
     ++counters_.campaigns;
     sink_(std::move(campaign));
+    // The move stole the port map's backing store (it now belongs to the
+    // campaign); leave the flow coherent for its next reuse.
+    flow.port_packets.clear();
   } else {
     ++counters_.subthreshold_flows;
     counters_.subthreshold_packets += flow.packets;
@@ -80,22 +105,30 @@ void CampaignTracker::close_flow(net::Ipv4Address source, Flow& flow) {
 
 void CampaignTracker::sweep(net::TimeUs now) {
   ++counters_.sweeps;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (now - it->second.last_seen_us > config_.expiry) {
-      close_flow(it->first, it->second);
-      ++counters_.expired_flows;
-      it = flows_.erase(it);
-    } else {
-      ++it;
-    }
+  // Collect first, erase after: backward-shift deletion moves entries
+  // into already-visited slots, so erasing mid-iteration could skip or
+  // revisit flows. The scratch vector keeps its capacity across sweeps.
+  sweep_keys_.clear();
+  table_.for_each([&](std::uint32_t source, std::uint32_t slot) {
+    if (now - pool_[slot].last_seen_us > config_.expiry) sweep_keys_.push_back(source);
+  });
+  for (const auto source : sweep_keys_) {
+    const auto* slot = table_.find(source);
+    close_flow(net::Ipv4Address(source), pool_[*slot]);
+    ++counters_.expired_flows;
+    pool_[*slot].reset(config_.classifier);
+    free_.push_back(*slot);
+    table_.erase(source);
   }
 }
 
 void CampaignTracker::finish() {
-  for (auto& [source, flow] : flows_) {
-    close_flow(source, flow);
-  }
-  flows_.clear();
+  table_.for_each([&](std::uint32_t source, std::uint32_t slot) {
+    close_flow(net::Ipv4Address(source), pool_[slot]);
+    pool_[slot].reset(config_.classifier);
+    free_.push_back(slot);
+  });
+  table_.clear();
 }
 
 std::vector<Campaign> CampaignTracker::collect(

@@ -8,15 +8,23 @@
 // `expiry` without a packet. Expired or stream-end state that meets the
 // thresholds is emitted as a Campaign; everything else is counted as
 // sub-threshold noise.
+//
+// Hot-path layout (see docs/PERFORMANCE.md): sources are keyed in an
+// open-addressing `FlowIndexTable` pointing into a pooled `Flow` vector;
+// per-flow destination sets and port tallies are inline-first hybrid
+// containers that only touch the allocator once a source proves it is a
+// real scanner. Closed flows return to a free list with their container
+// capacity intact, so steady-state tracking performs no allocations.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/campaign.h"
+#include "core/flow_table.h"
+#include "core/hybrid_set.h"
+#include "core/port_map.h"
 #include "fingerprint/classifier.h"
 #include "stats/telescope_model.h"
 #include "telescope/sensor.h"
@@ -43,6 +51,11 @@ struct TrackerCounters {
   std::uint64_t expired_flows = 0;   ///< flows closed by inactivity (not stream end)
   std::uint64_t sweeps = 0;          ///< expiry sweeps over the flow table
   std::uint64_t peak_open_flows = 0; ///< high-water mark of the flow table
+  // Allocation-behaviour counters for the flat hot path:
+  std::uint64_t flow_reuses = 0;      ///< flows recycled from the pool / reset in place
+  std::uint64_t dest_promotions = 0;  ///< destination sets grown past the inline array
+  std::uint64_t port_promotions = 0;  ///< port tallies grown past the inline array
+  std::uint64_t table_rehashes = 0;   ///< flow-index table growth events
 };
 
 /// Streaming campaign detector. Feed probes in timestamp order; expired
@@ -66,7 +79,11 @@ class CampaignTracker {
   [[nodiscard]] const TrackerCounters& counters() const noexcept { return counters_; }
 
   /// Number of currently open (unexpired) flows.
-  [[nodiscard]] std::size_t open_flows() const noexcept { return flows_.size(); }
+  [[nodiscard]] std::size_t open_flows() const noexcept { return table_.size(); }
+
+  /// Pool slots currently parked on the free list (capacity held for
+  /// reuse); exposed for the capacity-recycling tests.
+  [[nodiscard]] std::size_t pooled_free_flows() const noexcept { return free_.size(); }
 
   /// Convenience: run a full probe vector through a fresh tracker and
   /// return the campaigns.
@@ -79,10 +96,25 @@ class CampaignTracker {
     net::TimeUs first_seen_us = 0;
     net::TimeUs last_seen_us = 0;
     std::uint64_t packets = 0;
-    std::unordered_set<std::uint32_t> destinations;
-    std::unordered_map<std::uint16_t, std::uint64_t> port_packets;
+    HybridU32Set destinations;
+    PortPacketMap port_packets;
     fingerprint::ToolEvidence evidence;
+
+    /// Restart in place for a new scan from the same or a recycled
+    /// source: containers are emptied but keep their backing stores.
+    void reset(const fingerprint::ClassifierConfig& classifier) {
+      first_seen_us = 0;
+      last_seen_us = 0;
+      packets = 0;
+      destinations.clear();
+      port_packets.clear();
+      evidence = fingerprint::ToolEvidence(classifier);
+    }
   };
+
+  /// Pool slot for a fresh flow: recycled from the free list when
+  /// possible, appended otherwise.
+  std::uint32_t acquire_flow();
 
   void close_flow(net::Ipv4Address source, Flow& flow);
   void sweep(net::TimeUs now);
@@ -90,7 +122,10 @@ class CampaignTracker {
   TrackerConfig config_;
   stats::TelescopeModel model_;
   Sink sink_;
-  std::unordered_map<net::Ipv4Address, Flow> flows_;
+  FlowIndexTable table_;             ///< source -> pool index
+  std::vector<Flow> pool_;           ///< flow storage, indexed by the table
+  std::vector<std::uint32_t> free_;  ///< recycled pool slots
+  std::vector<std::uint32_t> sweep_keys_;  ///< scratch: sources expiring this sweep
   TrackerCounters counters_;
   net::TimeUs now_ = 0;
   std::uint64_t next_id_ = 1;

@@ -134,9 +134,13 @@ bool verify_tcp_checksum(std::span<const std::uint8_t> frame) noexcept {
   const auto decoded = decode_frame(frame);
   if (!decoded || !decoded->tcp()) return false;
   const auto& ip = decoded->ip;
+  // total_length comes off the wire; a corrupted value must not steer the
+  // span past the captured frame (or below the IP header).
+  if (ip.total_length < ip.header_length()) return false;
   const auto segment_length = static_cast<std::size_t>(ip.total_length) - ip.header_length();
-  const auto segment =
-      frame.subspan(EthernetHeader::kSize + ip.header_length(), segment_length);
+  const auto segment_offset = EthernetHeader::kSize + ip.header_length();
+  if (segment_length > frame.size() - segment_offset) return false;
+  const auto segment = frame.subspan(segment_offset, segment_length);
   // Including the stored checksum, the one's-complement sum must fold to 0.
   ChecksumAccumulator acc;
   acc.add_dword(ip.source.value());

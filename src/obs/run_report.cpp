@@ -158,6 +158,10 @@ void publish(MetricsRegistry& registry, const core::TrackerCounters& counters) {
   registry.counter("tracker.subthreshold_packets").add(counters.subthreshold_packets);
   registry.counter("tracker.expired_flows").add(counters.expired_flows);
   registry.counter("tracker.sweeps").add(counters.sweeps);
+  registry.counter("tracker.flow_reuses").add(counters.flow_reuses);
+  registry.counter("tracker.dest_promotions").add(counters.dest_promotions);
+  registry.counter("tracker.port_promotions").add(counters.port_promotions);
+  registry.counter("tracker.table_rehashes").add(counters.table_rehashes);
   registry.gauge("tracker.peak_open_flows")
       .record_max(static_cast<std::int64_t>(counters.peak_open_flows));
 }
