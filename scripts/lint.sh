@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Project lint driver: clang-tidy over the exported compile database,
+# the synscan-lint invariant checker, and shellcheck over the repo's
+# shell scripts. See docs/STATIC_ANALYSIS.md.
+#
+# Usage:
+#   scripts/lint.sh              # full tree
+#   scripts/lint.sh --diff       # clang-tidy only on files changed vs origin/main
+#   scripts/lint.sh --diff=REF   # ... changed vs REF
+#
+# Environment:
+#   BUILD_DIR             compile-database build dir (default: build-lint)
+#   SYNSCAN_LINT_REQUIRE  ON => missing clang-tidy/shellcheck is an error
+#                         (CI sets this; locally absent tools are skipped)
+#   CLANG_TIDY            clang-tidy binary (default: clang-tidy)
+#   RUN_CLANG_TIDY        run-clang-tidy binary (default: run-clang-tidy)
+#   SHELLCHECK            shellcheck binary (default: shellcheck)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-${repo}/build-lint}"
+require="${SYNSCAN_LINT_REQUIRE:-OFF}"
+clang_tidy="${CLANG_TIDY:-clang-tidy}"
+run_clang_tidy="${RUN_CLANG_TIDY:-run-clang-tidy}"
+shellcheck_bin="${SHELLCHECK:-shellcheck}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+diff_ref=""
+diff_mode=0
+for arg in "$@"; do
+  case "${arg}" in
+    --diff) diff_mode=1; diff_ref="origin/main" ;;
+    --diff=*) diff_mode=1; diff_ref="${arg#--diff=}" ;;
+    *) echo "lint.sh: unknown argument ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+status=0
+
+missing_tool() {
+  if [ "${require}" = "ON" ]; then
+    echo "lint: $1 not found and SYNSCAN_LINT_REQUIRE=ON" >&2
+    exit 1
+  fi
+  echo "lint: $1 not found — skipping (set SYNSCAN_LINT_REQUIRE=ON to fail)" >&2
+}
+
+echo "== synscan-lint (custom invariants)"
+python3 "${repo}/tools/lint/synscan_lint.py" --repo "${repo}" --min-doc-names 20 \
+  || status=1
+
+echo "== shellcheck"
+if command -v "${shellcheck_bin}" >/dev/null 2>&1; then
+  "${shellcheck_bin}" "${repo}"/scripts/*.sh || status=1
+else
+  missing_tool shellcheck
+fi
+
+echo "== clang-tidy"
+if command -v "${clang_tidy}" >/dev/null 2>&1; then
+  if [ ! -f "${build}/compile_commands.json" ]; then
+    echo "-- exporting compile database to ${build}"
+    cmake -B "${build}" -S "${repo}" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DSYNSCAN_BUILD_BENCH=OFF \
+      -DSYNSCAN_BUILD_EXAMPLES=OFF >/dev/null
+  fi
+
+  # File list: the whole tree, or — in diff mode — only files touched
+  # since the base ref (headers map onto their including .cpp via the
+  # translation units that changed alongside them; a header-only change
+  # still falls back to the full run).
+  files=()
+  if [ "${diff_mode}" = 1 ]; then
+    while IFS= read -r changed; do
+      case "${changed}" in
+        src/*.cpp) files+=("${repo}/${changed}") ;;
+      esac
+    done < <(git -C "${repo}" diff --name-only --diff-filter=d "${diff_ref}" -- 'src')
+    if [ "${#files[@]}" = 0 ]; then
+      echo "-- no changed src/*.cpp vs ${diff_ref}; clang-tidy skipped"
+    fi
+  else
+    while IFS= read -r source; do
+      files+=("${source}")
+    done < <(find "${repo}/src" -name '*.cpp' | sort)
+  fi
+
+  # Result cache: skip files whose content, the shared profile, and the
+  # tidy binary are all unchanged since the last clean run. CI restores
+  # ${build} so warm runs only re-lint what changed.
+  cache="${build}/tidy-cache"
+  mkdir -p "${cache}"
+  stamp="$("${clang_tidy}" --version | cksum | cut -d' ' -f1)-$(cksum < "${repo}/.clang-tidy" | cut -d' ' -f1)"
+  pending=()
+  for source in ${files[@]+"${files[@]}"}; do
+    key="$(printf '%s' "${source}" | cksum | cut -d' ' -f1)"
+    sig="${stamp}-$(cksum < "${source}" | cut -d' ' -f1)"
+    if [ "$(cat "${cache}/${key}" 2>/dev/null)" != "${sig}" ]; then
+      pending+=("${source}")
+    fi
+  done
+
+  if [ "${#pending[@]}" -gt 0 ]; then
+    echo "-- ${#pending[@]} file(s) to lint (${#files[@]} candidates)"
+    if command -v "${run_clang_tidy}" >/dev/null 2>&1; then
+      "${run_clang_tidy}" -quiet -p "${build}" -j "${jobs}" \
+        "${pending[@]}" || status=1
+    else
+      tidy_status=0
+      for source in "${pending[@]}"; do
+        "${clang_tidy}" -quiet -p "${build}" "${source}" || tidy_status=1
+      done
+      [ "${tidy_status}" = 0 ] || status=1
+    fi
+    if [ "${status}" = 0 ]; then
+      for source in "${pending[@]}"; do
+        key="$(printf '%s' "${source}" | cksum | cut -d' ' -f1)"
+        printf '%s' "${stamp}-$(cksum < "${source}" | cut -d' ' -f1)" > "${cache}/${key}"
+      done
+    fi
+  else
+    echo "-- all ${#files[@]} candidate file(s) clean in cache"
+  fi
+else
+  missing_tool clang-tidy
+fi
+
+if [ "${status}" = 0 ]; then
+  echo "== lint OK"
+else
+  echo "== lint FAILED" >&2
+fi
+exit "${status}"

@@ -1,0 +1,498 @@
+#!/usr/bin/env python3
+"""synscan-lint: repo-specific invariants clang-tidy cannot express.
+
+Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
+
+  hot-path-container  std::unordered_map/std::unordered_set/std::map and
+                      friends are banned in the hot-path directories
+                      (src/core, src/net, src/pcap); the flat containers
+                      from the tracker rewrite are mandatory there.
+  metric-doc-sync     every metric name registered in code appears in
+                      docs/OBSERVABILITY.md and every documented name is
+                      registered in code.
+  pragma-once         every header's first significant line is
+                      `#pragma once` (after the leading comment block).
+  include-order       own header first in a .cpp, then system includes,
+                      then project includes; each blank-line-separated
+                      group homogeneous and sorted.
+  naked-new           no `new` / `delete` outside allocator/pool code —
+                      ownership lives in containers and smart pointers.
+  test-registration   every tests/**/*_test.cpp is wired into
+                      tests/CMakeLists.txt, and every file referenced
+                      there exists.
+
+Suppression: append `// synscan-lint: allow(<rule>[, <rule>...])` to the
+offending line (or put it on a comment line directly above), or add
+`// synscan-lint: allow-file(<rule>)` anywhere in the file to waive a
+rule file-wide.  In Markdown use `<!-- synscan-lint: allow(<rule>) -->`.
+Every suppression should carry a reason in the surrounding comment.
+
+Exit status: 0 clean, 1 findings, 2 bad invocation or broken tree.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HOT_PATH_DIRS = ("src/core", "src/net", "src/pcap")
+METRIC_CODE_DIRS = ("src", "bench")
+NAKED_NEW_DIRS = ("src", "bench", "examples")
+HEADER_DIRS = ("src", "tests", "bench", "examples")
+INCLUDE_ORDER_DIRS = ("src",)
+SKIP_DIR_NAMES = {".git", "testdata", "fixtures"}
+
+BANNED_CONTAINERS = re.compile(
+    r"\bstd::(unordered_map|unordered_set|unordered_multimap|"
+    r"unordered_multiset|map|multimap|multiset)\b"
+)
+BANNED_HEADERS = re.compile(r'#include\s*<(unordered_map|unordered_set|map)>')
+
+METRIC_CALL = re.compile(
+    r'\b(?:counter|gauge|histogram|timing)\(\s*"([a-z][a-z0-9_.]*)"\s*\)'
+)
+METRIC_TIMER = re.compile(
+    r'ScopedTimer\s+[A-Za-z_]\w*\s*\(\s*(?:[A-Za-z_][\w.]*\s*,\s*)?"([a-z][a-z0-9_.]*)"'
+)
+METRIC_FRAGMENT = re.compile(
+    r'\b(?:counter|gauge|histogram|timing)\(\s*[A-Za-z_]\w*\s*\+\s*"(\.[a-z0-9_.]*)"'
+)
+DOC_METRIC = re.compile(r"`([a-z]+(?:\.[a-z0-9_]+)+)`")
+
+NEW_DELETE = re.compile(r"\b(new|delete)\b")
+
+ALLOW_LINE = re.compile(r"synscan-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+ALLOW_FILE = re.compile(r"synscan-lint:\s*allow-file\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+RULES = (
+    "hot-path-container",
+    "metric-doc-sync",
+    "pragma-once",
+    "include-order",
+    "naked-new",
+    "test-registration",
+)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so structural rules never fire on prose or data."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2 if i + 1 < n else 1
+        elif c == "R" and text[i : i + 2] == 'R"':
+            close = text.find("(", i + 2)
+            if close == -1:
+                i += 1
+                continue
+            delim = ")" + text[i + 2 : close] + '"'
+            end = text.find(delim, close)
+            end = n if end == -1 else end + len(delim)
+            out.extend("\n" for ch in text[i:end] if ch == "\n")
+            i = end
+        elif c in ('"', "'"):
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """A lazily-parsed source file plus its suppression annotations."""
+
+    def __init__(self, root, path):
+        self.root = root
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = self.text.splitlines()
+        self.stripped = strip_comments_and_strings(self.text)
+        self.stripped_lines = self.stripped.splitlines()
+        self.file_allows = set()
+        self.line_allows = set()  # (line_number, rule)
+        self._parse_allows()
+
+    def _parse_allows(self):
+        for number, raw in enumerate(self.raw_lines, start=1):
+            m = ALLOW_FILE.search(raw)
+            if m:
+                self.file_allows.update(r.strip() for r in m.group(1).split(","))
+            m = ALLOW_LINE.search(raw)
+            if m:
+                rules = [r.strip() for r in m.group(1).split(",")]
+                stripped = (
+                    self.stripped_lines[number - 1]
+                    if number - 1 < len(self.stripped_lines)
+                    else ""
+                )
+                # An annotation on its own comment line covers the next
+                # line; inline it covers its own line.
+                target = number if stripped.strip() else number + 1
+                for rule in rules:
+                    self.line_allows.add((target, rule))
+
+    def allowed(self, line, rule):
+        return rule in self.file_allows or (line, rule) in self.line_allows
+
+
+class Linter:
+    def __init__(self, root, min_doc_names):
+        self.root = root
+        self.min_doc_names = min_doc_names
+        self.findings = []
+        self._cache = {}
+
+    def load(self, path):
+        if path not in self._cache:
+            self._cache[path] = SourceFile(self.root, path)
+        return self._cache[path]
+
+    def emit(self, source, line, rule, message):
+        if not source.allowed(line, rule):
+            self.findings.append(Finding(source.rel, line, rule, message))
+
+    def files_under(self, dirs, suffixes):
+        for directory in dirs:
+            base = self.root / directory
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix not in suffixes or not path.is_file():
+                    continue
+                if SKIP_DIR_NAMES.intersection(path.relative_to(self.root).parts):
+                    continue
+                yield path
+
+    # --- hot-path-container ------------------------------------------------
+
+    def check_hot_path_container(self):
+        for path in self.files_under(HOT_PATH_DIRS, {".h", ".cpp"}):
+            source = self.load(path)
+            for number, line in enumerate(source.stripped_lines, start=1):
+                m = BANNED_CONTAINERS.search(line) or BANNED_HEADERS.search(line)
+                if m:
+                    self.emit(
+                        source,
+                        number,
+                        "hot-path-container",
+                        f"std::{m.group(1)} in hot-path dir — use the flat "
+                        "containers (FlowIndexTable/HybridU32Set/PortPacketMap) "
+                        "or annotate why this path is cold",
+                    )
+
+    # --- metric-doc-sync ---------------------------------------------------
+
+    def check_metric_doc_sync(self):
+        doc_path = self.root / "docs" / "OBSERVABILITY.md"
+        if not doc_path.is_file():
+            self.findings.append(
+                Finding("docs/OBSERVABILITY.md", 1, "metric-doc-sync", "missing doc")
+            )
+            return
+        doc = self.load(doc_path)
+
+        code_names = {}  # name -> (source, line), first sighting
+        fragments = set()
+        for path in self.files_under(METRIC_CODE_DIRS, {".h", ".cpp"}):
+            source = self.load(path)
+            for number, line in enumerate(source.raw_lines, start=1):
+                for pattern in (METRIC_CALL, METRIC_TIMER):
+                    for m in pattern.finditer(line):
+                        code_names.setdefault(m.group(1), (source, number))
+                for m in METRIC_FRAGMENT.finditer(line):
+                    fragments.add(m.group(1))
+
+        namespaces = {name.split(".", 1)[0] for name in code_names}
+        doc_names = {}  # name -> line
+        for number, line in enumerate(doc.raw_lines, start=1):
+            for m in DOC_METRIC.finditer(line):
+                doc_names.setdefault(m.group(1), number)
+
+        if len(doc_names) < self.min_doc_names:
+            self.findings.append(
+                Finding(
+                    doc.rel,
+                    1,
+                    "metric-doc-sync",
+                    f"only {len(doc_names)} metric-like names parsed from the doc "
+                    f"(floor {self.min_doc_names}) — extraction regex or doc broke",
+                )
+            )
+            return
+
+        for name, (source, number) in sorted(code_names.items()):
+            if name not in doc_names:
+                self.emit(
+                    source,
+                    number,
+                    "metric-doc-sync",
+                    f"metric `{name}` is registered here but not documented in "
+                    "docs/OBSERVABILITY.md",
+                )
+        for name, number in sorted(doc_names.items()):
+            if name.split(".", 1)[0] not in namespaces:
+                continue  # prose like `span.outer` naming conventions
+            if ".n." in name:
+                suffix = "." + name.split(".n.", 1)[1]
+                if suffix not in fragments:
+                    self.emit(
+                        doc,
+                        number,
+                        "metric-doc-sync",
+                        f"documented per-worker metric `{name}` has no "
+                        f'`prefix + "{suffix}"` registration in code',
+                    )
+            elif name not in code_names:
+                self.emit(
+                    doc,
+                    number,
+                    "metric-doc-sync",
+                    f"documented metric `{name}` is not registered anywhere in "
+                    "src/ or bench/",
+                )
+
+    # --- pragma-once -------------------------------------------------------
+
+    def check_pragma_once(self):
+        for path in self.files_under(HEADER_DIRS, {".h"}):
+            source = self.load(path)
+            for number, line in enumerate(source.stripped_lines, start=1):
+                if not line.strip():
+                    continue
+                if line.strip() != "#pragma once":
+                    self.emit(
+                        source,
+                        number,
+                        "pragma-once",
+                        "first significant line of a header must be `#pragma once`",
+                    )
+                break
+            else:
+                self.emit(source, 1, "pragma-once", "header lacks `#pragma once`")
+
+    # --- include-order -----------------------------------------------------
+
+    @staticmethod
+    def _include_groups(raw_lines):
+        """Yield maximal runs of consecutive #include lines as
+        [(line_number, kind, path)] with kind 'system' or 'project'.
+
+        Parses raw lines: the comment/string stripper blanks the quoted
+        path of a project include, and a line-anchored match cannot fire
+        inside a `//` comment anyway."""
+        group = []
+        for number, line in enumerate(raw_lines, start=1):
+            m = re.match(r'\s*#\s*include\s*([<"])([^>"]+)[>"]', line)
+            if m:
+                kind = "system" if m.group(1) == "<" else "project"
+                group.append((number, kind, m.group(2)))
+            else:
+                if group:
+                    yield group
+                group = []
+        if group:
+            yield group
+
+    def check_include_order(self):
+        for path in self.files_under(INCLUDE_ORDER_DIRS, {".h", ".cpp"}):
+            source = self.load(path)
+            groups = list(self._include_groups(source.raw_lines))
+            if not groups:
+                continue
+
+            if path.suffix == ".cpp":
+                own = path.with_suffix(".h")
+                if own.is_file():
+                    own_rel = own.relative_to(self.root / "src").as_posix()
+                    number, kind, first = groups[0][0]
+                    if kind != "project" or first != own_rel:
+                        self.emit(
+                            source,
+                            number,
+                            "include-order",
+                            f'first include must be the own header "{own_rel}"',
+                        )
+                    else:
+                        rest = groups[0][1:]
+                        groups = ([rest] if rest else []) + groups[1:]
+
+            seen_project_group = False
+            for group in groups:
+                kinds = {kind for _, kind, _ in group}
+                if len(kinds) > 1:
+                    self.emit(
+                        source,
+                        group[0][0],
+                        "include-order",
+                        "mixed system and project includes in one block — "
+                        "separate with a blank line",
+                    )
+                    continue
+                kind = kinds.pop()
+                if kind == "project":
+                    seen_project_group = True
+                elif seen_project_group:
+                    self.emit(
+                        source,
+                        group[0][0],
+                        "include-order",
+                        "system include block after a project include block",
+                    )
+                paths = [include for _, _, include in group]
+                if paths != sorted(paths):
+                    self.emit(
+                        source,
+                        group[0][0],
+                        "include-order",
+                        "includes within a block must be sorted",
+                    )
+
+    # --- naked-new ---------------------------------------------------------
+
+    def check_naked_new(self):
+        for path in self.files_under(NAKED_NEW_DIRS, {".h", ".cpp"}):
+            source = self.load(path)
+            for number, line in enumerate(source.stripped_lines, start=1):
+                for m in NEW_DELETE.finditer(line):
+                    before = line[: m.start()]
+                    if not before.strip():
+                        # Wrapped declaration: `... TrackerConfig = {}) =`
+                        # newline `delete;`. Look back for the `=`.
+                        for previous in reversed(source.stripped_lines[: number - 1]):
+                            if previous.strip():
+                                before = previous
+                                break
+                    # `= delete`, `operator new/delete`, and make_unique-
+                    # style idioms do not own raw memory.
+                    if re.search(r"=\s*$", before) or before.rstrip().endswith(
+                        "operator"
+                    ):
+                        continue
+                    self.emit(
+                        source,
+                        number,
+                        "naked-new",
+                        f"naked `{m.group(1)}` — ownership belongs in "
+                        "containers, pools, or smart pointers",
+                    )
+
+    # --- test-registration -------------------------------------------------
+
+    def check_test_registration(self):
+        cmake_path = self.root / "tests" / "CMakeLists.txt"
+        if not cmake_path.is_file():
+            return
+        cmake = self.load(cmake_path)
+        for path in self.files_under(("tests",), {".cpp"}):
+            if not path.name.endswith("_test.cpp"):
+                continue
+            rel = path.relative_to(self.root / "tests").as_posix()
+            if rel not in cmake.text:
+                source = self.load(path)
+                self.emit(
+                    source,
+                    1,
+                    "test-registration",
+                    f"{rel} is not registered in tests/CMakeLists.txt — "
+                    "it never runs under ctest",
+                )
+        for number, line in enumerate(cmake.stripped_lines, start=1):
+            for m in re.finditer(r"\b([\w/]+_test\.cpp)\b", line):
+                if not (self.root / "tests" / m.group(1)).is_file():
+                    self.emit(
+                        cmake,
+                        number,
+                        "test-registration",
+                        f"tests/CMakeLists.txt references missing {m.group(1)}",
+                    )
+
+    def run(self, rules):
+        dispatch = {
+            "hot-path-container": self.check_hot_path_container,
+            "metric-doc-sync": self.check_metric_doc_sync,
+            "pragma-once": self.check_pragma_once,
+            "include-order": self.check_include_order,
+            "naked-new": self.check_naked_new,
+            "test-registration": self.check_test_registration,
+        }
+        for rule in rules:
+            dispatch[rule]()
+        self.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return self.findings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="synscan-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--repo",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent.parent,
+        help="repository root to lint (default: this checkout)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        choices=RULES,
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--min-doc-names",
+        type=int,
+        default=1,
+        help="sanity floor for names parsed from docs/OBSERVABILITY.md "
+        "(the repo run uses 20 to catch extraction rot)",
+    )
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+    root = args.repo.resolve()
+    if not root.is_dir():
+        print(f"synscan-lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    linter = Linter(root, args.min_doc_names)
+    findings = linter.run(args.rule or list(RULES))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"synscan-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
