@@ -10,12 +10,8 @@ constexpr std::uint32_t port_country_key(std::uint16_t port,
   return (static_cast<std::uint32_t>(port) << 16) | country.packed();
 }
 
-std::vector<GeoTally::CountryShare> rank(
-    const std::unordered_map<enrich::CountryCode, std::uint64_t>& counts,
-    std::uint64_t total, std::size_t n) {
-  std::vector<GeoTally::CountryShare> rows;
-  rows.reserve(counts.size());
-  for (const auto& [country, packets] : counts) rows.push_back({country, packets, 0.0});
+std::vector<GeoTally::CountryShare> rank(std::vector<GeoTally::CountryShare> rows,
+                                         std::uint64_t total, std::size_t n) {
   std::sort(rows.begin(), rows.end(),
             [](const GeoTally::CountryShare& a, const GeoTally::CountryShare& b) {
               return a.packets != b.packets ? a.packets > b.packets
@@ -34,31 +30,41 @@ std::vector<GeoTally::CountryShare> rank(
 void GeoTally::on_probe(const telescope::ScanProbe& probe) {
   const auto country = registry_->country_of(probe.source);
   ++total_;
-  ++packets_per_country_[country];
+  ++packets_per_country_[country.packed()];
   ++packets_per_port_country_[port_country_key(probe.destination_port, country)];
-  ++packets_per_port_[probe.destination_port];
+  packets_per_port_.add(probe.destination_port, 1);
 }
 
 std::vector<GeoTally::CountryShare> GeoTally::top_countries(std::size_t n) const {
-  return rank(packets_per_country_, total_, n);
+  std::vector<CountryShare> rows;
+  rows.reserve(packets_per_country_.size());
+  for (const auto& [packed, packets] : packets_per_country_) {
+    rows.push_back({enrich::CountryCode::from_packed(static_cast<std::uint16_t>(packed)),
+                    packets, 0.0});
+  }
+  return rank(std::move(rows), total_, n);
 }
 
 double GeoTally::country_share(enrich::CountryCode country) const {
-  const auto it = packets_per_country_.find(country);
-  if (it == packets_per_country_.end() || total_ == 0) return 0.0;
-  return static_cast<double>(it->second) / static_cast<double>(total_);
+  const auto* packets = packets_per_country_.find(country.packed());
+  if (packets == nullptr || total_ == 0) return 0.0;
+  return static_cast<double>(*packets) / static_cast<double>(total_);
 }
 
+// The result is a one-shot summary; see the header for why the std map
+// type stays.  synscan-lint: allow-file(hot-path-container)
 std::unordered_map<enrich::CountryCode, std::uint32_t> GeoTally::dominated_ports(
     double threshold, std::uint64_t min_packets) const {
   std::unordered_map<enrich::CountryCode, std::uint32_t> dominated;
   for (const auto& [port, port_total] : packets_per_port_) {
     if (port_total < min_packets) continue;
-    for (const auto& [country, packets] : packets_per_country_) {
-      const auto it = packets_per_port_country_.find(port_country_key(port, country));
-      if (it == packets_per_port_country_.end()) continue;
-      if (static_cast<double>(it->second) >
-          threshold * static_cast<double>(port_total)) {
+    for (const auto& [packed, unused] : packets_per_country_) {
+      const auto country =
+          enrich::CountryCode::from_packed(static_cast<std::uint16_t>(packed));
+      const auto* packets =
+          packets_per_port_country_.find(port_country_key(port, country));
+      if (packets == nullptr) continue;
+      if (static_cast<double>(*packets) > threshold * static_cast<double>(port_total)) {
         ++dominated[country];
         break;  // at most one country can exceed a >50% threshold
       }
@@ -69,33 +75,35 @@ std::unordered_map<enrich::CountryCode, std::uint32_t> GeoTally::dominated_ports
 
 std::vector<GeoTally::CountryShare> GeoTally::port_country_mix(std::uint16_t port,
                                                                std::size_t n) const {
-  std::unordered_map<enrich::CountryCode, std::uint64_t> counts;
+  std::vector<CountryShare> rows;
   std::uint64_t port_total = 0;
-  for (const auto& [country, unused] : packets_per_country_) {
-    const auto it = packets_per_port_country_.find(port_country_key(port, country));
-    if (it == packets_per_port_country_.end()) continue;
-    counts[country] = it->second;
-    port_total += it->second;
+  for (const auto& [packed, unused] : packets_per_country_) {
+    const auto country =
+        enrich::CountryCode::from_packed(static_cast<std::uint16_t>(packed));
+    const auto* packets = packets_per_port_country_.find(port_country_key(port, country));
+    if (packets == nullptr) continue;
+    rows.push_back({country, *packets, 0.0});
+    port_total += *packets;
   }
-  return rank(counts, port_total, n);
+  return rank(std::move(rows), port_total, n);
 }
 
 std::vector<GeoTally::NormalizedIntensity> GeoTally::normalized_intensity(
     const enrich::InternetRegistry& registry, std::size_t n) const {
-  std::unordered_map<enrich::CountryCode, std::uint64_t> addresses;
+  FlatHashMap<std::uint32_t, std::uint64_t> addresses;
   for (const auto& record : registry.records()) {
-    addresses[record.country] += record.prefix.size();
+    addresses[record.country.packed()] += record.prefix.size();
   }
   std::vector<NormalizedIntensity> rows;
-  for (const auto& [country, packets] : packets_per_country_) {
-    const auto it = addresses.find(country);
-    if (it == addresses.end() || it->second == 0) continue;
+  for (const auto& [packed, packets] : packets_per_country_) {
+    const auto* allocation = addresses.find(packed);
+    if (allocation == nullptr || *allocation == 0) continue;
     NormalizedIntensity row;
-    row.country = country;
+    row.country = enrich::CountryCode::from_packed(static_cast<std::uint16_t>(packed));
     row.packets = packets;
-    row.addresses = it->second;
+    row.addresses = *allocation;
     row.packets_per_k_addresses =
-        static_cast<double>(packets) * 1000.0 / static_cast<double>(it->second);
+        static_cast<double>(packets) * 1000.0 / static_cast<double>(*allocation);
     rows.push_back(row);
   }
   std::sort(rows.begin(), rows.end(),
@@ -109,13 +117,16 @@ std::vector<GeoTally::NormalizedIntensity> GeoTally::normalized_intensity(
 std::vector<GeoTally::CountryShare> campaign_country_shares(
     std::span<const Campaign> campaigns, const enrich::InternetRegistry& registry,
     std::size_t n) {
-  std::unordered_map<enrich::CountryCode, std::uint64_t> counts;
+  FlatHashMap<std::uint32_t, std::uint64_t> counts;
   for (const auto& campaign : campaigns) {
-    ++counts[registry.country_of(campaign.source)];
+    ++counts[registry.country_of(campaign.source).packed()];
   }
   std::vector<GeoTally::CountryShare> rows;
   rows.reserve(counts.size());
-  for (const auto& [country, scans] : counts) rows.push_back({country, scans, 0.0});
+  for (const auto& [packed, scans] : counts) {
+    rows.push_back({enrich::CountryCode::from_packed(static_cast<std::uint16_t>(packed)),
+                    scans, 0.0});
+  }
   std::sort(rows.begin(), rows.end(),
             [](const GeoTally::CountryShare& a, const GeoTally::CountryShare& b) {
               return a.packets != b.packets ? a.packets > b.packets

@@ -4,11 +4,13 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <unordered_map>  // synscan-lint: allow(hot-path-container) — dominated_ports result type only
 #include <vector>
 
 #include "core/campaign.h"
+#include "core/flat_map.h"
 #include "core/observers.h"
+#include "core/port_map.h"
 #include "enrich/registry.h"
 
 namespace synscan::core {
@@ -36,7 +38,9 @@ class GeoTally final : public ProbeObserver {
   /// Ports where a single country originates more than `threshold` of
   /// the packets (the §5.4 "China > 80% on 14,444 ports" census).
   /// Returns, per country, the number of such dominated ports; only
-  /// ports with at least `min_packets` are considered.
+  /// ports with at least `min_packets` are considered. The result is a
+  /// one-shot summary handed to report code, so the std map type stays.
+  // synscan-lint: allow(hot-path-container)
   [[nodiscard]] std::unordered_map<enrich::CountryCode, std::uint32_t> dominated_ports(
       double threshold = 0.8, std::uint64_t min_packets = 10) const;
 
@@ -61,12 +65,14 @@ class GeoTally final : public ProbeObserver {
 
  private:
   const enrich::InternetRegistry* registry_;
-  std::unordered_map<enrich::CountryCode, std::uint64_t> packets_per_country_;
+  // Keyed by CountryCode::packed(); per-probe tallies use the flat
+  // accumulator maps (docs/PERFORMANCE.md).
+  FlatHashMap<std::uint32_t, std::uint64_t> packets_per_country_;
   // (port << 16) | packed country works poorly since packed country is
   // 16 bits of char data; key is (port << 16) ^ packed, collision-free
   // because port and packed occupy disjoint halves of the 32-bit key.
-  std::unordered_map<std::uint32_t, std::uint64_t> packets_per_port_country_;
-  std::unordered_map<std::uint16_t, std::uint64_t> packets_per_port_;
+  FlatHashMap<std::uint32_t, std::uint64_t> packets_per_port_country_;
+  PortPacketMap packets_per_port_;
   std::uint64_t total_ = 0;
 };
 

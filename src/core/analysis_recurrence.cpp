@@ -1,5 +1,9 @@
 #include "core/analysis_recurrence.h"
 
+// One-shot reducers over the final campaign list — not the per-probe
+// hot path, so std containers are fine.
+// synscan-lint: allow-file(hot-path-container)
+
 #include <algorithm>
 #include <unordered_map>
 

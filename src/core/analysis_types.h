@@ -1,6 +1,10 @@
 // Scanner-type analyses (§6.6–§6.8): Table 2, the per-port type mix
 // (Fig. 5), speed/coverage by type (Fig. 7) and the known-scanner port
 // census (Figs. 8–10).
+//
+// One-shot reducers over the final campaign list — not the per-probe
+// hot path, so std containers are fine.
+// synscan-lint: allow-file(hot-path-container)
 #pragma once
 
 #include <array>

@@ -10,9 +10,9 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_set>
 
 #include "core/campaign.h"
+#include "core/hybrid_set.h"
 
 namespace synscan::core {
 
@@ -32,7 +32,7 @@ class Blocklist {
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
  private:
-  std::unordered_set<std::uint32_t> entries_;
+  HybridU32Set entries_;
 };
 
 /// How well a blocklist performs against a later evaluation window.

@@ -1,5 +1,9 @@
 #include "core/collaboration.h"
 
+// One-shot grouping over the final campaign list; the ordered std::map
+// keeps collaboration-group output deterministic. Not the per-probe hot
+// path.  synscan-lint: allow-file(hot-path-container)
+
 #include <algorithm>
 #include <map>
 #include <tuple>

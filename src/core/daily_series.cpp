@@ -17,8 +17,8 @@ void DailyPortSeries::on_probe(const telescope::ScanProbe& probe) {
 std::vector<std::uint64_t> DailyPortSeries::series(std::uint16_t port) const {
   std::vector<std::uint64_t> out(days(), 0);
   for (std::size_t day = 0; day < out.size(); ++day) {
-    const auto it = counts_.find((static_cast<std::uint64_t>(port) << 32) | day);
-    if (it != counts_.end()) out[day] = it->second;
+    const auto* count = counts_.find((static_cast<std::uint64_t>(port) << 32) | day);
+    if (count != nullptr) out[day] = *count;
   }
   return out;
 }

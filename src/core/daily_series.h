@@ -4,9 +4,9 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "core/observers.h"
 #include "stats/hypothesis.h"
 
@@ -34,8 +34,8 @@ class DailyPortSeries final : public ProbeObserver {
   net::TimeUs origin_;
   std::size_t max_day_ = 0;
   // (port << 32) | day
-  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
-  std::unordered_map<std::uint32_t, std::uint64_t> day_totals_;
+  FlatHashMap<std::uint64_t, std::uint64_t> counts_;
+  FlatHashMap<std::uint32_t, std::uint64_t> day_totals_;
 };
 
 /// The Fig. 1 measurement for one vulnerability-disclosure event.

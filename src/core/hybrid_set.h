@@ -66,6 +66,19 @@ class HybridU32Set {
   /// Backing-store capacity (for capacity-recycling assertions).
   [[nodiscard]] std::size_t slot_capacity() const noexcept { return slots_.capacity(); }
 
+  /// Calls `f(value)` for every element, in unspecified order.
+  template <typename F>
+  void for_each(F&& f) const {
+    if (!promoted_) {
+      for (std::uint32_t i = 0; i < inline_size_; ++i) f(inline_[i]);
+      return;
+    }
+    if (has_zero_) f(std::uint32_t{0});
+    for (const auto value : slots_) {
+      if (value != 0) f(value);
+    }
+  }
+
   /// Empties the set but keeps any promoted backing store allocated, so
   /// a recycled flow re-promotes without touching the allocator.
   void clear() noexcept {

@@ -6,9 +6,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "core/hybrid_set.h"
 #include "core/observers.h"
 #include "core/port_map.h"
@@ -71,7 +71,7 @@ class PortTally final : public ProbeObserver {
   // sources-scan-one-port population (Fig. 3) never allocates.
   PortPacketMap packets_per_port_;
   PortPacketMap sources_per_port_;
-  std::unordered_map<std::uint32_t, HybridU32Set> ports_per_source_;
+  FlatHashMap<std::uint32_t, HybridU32Set> ports_per_source_;
   std::uint64_t total_packets_ = 0;
 };
 

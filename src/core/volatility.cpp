@@ -52,27 +52,27 @@ VolatilityTracker::Result VolatilityTracker::result() const {
     out.insert(out.end(), factors.begin(), factors.end());
   };
 
-  for (const auto block : active_blocks_) {
+  active_blocks_.for_each([&](std::uint32_t block) {
     reduce(
         [&](std::size_t w) {
-          const auto it = packets_.find(key_of(block, static_cast<std::uint32_t>(w)));
-          return it == packets_.end() ? std::uint64_t{0} : it->second;
+          const auto* packets = packets_.find(key_of(block, static_cast<std::uint32_t>(w)));
+          return packets == nullptr ? std::uint64_t{0} : *packets;
         },
         packet_factors);
     reduce(
         [&](std::size_t w) {
-          const auto it = sources_.find(key_of(block, static_cast<std::uint32_t>(w)));
-          return it == sources_.end() ? std::uint64_t{0}
-                                      : static_cast<std::uint64_t>(it->second.size());
+          const auto* sources = sources_.find(key_of(block, static_cast<std::uint32_t>(w)));
+          return sources == nullptr ? std::uint64_t{0}
+                                    : static_cast<std::uint64_t>(sources->size());
         },
         source_factors);
     reduce(
         [&](std::size_t w) {
-          const auto it = campaigns_.find(key_of(block, static_cast<std::uint32_t>(w)));
-          return it == campaigns_.end() ? std::uint64_t{0} : it->second;
+          const auto* count = campaigns_.find(key_of(block, static_cast<std::uint32_t>(w)));
+          return count == nullptr ? std::uint64_t{0} : *count;
         },
         campaign_factors);
-  }
+  });
 
   Result result;
   result.packet_change = stats::Ecdf(std::move(packet_factors));

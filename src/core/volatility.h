@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "core/campaign.h"
+#include "core/flat_map.h"
+#include "core/hybrid_set.h"
 #include "core/observers.h"
 #include "stats/ecdf.h"
 
@@ -45,10 +45,10 @@ class VolatilityTracker final : public ProbeObserver {
   net::TimeUs week_;
   std::uint32_t max_week_ = 0;
   // Keyed by (slash16 << 32) | week.
-  std::unordered_map<std::uint64_t, std::uint64_t> packets_;
-  std::unordered_map<std::uint64_t, std::uint64_t> campaigns_;
-  std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>> sources_;
-  std::unordered_set<std::uint32_t> active_blocks_;
+  FlatHashMap<std::uint64_t, std::uint64_t> packets_;
+  FlatHashMap<std::uint64_t, std::uint64_t> campaigns_;
+  FlatHashMap<std::uint64_t, HybridU32Set> sources_;
+  HybridU32Set active_blocks_;
 };
 
 }  // namespace synscan::core

@@ -38,6 +38,14 @@ class CountryCode {
         static_cast<std::uint16_t>(static_cast<unsigned char>(chars_[1])));
   }
 
+  /// Rebuilds a code from its `packed()` key.
+  [[nodiscard]] static constexpr CountryCode from_packed(std::uint16_t key) noexcept {
+    CountryCode code;
+    code.chars_[0] = static_cast<char>(key >> 8);
+    code.chars_[1] = static_cast<char>(key & 0xff);
+    return code;
+  }
+
   friend constexpr auto operator<=>(const CountryCode&, const CountryCode&) noexcept = default;
 
  private:
