@@ -45,7 +45,7 @@ KnownScannerEtl::KnownScannerEtl(std::span<const KnownScannerSpec> catalog)
   }
 }
 
-void KnownScannerEtl::add_keyword(std::string keyword, std::string_view organization) {
+void KnownScannerEtl::add_keyword(std::string_view keyword, std::string_view organization) {
   keywords_.push_back({ascii_lower(keyword), organization});
 }
 

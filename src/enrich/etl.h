@@ -58,7 +58,7 @@ class KnownScannerEtl {
   KnownScannerEtl() : KnownScannerEtl(known_scanner_specs()) {}
 
   /// Adds a manual keyword mapping to an organization.
-  void add_keyword(std::string keyword, std::string_view organization);
+  void add_keyword(std::string_view keyword, std::string_view organization);
 
   /// Runs both phases on one record.
   [[nodiscard]] EtlResult match(const SourceIntelRecord& record) const;

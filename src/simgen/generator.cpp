@@ -1,22 +1,20 @@
 #include "simgen/generator.h"
 
-#include "enrich/known_scanners.h"
-
 #include <algorithm>
 #include <stdexcept>
+
+#include "enrich/known_scanners.h"
 
 namespace synscan::simgen {
 
 /// Per-plan mutable emission state, parallel to the plan vector.
 struct LiveState {
-  LiveState(const TrafficGenerator* owner, WireTool tool, std::uint64_t wire_seed,
-            std::uint64_t dest_seed, std::uint64_t subset_seed, std::uint32_t dark_count)
+  LiveState(WireTool tool, std::uint64_t wire_seed, std::uint64_t dest_seed,
+            std::uint64_t subset_seed, std::uint32_t dark_count)
       : wire(tool, Rng(wire_seed)),
         rng(wire_seed ^ 0x5bd1e995u),
         dest_perm(dest_seed, dark_count),
-        port_perm(subset_seed, 65536) {
-    (void)owner;
-  }
+        port_perm(subset_seed, 65536) {}
 
   WireState wire;
   Rng rng;
@@ -371,7 +369,7 @@ GeneratorStats TrafficGenerator::run(const FrameSink& sink) {
   std::vector<LiveState> live;
   live.reserve(plans_.size());
   for (const auto& plan : plans_) {
-    live.emplace_back(this, plan.tool, plan.wire_seed, plan.dest_seed, plan.subset_seed,
+    live.emplace_back(plan.tool, plan.wire_seed, plan.dest_seed, plan.subset_seed,
                       static_cast<std::uint32_t>(dark_.size()));
   }
 
