@@ -26,6 +26,11 @@ cmake -B "${build}" -S "${repo}" -G Ninja \
   -DSYNSCAN_BUILD_EXAMPLES=OFF >&2
 cmake --build "${build}" -j "${jobs}" --target bench_micro bench_tracker_replay >&2
 
+micro_json=""
+tmp=""
+cleanup() { rm -f "${micro_json}" "${tmp}"; }
+trap cleanup EXIT
+
 echo "== bench_micro (BM_TrackerFeed)" >&2
 micro_json="$(mktemp)"
 "${build}/bench/bench_micro" \
@@ -33,8 +38,7 @@ micro_json="$(mktemp)"
   --benchmark_min_time=1.0 \
   --benchmark_format=json > "${micro_json}"
 micro_items_per_sec="$(grep -o '"items_per_second": [0-9.e+-]*' "${micro_json}" \
-  | head -1 | cut -d' ' -f2)"
-rm -f "${micro_json}"
+  | head -n 1 | cut -d' ' -f2)"
 if [ -z "${micro_items_per_sec}" ]; then
   echo "bench_baseline: failed to parse items_per_second from bench_micro" >&2
   exit 1
@@ -56,6 +60,7 @@ if [ -s "${out}" ]; then
   sed -i '$ s/$/,/' "${tmp}"               # comma after previous record
   printf '%s\n]\n' "${record}" >> "${tmp}"
   mv "${tmp}" "${out}"
+  tmp=""
 else
   printf '[\n%s\n]\n' "${record}" > "${out}"
 fi

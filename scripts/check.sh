@@ -6,6 +6,7 @@
 #   SYNSCAN_WERROR=ON|OFF   warnings-as-errors (default ON here, unlike
 #                           the plain CMake default, so local runs match CI)
 #   SANITIZER=thread|...    forward to -DSYNSCAN_SANITIZER
+#   SYNSCAN_LINT=ON         also run scripts/lint.sh after the smoke test
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -15,9 +16,11 @@ sanitizer="${SANITIZER:-}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== configure (${build}, WERROR=${werror}${sanitizer:+, sanitizer=${sanitizer}})"
-cmake -B "${build}" -S "${repo}" \
-  -DSYNSCAN_WERROR="${werror}" \
-  ${sanitizer:+-DSYNSCAN_SANITIZER="${sanitizer}"}
+configure_args=(-DSYNSCAN_WERROR="${werror}")
+if [ -n "${sanitizer}" ]; then
+  configure_args+=(-DSYNSCAN_SANITIZER="${sanitizer}")
+fi
+cmake -B "${build}" -S "${repo}" "${configure_args[@]}"
 
 echo "== build"
 cmake --build "${build}" -j "${jobs}"
@@ -38,4 +41,9 @@ for needle in '"schema":"synscan.run_report/1"' 'sensor.scan_probes' \
     exit 1
   }
 done
+
+if [ "${SYNSCAN_LINT:-OFF}" = "ON" ]; then
+  echo "== lint"
+  "${repo}/scripts/lint.sh"
+fi
 echo "== OK"

@@ -3,11 +3,9 @@
 // documented in docs/OBSERVABILITY.md is actually shipped.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
-#include <fstream>
-#include <regex>
-#include <set>
-#include <sstream>
+#include <string>
 
 #include "core/parallel.h"
 #include "core/pipeline.h"
@@ -168,77 +166,20 @@ TEST_F(ObsIntegration, TrackerExposesFlowTableLifecycle) {
 
 // --- documentation consistency -------------------------------------------
 
-/// Extracts backtick-quoted metric names (`namespace.metric`) from the
-/// observability doc, restricted to the namespaces the pipeline itself
-/// publishes (driver-level `analyze.*`/`bench.*` spans only exist when
-/// the CLI or a bench runs).
-std::set<std::string> documented_pipeline_metrics(const std::filesystem::path& doc) {
-  std::ifstream in(doc);
-  EXPECT_TRUE(in.is_open()) << "missing " << doc;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const auto text = buffer.str();
+// The code↔doc metric-name comparison itself lives in the project
+// linter (tools/lint/synscan_lint.py, rule `metric-doc-sync`), so the
+// same check guards both `ctest` and `scripts/lint.sh`. This test is a
+// thin wrapper: doc/code drift fails here too.
+TEST_F(ObsIntegration, DocumentedMetricNamesMatchShippedCode) {
+  const auto repo = std::filesystem::path(SYNSCAN_SOURCE_DIR);
+  const auto linter = repo / "tools" / "lint" / "synscan_lint.py";
+  ASSERT_TRUE(std::filesystem::exists(linter)) << linter;
 
-  std::set<std::string> names;
-  const std::regex token("`([a-z]+(?:\\.[a-z0-9_]+)+)`");
-  for (auto it = std::sregex_iterator(text.begin(), text.end(), token);
-       it != std::sregex_iterator(); ++it) {
-    const auto name = (*it)[1].str();
-    for (const std::string_view prefix :
-         {"sensor.", "tracker.", "parallel.", "pcap.", "pipeline."}) {
-      if (name.rfind(prefix, 0) == 0) names.insert(name);
-    }
-  }
-  return names;
-}
-
-TEST_F(ObsIntegration, DocumentedMetricNamesExistInRegistry) {
-  // Drive every instrumented component once so the registry holds the
-  // full shipped namespace.
-  {
-    const auto path = std::filesystem::temp_directory_path() / "synscan_obs_doc.pcap";
-    const std::vector<net::RawFrame> frames{
-        {0, testing::syn_frame(net::Ipv4Address::from_octets(5, 6, 7, 8),
-                               net::Ipv4Address::from_octets(198, 51, 0, 1), 80)}};
-    pcap::write_file(path, frames);
-    auto reader = pcap::Reader::open(path);
-    (void)reader.read_all();
-    std::filesystem::remove(path);
-  }
-  {
-    core::ParallelAnalyzer analyzer(test_telescope(), 2);
-    simgen::TrafficGenerator generator(small_config(), test_telescope(),
-                                       enrich::InternetRegistry::synthetic_default());
-    generator.run([&](const net::RawFrame& f) { analyzer.feed_frame(f); });
-    const auto result = analyzer.finish();
-    auto& registry = obs::MetricsRegistry::global();
-    obs::publish(registry, result.sensor);
-    obs::publish(registry, result.tracker);
-  }
-  {
-    // The serial pipeline counters.
-    core::Pipeline pipeline(test_telescope());
-    pipeline.feed_frame({0, testing::syn_frame(net::Ipv4Address::from_octets(5, 6, 7, 8),
-                                               net::Ipv4Address::from_octets(198, 51, 0, 1),
-                                               80)});
-    (void)pipeline.finish();
-  }
-
-  const auto doc =
-      std::filesystem::path(SYNSCAN_SOURCE_DIR) / "docs" / "OBSERVABILITY.md";
-  const auto documented = documented_pipeline_metrics(doc);
-  ASSERT_GE(documented.size(), 20u)
-      << "suspiciously few metric names parsed from " << doc;
-
-  auto& registry = obs::MetricsRegistry::global();
-  for (const auto& name : documented) {
-    // `parallel.worker.<i>.*` is a per-worker template; check worker 0.
-    auto resolved = name;
-    const auto placeholder = resolved.find(".n.");
-    if (placeholder != std::string::npos) resolved.replace(placeholder, 3, ".0.");
-    EXPECT_TRUE(registry.contains(resolved))
-        << "documented metric `" << name << "` is not published by the pipeline";
-  }
+  const std::string command = "python3 \"" + linter.string() + "\" --repo \"" +
+                              repo.string() +
+                              "\" --rule metric-doc-sync --min-doc-names 20";
+  EXPECT_EQ(std::system(command.c_str()), 0)
+      << "metric-doc-sync lint failed; run: " << command;
 }
 
 }  // namespace

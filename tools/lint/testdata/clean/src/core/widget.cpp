@@ -1,0 +1,5 @@
+#include "core/widget.h"
+
+#include <cstdint>
+
+std::int32_t widget_value() { return 7; }

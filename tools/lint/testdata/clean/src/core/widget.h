@@ -1,0 +1,6 @@
+// A well-behaved header.
+#pragma once
+
+#include <cstdint>
+
+std::int32_t widget_value();

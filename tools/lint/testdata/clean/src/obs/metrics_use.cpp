@@ -1,0 +1,7 @@
+struct Registry {
+  void counter(const char*) {}
+};
+
+void register_metrics(Registry& registry) {
+  registry.counter("tracker.probes");
+}

@@ -1,0 +1,2 @@
+// Registered in tests/CMakeLists.txt; a real repo would assert things.
+int widget_test() { return 0; }

@@ -1,0 +1,6 @@
+#include "core/bad_order.h"
+
+#include <vector>  // synscan-lint: allow(include-order) — fixture keeps this unsorted
+#include <array>
+
+void ordered() {}

@@ -1,0 +1,9 @@
+// Fixture: cold diagnostic path, flat containers deliberately skipped.
+// synscan-lint: allow-file(hot-path-container)
+#include <unordered_map>
+
+int hot_tally(int key) {
+  std::unordered_map<int, int> counts;
+  counts[key] = 1;
+  return counts[key];
+}

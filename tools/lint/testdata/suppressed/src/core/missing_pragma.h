@@ -1,0 +1,3 @@
+// Fixture: legacy header kept guard-free on purpose.
+// synscan-lint: allow(pragma-once)
+int missing_pragma_value();

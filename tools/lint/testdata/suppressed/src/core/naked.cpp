@@ -1,0 +1,7 @@
+int* make_value() {
+  return new int(7);  // synscan-lint: allow(naked-new) — fixture pool
+}
+
+void drop_value(int* value) {
+  delete value;  // synscan-lint: allow(naked-new) — fixture pool
+}

@@ -1,0 +1,5 @@
+#include <cstdint>  // synscan-lint: allow(include-order) — fixture: own header second
+
+#include "core/own_order.h"
+
+void own_order() {}

@@ -1,0 +1,8 @@
+struct Registry {
+  void counter(const char*) {}
+};
+
+void register_metrics(Registry& registry) {
+  registry.counter("tracker.probes");
+  registry.counter("tracker.ghost");  // synscan-lint: allow(metric-doc-sync) — fixture-internal
+}

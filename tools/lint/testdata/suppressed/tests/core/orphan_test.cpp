@@ -1,0 +1,3 @@
+// Fixture: never built on purpose.
+// synscan-lint: allow-file(test-registration)
+int orphan() { return 1; }

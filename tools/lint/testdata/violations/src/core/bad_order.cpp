@@ -1,0 +1,6 @@
+#include "core/bad_order.h"
+
+#include <vector>
+#include <array>
+
+void ordered() {}

@@ -1,0 +1,7 @@
+#include <unordered_map>
+
+int hot_tally(int key) {
+  std::unordered_map<int, int> counts;
+  counts[key] = 1;
+  return counts[key];
+}

@@ -1,0 +1,2 @@
+// A header that forgot its include guard.
+int missing_pragma_value();

@@ -1,0 +1,7 @@
+int* make_value() {
+  return new int(7);
+}
+
+void drop_value(int* value) {
+  delete value;
+}

@@ -1,0 +1,5 @@
+#include <cstdint>
+
+#include "core/own_order.h"
+
+void own_order() {}

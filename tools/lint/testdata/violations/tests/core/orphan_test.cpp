@@ -1,0 +1,2 @@
+// Deliberately not referenced by tests/CMakeLists.txt.
+int orphan() { return 1; }
