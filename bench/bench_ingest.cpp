@@ -1,0 +1,222 @@
+// Ingest perf workload: pcap records -> classified ScanProbes, reported
+// as JSON (see scripts/bench_baseline.sh and BENCH_ingest.json).
+//
+// One run measures all three ingest paths over the same generated
+// capture, so a single record carries its own baseline:
+//   pre        — the original path: pcap::Reader (buffered istream, one
+//                byte-vector copy per record) + per-frame
+//                Sensor::classify through decode_frame;
+//   mmap_batch — core::ingest_capture with the cache off: mmap'ed
+//                frame views, Sensor::classify_batch, SoA ProbeBatch;
+//   cache_warm — core::ingest_capture over the .spc probe cache the
+//                cold pass just wrote (decode and classify skipped).
+// The probe counts of all paths must agree; the binary exits non-zero
+// if they diverge, so the baseline doubles as a correctness smoke.
+//
+// Usage: bench_ingest [--frames=N] [--label=STR] [--seed=N]
+// Output: one JSON object on stdout.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/ingest.h"
+#include "pcap/pcap.h"
+#include "simgen/rng.h"
+#include "telescope/sensor.h"
+#include "telescope/telescope.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace {
+
+using namespace synscan;
+
+namespace fs = std::filesystem;
+
+/// Peak resident set size in kilobytes, or 0 where unsupported.
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;  // bytes on macOS
+#else
+  return usage.ru_maxrss;  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+struct Options {
+  std::uint64_t frames = 2'000'000;
+  std::uint64_t seed = 20240806;
+  std::string label = "ingest";
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--frames=", 0) == 0) {
+      options.frames = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--label=", 0) == 0) {
+      options.label = arg.substr(8);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+const telescope::Telescope& bench_telescope() {
+  static const telescope::Telescope telescope(
+      {{*net::Ipv4Prefix::parse("198.51.0.0/16"), 1000}},
+      {{23, 0}});
+  return telescope;
+}
+
+/// Writes a telescope-shaped capture: mostly SYN probes, with enough
+/// backscatter, off-telescope traffic and UDP that every sensor branch
+/// is on the measured path.
+void write_capture(const fs::path& path, const Options& options) {
+  simgen::Rng rng(options.seed);
+  auto writer = pcap::Writer::create(path);
+  net::RawFrame frame;
+  net::TimeUs now = 0;
+  for (std::uint64_t i = 0; i < options.frames; ++i) {
+    now += 40;
+    const std::uint64_t draw = rng.next_u64() % 100;
+    net::TcpFrameSpec tcp;
+    tcp.src_ip = net::Ipv4Address(0x05000000u + rng.next_u32() % (1u << 22));
+    tcp.dst_ip = net::Ipv4Address(0xc6330000u + rng.next_u32() % 65536);
+    tcp.src_port = static_cast<std::uint16_t>(40000 + rng.next_u32() % 20000);
+    tcp.dst_port = (draw % 3 == 0) ? 443 : 80;
+    tcp.sequence = rng.next_u32();
+    tcp.ip_id = static_cast<std::uint16_t>(rng.next_u32());
+    if (draw < 75) {
+      // scan probe (defaults: SYN)
+    } else if (draw < 85) {
+      tcp.flags = net::flag_bit(net::TcpFlag::kSyn) | net::flag_bit(net::TcpFlag::kAck);
+    } else if (draw < 92) {
+      tcp.dst_ip = net::Ipv4Address(0x08080000u + rng.next_u32() % 65536);  // off-net
+    } else if (draw < 97) {
+      frame.timestamp_us = now;
+      net::UdpFrameSpec udp;
+      udp.src_ip = tcp.src_ip;
+      udp.dst_ip = tcp.dst_ip;
+      udp.src_port = tcp.src_port;
+      udp.dst_port = 53;
+      frame.bytes = net::build_udp_frame(udp);
+      writer.write(frame);
+      continue;
+    } else {
+      tcp.dst_port = 23;  // ingress blocked
+    }
+    frame.timestamp_us = now;
+    frame.bytes = net::build_tcp_frame(tcp);
+    writer.write(frame);
+  }
+  writer.flush();
+}
+
+struct PathResult {
+  double seconds = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t probes = 0;
+};
+
+/// The original record-at-a-time path this PR replaced; kept in-tree as
+/// pcap::Reader, so the "pre" row stays measurable on every commit.
+PathResult run_reader_per_frame(const fs::path& path) {
+  PathResult result;
+  const auto start = std::chrono::steady_clock::now();
+  telescope::Sensor sensor(bench_telescope());
+  auto reader = pcap::Reader::open(path);
+  net::RawFrame frame;
+  telescope::ScanProbe probe;
+  while (reader.next(frame) == pcap::ReadStatus::kOk) {
+    ++result.frames;
+    if (sensor.classify(frame, probe) == telescope::FrameClass::kScanProbe) {
+      ++result.probes;
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+PathResult run_ingest(const fs::path& path, bool use_cache, bool expect_hit) {
+  PathResult result;
+  core::IngestOptions options;
+  options.use_cache = use_cache;
+  const auto start = std::chrono::steady_clock::now();
+  const auto ingest =
+      core::ingest_capture(path, bench_telescope(), options,
+                           [&](const telescope::ProbeBatch& batch) {
+                             result.probes += batch.size();
+                           });
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.frames = ingest.frames;
+  if (ingest.from_cache != expect_hit) {
+    std::fprintf(stderr, "bench_ingest: expected from_cache=%d\n", expect_hit ? 1 : 0);
+    std::exit(1);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse(argc, argv);
+
+  const auto dir = fs::temp_directory_path() / "synscan_bench_ingest";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto capture = dir / "workload.pcap";
+  write_capture(capture, options);
+  const auto capture_bytes = fs::file_size(capture);
+
+  const auto pre = run_reader_per_frame(capture);
+  const auto post = run_ingest(capture, /*use_cache=*/false, /*expect_hit=*/false);
+  (void)run_ingest(capture, true, false);  // cold pass writes the .spc
+  const auto warm = run_ingest(capture, /*use_cache=*/true, /*expect_hit=*/true);
+  fs::remove_all(dir);
+
+  if (pre.probes != post.probes || pre.probes != warm.probes ||
+      pre.frames != post.frames || pre.frames != warm.frames) {
+    std::fprintf(stderr,
+                 "bench_ingest: path divergence (frames %" PRIu64 "/%" PRIu64
+                 "/%" PRIu64 ", probes %" PRIu64 "/%" PRIu64 "/%" PRIu64 ")\n",
+                 pre.frames, post.frames, warm.frames, pre.probes, post.probes,
+                 warm.probes);
+    return 1;
+  }
+
+  const auto fps = [](const PathResult& r) {
+    return static_cast<double>(r.frames) / r.seconds;
+  };
+  std::printf(
+      "{\"label\":\"%s\",\"frames\":%" PRIu64 ",\"probes\":%" PRIu64 ","
+      "\"capture_bytes\":%" PRIu64 ",\"peak_rss_kb\":%ld,"
+      "\"pre_seconds\":%.4f,\"pre_frames_per_sec\":%.0f,"
+      "\"mmap_batch_seconds\":%.4f,\"mmap_batch_frames_per_sec\":%.0f,"
+      "\"cache_warm_seconds\":%.4f,\"cache_warm_frames_per_sec\":%.0f,"
+      "\"mmap_speedup\":%.2f,\"cache_speedup\":%.2f}\n",
+      options.label.c_str(), pre.frames, pre.probes,
+      static_cast<std::uint64_t>(capture_bytes), peak_rss_kb(), pre.seconds, fps(pre),
+      post.seconds, fps(post), warm.seconds, fps(warm), fps(post) / fps(pre),
+      fps(warm) / fps(pre));
+  return 0;
+}

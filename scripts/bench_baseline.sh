@@ -1,22 +1,27 @@
 #!/usr/bin/env bash
-# Tracker perf baseline: build Release, run the bench_micro tracker-feed
+# Perf baselines: build Release, run the bench_micro tracker-feed
 # microbenchmark plus the bench_tracker_replay mixed workload, and append
-# one record to BENCH_tracker.json at the repo root. Run this before and
-# after any change to the tracker hot path so the perf trajectory stays
-# auditable in-repo (see docs/PERFORMANCE.md).
+# one record to BENCH_tracker.json at the repo root; then run the
+# bench_ingest capture-replay workload and append one record to
+# BENCH_ingest.json. Run this before and after any change to the tracker
+# or ingest hot paths so the perf trajectory stays auditable in-repo
+# (see docs/PERFORMANCE.md).
 #
 # Usage:
 #   scripts/bench_baseline.sh [label]
 # Environment:
 #   BUILD_DIR     build directory (default: build-bench)
 #   REPLAY_PROBES workload size for bench_tracker_replay (default: 4000000)
+#   INGEST_FRAMES workload size for bench_ingest (default: 2000000)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-${repo}/build-bench}"
 label="${1:-$(git -C "${repo}" rev-parse --abbrev-ref HEAD 2>/dev/null || echo unlabeled)}"
 probes="${REPLAY_PROBES:-4000000}"
+ingest_frames="${INGEST_FRAMES:-2000000}"
 out="${repo}/BENCH_tracker.json"
+ingest_out="${repo}/BENCH_ingest.json"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== build (${build}, Release)" >&2
@@ -24,7 +29,25 @@ cmake -B "${build}" -S "${repo}" -G Ninja \
   -DCMAKE_BUILD_TYPE=Release \
   -DSYNSCAN_BUILD_TESTS=OFF \
   -DSYNSCAN_BUILD_EXAMPLES=OFF >&2
-cmake --build "${build}" -j "${jobs}" --target bench_micro bench_tracker_replay >&2
+cmake --build "${build}" -j "${jobs}" \
+  --target bench_micro bench_tracker_replay bench_ingest >&2
+
+# Appends one record to a JSON-array trajectory file kept as one record
+# per line, so appending is a three-line edit rather than a JSON-parser
+# dependency.
+append_record() {
+  local file="$1" record="$2"
+  if [ -s "${file}" ]; then
+    tmp="$(mktemp)"
+    sed '$ d' "${file}" > "${tmp}"           # drop closing "]"
+    sed -i '$ s/$/,/' "${tmp}"               # comma after previous record
+    printf '%s\n]\n' "${record}" >> "${tmp}"
+    mv "${tmp}" "${file}"
+    tmp=""
+  else
+    printf '[\n%s\n]\n' "${record}" > "${file}"
+  fi
+}
 
 micro_json=""
 tmp=""
@@ -52,18 +75,15 @@ date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 record="$(printf '{"label":"%s","git":"%s","date":"%s","micro_tracker_feed_items_per_sec":%s,"tracker_replay":%s}' \
   "${label}" "${git_rev}" "${date_utc}" "${micro_items_per_sec}" "${replay_json}")"
 
-# BENCH_tracker.json is a JSON array with one record per line, so
-# appending is a three-line edit rather than a JSON-parser dependency.
-if [ -s "${out}" ]; then
-  tmp="$(mktemp)"
-  sed '$ d' "${out}" > "${tmp}"            # drop closing "]"
-  sed -i '$ s/$/,/' "${tmp}"               # comma after previous record
-  printf '%s\n]\n' "${record}" >> "${tmp}"
-  mv "${tmp}" "${out}"
-  tmp=""
-else
-  printf '[\n%s\n]\n' "${record}" > "${out}"
-fi
-
+append_record "${out}" "${record}"
 echo "== appended record to ${out}" >&2
 echo "${record}"
+
+echo "== bench_ingest (${ingest_frames} frames)" >&2
+ingest_json="$("${build}/bench/bench_ingest" --frames="${ingest_frames}" \
+  --label="${label}")"
+ingest_record="$(printf '{"label":"%s","git":"%s","date":"%s","ingest":%s}' \
+  "${label}" "${git_rev}" "${date_utc}" "${ingest_json}")"
+append_record "${ingest_out}" "${ingest_record}"
+echo "== appended record to ${ingest_out}" >&2
+echo "${ingest_record}"

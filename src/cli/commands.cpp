@@ -12,6 +12,7 @@
 #include "core/analysis_geo.h"
 #include "core/analysis_summary.h"
 #include "core/analysis_types.h"
+#include "core/ingest.h"
 #include "core/parallel.h"
 #include "core/pipeline.h"
 #include "core/port_tally.h"
@@ -19,7 +20,6 @@
 #include "obs/run_report.h"
 #include "obs/timer.h"
 #include "pcap/pcap.h"
-#include "pcap/pcapng.h"
 #include "report/json.h"
 #include "report/table.h"
 #include "simgen/ecosystem.h"
@@ -78,22 +78,6 @@ const telescope::Telescope& shared_telescope() {
   return telescope;
 }
 
-/// Streams every frame of a classic-pcap or pcapng capture to `sink`;
-/// returns the terminal read status.
-template <typename Sink>
-pcap::ReadStatus for_each_frame(const std::string& path, Sink&& sink) {
-  net::RawFrame frame;
-  pcap::ReadStatus status;
-  if (pcap::looks_like_pcapng(path)) {
-    auto reader = pcap::NgReader::open(path);
-    while ((status = reader.next(frame)) == pcap::ReadStatus::kOk) sink(frame);
-    return status;
-  }
-  auto reader = pcap::Reader::open(path);
-  while ((status = reader.next(frame)) == pcap::ReadStatus::kOk) sink(frame);
-  return status;
-}
-
 /// Replay workers when `--workers` is not given: keep one core for the
 /// feeder, stay within a sane span. Always >= 2 so the `parallel.*`
 /// metrics namespace is populated on any multi-core host.
@@ -102,7 +86,18 @@ std::size_t default_workers() {
   return std::clamp<std::size_t>(hw == 0 ? 2 : hw - 1, 2, 8);
 }
 
-Analysis analyze_capture(const std::string& path, std::size_t workers) {
+/// The ingest switches every command shares: `--no-probe-cache` skips
+/// the `.spc` cache in both directions, `--no-mmap` forces the stream
+/// fallback.
+core::IngestOptions ingest_options(const Args& args) {
+  core::IngestOptions options;
+  options.use_cache = !args.flag("no-probe-cache");
+  options.use_mmap = !args.flag("no-mmap");
+  return options;
+}
+
+Analysis analyze_capture(const std::string& path, std::size_t workers,
+                         const core::IngestOptions& options) {
   Analysis analysis;
   if (workers <= 1) {
     core::Pipeline pipeline(shared_telescope());
@@ -112,10 +107,12 @@ Analysis analyze_capture(const std::string& path, std::size_t workers) {
 
     {
       obs::ScopedTimer ingest("analyze.ingest");
-      analysis.final_status = for_each_frame(path, [&](const net::RawFrame& frame) {
-        pipeline.feed_frame(frame);
-        ++analysis.frames;
-      });
+      const auto ingested = core::ingest_capture(
+          path, shared_telescope(), options,
+          [&](const telescope::ProbeBatch& batch) { pipeline.feed_probes(batch); });
+      pipeline.absorb_sensor_counters(ingested.sensor);
+      analysis.frames = ingested.frames;
+      analysis.final_status = ingested.status;
     }
     const obs::ScopedTimer finish("analyze.finish");
     analysis.result = pipeline.finish();
@@ -123,23 +120,25 @@ Analysis analyze_capture(const std::string& path, std::size_t workers) {
   }
 
   // Multi-core replay: campaign tracking runs sharded by source across
-  // the workers; the streaming observers are not thread-safe, so the
-  // feeder classifies each frame once more and drives them in file
-  // order, exactly as the serial path would.
+  // the workers. Classification already happened once on the ingest
+  // thread, so the same batch drives both the workers and the (not
+  // thread-safe) streaming observers in file order.
   core::ParallelAnalyzer analyzer(shared_telescope(), workers);
-  telescope::Sensor observer_sensor(shared_telescope());
-  telescope::ScanProbe probe;
   {
     obs::ScopedTimer ingest("analyze.ingest");
-    analysis.final_status = for_each_frame(path, [&](const net::RawFrame& frame) {
-      ++analysis.frames;
-      analyzer.feed_frame(frame);
-      if (observer_sensor.classify(frame, probe) == telescope::FrameClass::kScanProbe) {
-        analysis.ports.on_probe(probe);
-        analysis.types.on_probe(probe);
-        analysis.geo.on_probe(probe);
-      }
-    });
+    const auto ingested = core::ingest_capture(
+        path, shared_telescope(), options, [&](const telescope::ProbeBatch& batch) {
+          analyzer.feed_probes(batch);
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            const auto probe = batch.get(i);
+            analysis.ports.on_probe(probe);
+            analysis.types.on_probe(probe);
+            analysis.geo.on_probe(probe);
+          }
+        });
+    analyzer.absorb_sensor_counters(ingested.sensor);
+    analysis.frames = ingested.frames;
+    analysis.final_status = ingested.status;
   }
   const obs::ScopedTimer finish("analyze.finish");
   analysis.result = analyzer.finish();
@@ -199,7 +198,8 @@ int run_analyze(const std::vector<std::string>& args) {
   if (metrics) obs::set_enabled(true);
   const auto workers = static_cast<std::size_t>(parsed.number(
       "workers", static_cast<double>(default_workers())));
-  auto analysis = analyze_capture(parsed.positional().front(), workers);
+  auto analysis =
+      analyze_capture(parsed.positional().front(), workers, ingest_options(parsed));
   warn_on_truncation(analysis);
   const auto& campaigns = analysis.result.campaigns;
 
@@ -280,15 +280,16 @@ int run_fingerprint(const std::vector<std::string>& args) {
     throw std::invalid_argument("fingerprint requires a capture path");
   }
   const auto& telescope = shared_telescope();
-  telescope::Sensor sensor(telescope);
   std::map<std::uint32_t, fingerprint::ToolEvidence> evidence;
 
-  telescope::ScanProbe probe;
-  (void)for_each_frame(parsed.positional().front(), [&](const net::RawFrame& frame) {
-    if (sensor.classify(frame, probe) == telescope::FrameClass::kScanProbe) {
-      evidence[probe.source.value()].observe(probe);
-    }
-  });
+  (void)core::ingest_capture(parsed.positional().front(), telescope,
+                             ingest_options(parsed),
+                             [&](const telescope::ProbeBatch& batch) {
+                               for (std::size_t i = 0; i < batch.size(); ++i) {
+                                 const auto probe = batch.get(i);
+                                 evidence[probe.source.value()].observe(probe);
+                               }
+                             });
 
   report::Table table({"source", "probes", "verdict", "zmap", "masscan", "mirai",
                        "nmap-pairs", "unicorn-pairs"});

@@ -1,0 +1,166 @@
+#include "core/ingest.h"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <system_error>
+#include <vector>
+
+#include "core/probe_cache.h"
+#include "obs/metrics.h"
+#include "pcap/mapped_reader.h"
+#include "pcap/pcapng.h"
+
+namespace synscan::core {
+namespace {
+
+/// The `ingest.*` metric cells, resolved once per run iff obs is on.
+struct IngestMetrics {
+  obs::Counter* batches = nullptr;
+  obs::Counter* mmap_bytes = nullptr;
+  obs::Counter* fallback_reads = nullptr;
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* cache_misses = nullptr;
+  obs::Counter* cache_invalidations = nullptr;
+
+  IngestMetrics() {
+    if (!obs::enabled()) return;
+    auto& registry = obs::MetricsRegistry::global();
+    batches = &registry.counter("ingest.batches");
+    mmap_bytes = &registry.counter("ingest.mmap_bytes");
+    fallback_reads = &registry.counter("ingest.fallback_reads");
+    cache_hits = &registry.counter("ingest.cache_hits");
+    cache_misses = &registry.counter("ingest.cache_misses");
+    cache_invalidations = &registry.counter("ingest.cache_invalidations");
+  }
+};
+
+}  // namespace
+
+IngestResult ingest_capture(const std::filesystem::path& path,
+                            const telescope::Telescope& telescope,
+                            const IngestOptions& options, const ProbeBatchSink& sink) {
+  const IngestMetrics metrics;
+  IngestResult result;
+  const auto batch_frames = std::max<std::size_t>(std::size_t{1}, options.batch_frames);
+
+  // Streams and FIFOs have no stable identity, so they are never cached.
+  const auto identity =
+      options.use_cache ? cache_identity(path) : std::optional<CacheIdentity>{};
+  const auto cache_path = options.cache_path.empty()
+                              ? std::filesystem::path(path.native() + ".spc")
+                              : options.cache_path;
+
+  if (identity) {
+    std::error_code ec;
+    if (std::filesystem::exists(cache_path, ec) && !ec) {
+      if (auto reader = ProbeCacheReader::open(cache_path, *identity)) {
+        telescope::ProbeBatch batch;
+        while (reader->next_chunk(batch)) {
+          ++result.batches;
+          if (metrics.batches != nullptr) metrics.batches->add();
+          sink(batch);
+        }
+        result.sensor = reader->sensor();
+        result.frames = reader->frame_count();
+        result.status = reader->terminal_status();
+        result.from_cache = true;
+        if (metrics.cache_hits != nullptr) metrics.cache_hits->add();
+        return result;
+      }
+      if (metrics.cache_invalidations != nullptr) metrics.cache_invalidations->add();
+    } else if (metrics.cache_misses != nullptr) {
+      metrics.cache_misses->add();
+    }
+  }
+
+  // Cold path: decode + classify in batches, refreshing the cache along
+  // the way. Cache creation is best-effort (read-only capture directory
+  // must not fail the run).
+  std::optional<ProbeCacheWriter> writer;
+  if (identity) {
+    try {
+      writer.emplace(cache_path, *identity);
+    } catch (const std::exception&) {
+    }
+  }
+
+  telescope::Sensor sensor(telescope);
+  telescope::ProbeBatch batch;
+  batch.reserve(batch_frames);
+
+  const auto deliver = [&](std::span<const net::FrameView> frames) {
+    batch.clear();
+    sensor.classify_batch(frames, batch);
+    result.frames += frames.size();
+    ++result.batches;
+    if (metrics.batches != nullptr) metrics.batches->add();
+    if (batch.empty()) return;
+    if (writer) writer->append(batch);
+    sink(batch);
+  };
+
+  const auto run_mapped = [&](pcap::MappedReader& reader) {
+    std::vector<net::FrameView> views;
+    views.reserve(batch_frames);
+    for (;;) {
+      const auto status = reader.next_batch(views, batch_frames);
+      if (status != pcap::ReadStatus::kOk) {
+        result.status = status;
+        return;
+      }
+      deliver(views);
+    }
+  };
+
+  if (pcap::looks_like_pcapng(path)) {
+    // pcapng stays record-at-a-time (variable block framing), but the
+    // frames are still classified in batches.
+    auto reader = pcap::NgReader::open(path);
+    if (metrics.fallback_reads != nullptr) metrics.fallback_reads->add();
+    std::vector<net::RawFrame> frames(batch_frames);
+    std::vector<net::FrameView> views;
+    views.reserve(batch_frames);
+    for (;;) {
+      auto status = pcap::ReadStatus::kOk;
+      std::size_t filled = 0;
+      while (filled < batch_frames &&
+             (status = reader.next(frames[filled])) == pcap::ReadStatus::kOk) {
+        ++filled;
+      }
+      views.clear();
+      for (std::size_t i = 0; i < filled; ++i) views.push_back(net::as_view(frames[i]));
+      if (filled > 0) deliver(views);
+      if (status != pcap::ReadStatus::kOk) {
+        result.status = status;
+        break;
+      }
+    }
+  } else if (!options.use_mmap) {
+    std::ifstream stream(path, std::ios::binary);
+    if (!stream.is_open()) {
+      throw std::runtime_error("pcap: cannot open " + path.string());
+    }
+    auto reader = pcap::MappedReader::open_stream(stream);
+    if (metrics.fallback_reads != nullptr) metrics.fallback_reads->add();
+    run_mapped(reader);
+  } else {
+    auto reader = pcap::MappedReader::open(path);
+    result.mapped = reader.mapped();
+    if (result.mapped) {
+      if (metrics.mmap_bytes != nullptr) metrics.mmap_bytes->add(reader.byte_size());
+    } else if (metrics.fallback_reads != nullptr) {
+      metrics.fallback_reads->add();
+    }
+    run_mapped(reader);
+  }
+
+  result.sensor = sensor.counters();
+  if (writer) {
+    (void)writer->commit(result.frames, result.status, result.sensor);
+  }
+  return result;
+}
+
+}  // namespace synscan::core

@@ -1,0 +1,65 @@
+// Batched capture ingest: capture file -> classified probe batches.
+//
+// This is the front half of every replay. It picks the fastest available
+// path for the input —
+//   1. a validated columnar probe cache (`.spc`, core/probe_cache.h):
+//      skip decode and classification entirely;
+//   2. a memory-mapped classic pcap (`pcap::MappedReader`): zero-copy
+//      frame views, batched classification via `Sensor::classify_batch`;
+//   3. record-at-a-time fallback (pcapng input, non-mappable files, or
+//      `use_mmap = false`), still classified in batches —
+// and hands the probes to the caller one `ProbeBatch` at a time. The
+// three paths produce bit-identical probes and sensor counters (held
+// together by tests/integration/ingest_differential_test.cpp).
+//
+// After a cold decode of a regular file the probes are written back as a
+// cache (best-effort: cache I/O failures never fail the run), so the
+// second replay of the same capture takes path 1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+
+#include "pcap/pcap.h"
+#include "telescope/probe_batch.h"
+#include "telescope/sensor.h"
+#include "telescope/telescope.h"
+
+namespace synscan::core {
+
+struct IngestOptions {
+  /// Map regular classic-pcap files instead of streaming them.
+  bool use_mmap = true;
+  /// Read and write the sibling `.spc` probe cache.
+  bool use_cache = true;
+  /// Frames classified per batch on the decode paths.
+  std::size_t batch_frames = 4096;
+  /// Cache location override; empty means `<capture>.spc`.
+  std::filesystem::path cache_path;
+};
+
+struct IngestResult {
+  telescope::SensorCounters sensor;
+  std::uint64_t frames = 0;
+  pcap::ReadStatus status = pcap::ReadStatus::kEndOfFile;
+  std::uint64_t batches = 0;
+  bool from_cache = false;  ///< probes came from a validated cache
+  bool mapped = false;      ///< capture bytes were mmap'ed
+};
+
+/// Receives each probe batch in capture order. The batch is only valid
+/// for the duration of the call (buffers are recycled).
+using ProbeBatchSink = std::function<void(const telescope::ProbeBatch&)>;
+
+/// Replays `path` (classic pcap or pcapng) through the fastest available
+/// ingest path and feeds every scan probe to `sink` in capture order.
+/// Throws what the underlying readers throw (unopenable file, bad
+/// global header). `result.status` carries the reader's terminal status
+/// exactly as `pcap::Reader` would have reported it.
+IngestResult ingest_capture(const std::filesystem::path& path,
+                            const telescope::Telescope& telescope,
+                            const IngestOptions& options, const ProbeBatchSink& sink);
+
+}  // namespace synscan::core

@@ -13,10 +13,12 @@ ParallelAnalyzer::ParallelAnalyzer(const telescope::Telescope& telescope,
   if (workers == 0) throw std::invalid_argument("ParallelAnalyzer: workers must be >= 1");
   workers_.reserve(workers);
   pending_.resize(workers);
+  probe_pending_.resize(workers);
   // Pre-size the feeder batches: in steady state a batch fills to kBatch
   // and is flushed, so no push_back should ever reallocate. The
   // `parallel.feeder_reallocs` counter witnesses regressions.
   for (auto& batch : pending_) batch.reserve(kBatch);
+  for (auto& batch : probe_pending_) batch.reserve(kBatch);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(telescope, tracker_config));
   }
@@ -26,17 +28,23 @@ ParallelAnalyzer::ParallelAnalyzer(const telescope::Telescope& telescope,
   for (const auto& worker : workers_) {
     worker->thread = std::thread([w = worker.get()] {
       std::vector<Item> batch;
+      std::vector<telescope::ScanProbe> probes;
       for (;;) {
         {
           std::unique_lock lock(w->mutex);
-          w->ready.wait(lock, [w] { return !w->queue.empty() || w->done; });
-          if (w->queue.empty() && w->done) return;
+          w->ready.wait(lock, [w] {
+            return !w->queue.empty() || !w->probe_queue.empty() || w->done;
+          });
+          if (w->queue.empty() && w->probe_queue.empty() && w->done) return;
           batch.swap(w->queue);
+          probes.swap(w->probe_queue);
         }
         for (const auto& item : batch) {
           w->pipeline.feed_decoded(item.timestamp_us, item.frame);
         }
+        for (const auto& probe : probes) w->pipeline.feed_probe(probe);
         batch.clear();
+        probes.clear();
       }
     });
   }
@@ -84,6 +92,46 @@ void ParallelAnalyzer::flush(std::size_t index) {
   if (batch.capacity() < kBatch) batch.reserve(kBatch);
 }
 
+void ParallelAnalyzer::flush_probes(std::size_t index) {
+  auto& batch = probe_pending_[index];
+  if (batch.empty()) return;
+  if (obs_batch_items_ != nullptr) obs_batch_items_->observe(batch.size());
+  auto& worker = *workers_[index];
+  const auto batch_size = batch.size();
+  {
+    const std::lock_guard lock(worker.mutex);
+    if (worker.probe_queue.empty()) {
+      worker.probe_queue.swap(batch);
+    } else {
+      worker.probe_queue.insert(worker.probe_queue.end(), batch.begin(), batch.end());
+      batch.clear();
+    }
+    worker.items += batch_size;
+    ++worker.batches;
+    worker.peak_queue = std::max(worker.peak_queue, worker.probe_queue.size());
+  }
+  worker.ready.notify_one();
+  if (batch.capacity() < kBatch) batch.reserve(kBatch);
+}
+
+void ParallelAnalyzer::feed_probes(const telescope::ProbeBatch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    // Same sharding as feed_decoded: campaigns are per-source.
+    const auto source = batch.source[i];
+    const auto index = static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(source) * 0x9e3779b97f4a7c15ull) >> 32) %
+        workers_.size();
+    auto& lane = probe_pending_[index];
+    if (lane.size() == lane.capacity()) ++feeder_reallocs_;
+    lane.push_back(batch.get(i));
+    if (lane.size() >= kBatch) flush_probes(index);
+  }
+}
+
+void ParallelAnalyzer::absorb_sensor_counters(const telescope::SensorCounters& counters) {
+  absorbed_.add(counters);
+}
+
 void ParallelAnalyzer::feed_frame(const net::RawFrame& frame) {
   auto decoded = net::decode_frame(frame.bytes);
   if (!decoded) {
@@ -110,7 +158,10 @@ PipelineResult ParallelAnalyzer::finish() {
   if (finished_) throw std::logic_error("ParallelAnalyzer::finish called twice");
   finished_ = true;
 
-  for (std::size_t i = 0; i < workers_.size(); ++i) flush(i);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    flush(i);
+    flush_probes(i);
+  }
   for (const auto& worker : workers_) {
     {
       const std::lock_guard lock(worker->mutex);
@@ -128,16 +179,7 @@ PipelineResult ParallelAnalyzer::finish() {
                             std::make_move_iterator(result.campaigns.begin()),
                             std::make_move_iterator(result.campaigns.end()));
 
-    merged.sensor.scan_probes += result.sensor.scan_probes;
-    merged.sensor.backscatter += result.sensor.backscatter;
-    merged.sensor.xmas_or_null += result.sensor.xmas_or_null;
-    merged.sensor.other_tcp += result.sensor.other_tcp;
-    merged.sensor.udp += result.sensor.udp;
-    merged.sensor.icmp += result.sensor.icmp;
-    merged.sensor.not_monitored += result.sensor.not_monitored;
-    merged.sensor.ingress_blocked += result.sensor.ingress_blocked;
-    merged.sensor.malformed += result.sensor.malformed;
-    merged.sensor.spoofed_source += result.sensor.spoofed_source;
+    merged.sensor.add(result.sensor);
 
     merged.tracker.probes += result.tracker.probes;
     merged.tracker.campaigns += result.tracker.campaigns;
@@ -154,6 +196,7 @@ PipelineResult ParallelAnalyzer::finish() {
     merged.tracker.peak_open_flows += result.tracker.peak_open_flows;
   }
   merged.sensor.malformed += undecodable_;
+  merged.sensor.add(absorbed_);
 
   // Deterministic order regardless of worker count: by first packet,
   // then source. Campaign ids are re-issued to stay unique and ordered.

@@ -46,6 +46,15 @@ class ParallelAnalyzer {
   /// second decode).
   void feed_decoded(net::TimeUs timestamp_us, net::DecodedFrame frame);
 
+  /// Dispatches a batch of pre-sensed probes (the batched ingest path:
+  /// classification already happened on the feeder). Call from one
+  /// thread only; do not interleave with the frame-feeding entry points.
+  void feed_probes(const telescope::ProbeBatch& batch);
+
+  /// Folds counters from the feeder-side sensor into `finish()`'s
+  /// merged result (workers never saw the raw frames on the probe path).
+  void absorb_sensor_counters(const telescope::SensorCounters& counters);
+
   /// Flushes queues, joins workers and merges everything. Call once.
   /// When observability is on, publishes `parallel.*` metrics (per-worker
   /// peak queue depth and item counts, batch-size distribution, merge
@@ -68,6 +77,7 @@ class ParallelAnalyzer {
     std::mutex mutex;
     std::condition_variable ready;
     std::vector<Item> queue;
+    std::vector<telescope::ScanProbe> probe_queue;
     bool done = false;
     std::thread thread;
     // Feeder-side stats, updated under `mutex` in flush(); cheap enough
@@ -78,9 +88,12 @@ class ParallelAnalyzer {
   };
 
   void flush(std::size_t index);
+  void flush_probes(std::size_t index);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::vector<Item>> pending_;  ///< feeder-side batches
+  std::vector<std::vector<telescope::ScanProbe>> probe_pending_;
+  telescope::SensorCounters absorbed_;  ///< feeder-side sensor counters
   std::uint64_t undecodable_ = 0;
   /// Feeder-side batch reallocations. Zero in steady state (batches are
   /// pre-sized to kBatch and recycled); published as

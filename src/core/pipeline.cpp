@@ -41,6 +41,14 @@ void Pipeline::feed_probe(const telescope::ScanProbe& probe) {
   tracker_.feed(probe);
 }
 
+void Pipeline::feed_probes(const telescope::ProbeBatch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) feed_probe(batch.get(i));
+}
+
+void Pipeline::absorb_sensor_counters(const telescope::SensorCounters& counters) {
+  absorbed_.add(counters);
+}
+
 PipelineResult Pipeline::finish() {
   {
     obs::ScopedTimer finish_timer("pipeline.finish");
@@ -49,6 +57,7 @@ PipelineResult Pipeline::finish() {
   PipelineResult result;
   result.campaigns = std::move(campaigns_);
   result.sensor = sensor_.counters();
+  result.sensor.add(absorbed_);
   result.tracker = tracker_.counters();
   campaigns_.clear();
   return result;

@@ -8,6 +8,7 @@
 #include "core/observers.h"
 #include "core/tracker.h"
 #include "obs/metrics.h"
+#include "telescope/probe_batch.h"
 #include "telescope/sensor.h"
 #include "telescope/telescope.h"
 
@@ -41,6 +42,13 @@ class Pipeline {
   /// probe log). Observers and tracker see it; sensor counters do not.
   void feed_probe(const telescope::ScanProbe& probe);
 
+  /// Feeds a whole batch of pre-sensed probes (the batched ingest path).
+  void feed_probes(const telescope::ProbeBatch& batch);
+
+  /// Folds counters from an external front-end sensor (the batched
+  /// ingest classifies on the feeder, not here) into `finish()`'s result.
+  void absorb_sensor_counters(const telescope::SensorCounters& counters);
+
   /// Flushes the tracker and returns all results.
   [[nodiscard]] PipelineResult finish();
 
@@ -52,6 +60,7 @@ class Pipeline {
  private:
   const telescope::Telescope* telescope_;
   telescope::Sensor sensor_;
+  telescope::SensorCounters absorbed_;  ///< external sensor counters
   std::vector<Campaign> campaigns_;
   CampaignTracker tracker_;
   std::vector<ProbeObserver*> observers_;

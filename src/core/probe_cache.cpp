@@ -1,0 +1,301 @@
+#include "core/probe_cache.h"
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <system_error>
+
+#include "net/endian.h"
+
+namespace synscan::core {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31637073;  // "spc1" on disk
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 136;
+constexpr std::size_t kBytesPerRow = 33;  ///< sum of the ten column widths
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a over the stream taken as little-endian 64-bit words, the tail
+/// word zero-padded. Word-at-a-time keeps the validating pass in open()
+/// (which hashes the whole file before releasing a single probe) at
+/// one multiply per 8 bytes instead of per byte.
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes, std::uint64_t state) {
+  const std::size_t words = bytes.size() / 8;
+  const std::uint8_t* p = bytes.data();
+  for (std::size_t i = 0; i < words; ++i, p += 8) {
+    state ^= net::load_le64(p);
+    state *= kFnvPrime;
+  }
+  const std::size_t tail = bytes.size() % 8;
+  if (tail != 0) {
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < tail; ++i) {
+      word |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    state ^= word;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// Bulk column copy: the on-disk layout is little-endian, so on a
+/// little-endian host each column is one memcpy; big-endian hosts take
+/// the per-element load/store path.
+template <typename T>
+void copy_column_out(const std::uint8_t*& p, std::size_t rows, std::vector<T>& out) {
+  out.resize(rows);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), p, rows * sizeof(T));
+    p += rows * sizeof(T);
+  } else {
+    for (std::size_t i = 0; i < rows; ++i, p += sizeof(T)) {
+      if constexpr (sizeof(T) == 8) {
+        out[i] = static_cast<T>(net::load_le64(p));
+      } else if constexpr (sizeof(T) == 4) {
+        out[i] = static_cast<T>(net::load_le32(p));
+      } else if constexpr (sizeof(T) == 2) {
+        out[i] = static_cast<T>(net::load_le16(p));
+      } else {
+        out[i] = static_cast<T>(*p);
+      }
+    }
+  }
+}
+
+template <typename T>
+void copy_column_in(std::uint8_t*& p, const std::vector<T>& column) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, column.data(), column.size() * sizeof(T));
+    p += column.size() * sizeof(T);
+  } else {
+    for (std::size_t i = 0; i < column.size(); ++i, p += sizeof(T)) {
+      if constexpr (sizeof(T) == 8) {
+        net::store_le64(p, static_cast<std::uint64_t>(column[i]));
+      } else if constexpr (sizeof(T) == 4) {
+        net::store_le32(p, static_cast<std::uint32_t>(column[i]));
+      } else if constexpr (sizeof(T) == 2) {
+        net::store_le16(p, static_cast<std::uint16_t>(column[i]));
+      } else {
+        *p = static_cast<std::uint8_t>(column[i]);
+      }
+    }
+  }
+}
+
+/// Serializes `batch` as one chunk into `out` (resized to fit).
+void encode_chunk(const telescope::ProbeBatch& batch, std::vector<std::uint8_t>& out) {
+  const auto rows = batch.size();
+  out.resize(8 + rows * kBytesPerRow);
+  std::uint8_t* p = out.data();
+  net::store_le64(p, rows);
+  p += 8;
+  copy_column_in(p, batch.timestamp_us);
+  copy_column_in(p, batch.source);
+  copy_column_in(p, batch.destination);
+  copy_column_in(p, batch.source_port);
+  copy_column_in(p, batch.destination_port);
+  copy_column_in(p, batch.sequence);
+  copy_column_in(p, batch.acknowledgment);
+  copy_column_in(p, batch.ip_id);
+  copy_column_in(p, batch.window);
+  copy_column_in(p, batch.ttl);
+}
+
+/// Decodes the chunk at `chunk` (past the row count) into `out`.
+void decode_columns(const std::uint8_t* p, std::size_t rows, telescope::ProbeBatch& out) {
+  copy_column_out(p, rows, out.timestamp_us);
+  copy_column_out(p, rows, out.source);
+  copy_column_out(p, rows, out.destination);
+  copy_column_out(p, rows, out.source_port);
+  copy_column_out(p, rows, out.destination_port);
+  copy_column_out(p, rows, out.sequence);
+  copy_column_out(p, rows, out.acknowledgment);
+  copy_column_out(p, rows, out.ip_id);
+  copy_column_out(p, rows, out.window);
+  copy_column_out(p, rows, out.ttl);
+}
+
+void encode_header(std::uint8_t* p, const CacheIdentity& identity,
+                   std::uint64_t frame_count, std::uint64_t probe_count,
+                   pcap::ReadStatus terminal_status,
+                   const telescope::SensorCounters& sensor, std::uint64_t checksum) {
+  net::store_le32(p, kMagic);
+  net::store_le32(p + 4, kVersion);
+  net::store_le64(p + 8, identity.source_size);
+  net::store_le64(p + 16, identity.source_mtime_ns);
+  net::store_le64(p + 24, frame_count);
+  net::store_le64(p + 32, probe_count);
+  net::store_le32(p + 40, static_cast<std::uint32_t>(terminal_status));
+  net::store_le32(p + 44, 0);
+  net::store_le64(p + 48, sensor.scan_probes);
+  net::store_le64(p + 56, sensor.backscatter);
+  net::store_le64(p + 64, sensor.xmas_or_null);
+  net::store_le64(p + 72, sensor.other_tcp);
+  net::store_le64(p + 80, sensor.udp);
+  net::store_le64(p + 88, sensor.icmp);
+  net::store_le64(p + 96, sensor.not_monitored);
+  net::store_le64(p + 104, sensor.ingress_blocked);
+  net::store_le64(p + 112, sensor.malformed);
+  net::store_le64(p + 120, sensor.spoofed_source);
+  net::store_le64(p + 128, checksum);
+}
+
+}  // namespace
+
+std::optional<CacheIdentity> cache_identity(const std::filesystem::path& source) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(source, ec) || ec) return std::nullopt;
+  const auto size = std::filesystem::file_size(source, ec);
+  if (ec) return std::nullopt;
+  const auto mtime = std::filesystem::last_write_time(source, ec);
+  if (ec) return std::nullopt;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      mtime.time_since_epoch())
+                      .count();
+  CacheIdentity identity;
+  identity.source_size = size;
+  identity.source_mtime_ns = static_cast<std::uint64_t>(ns);
+  return identity;
+}
+
+ProbeCacheWriter::ProbeCacheWriter(std::filesystem::path path,
+                                   const CacheIdentity& identity)
+    : path_(std::move(path)),
+      tmp_path_(path_.native() + ".tmp"),
+      stream_(tmp_path_, std::ios::binary | std::ios::trunc),
+      checksum_(kFnvOffset),
+      identity_(identity) {
+  if (!stream_.is_open()) {
+    throw std::runtime_error("probe cache: cannot create " + tmp_path_.string());
+  }
+  const std::vector<char> placeholder(kHeaderSize, 0);
+  stream_.write(placeholder.data(), static_cast<std::streamsize>(placeholder.size()));
+  open_ = true;
+}
+
+ProbeCacheWriter::~ProbeCacheWriter() { abandon(); }
+
+void ProbeCacheWriter::append(const telescope::ProbeBatch& batch) {
+  if (!open_ || batch.empty()) return;
+  encode_chunk(batch, scratch_);
+  checksum_ = fnv1a(scratch_, checksum_);
+  probe_count_ += batch.size();
+  stream_.write(reinterpret_cast<const char*>(scratch_.data()),
+                static_cast<std::streamsize>(scratch_.size()));
+}
+
+bool ProbeCacheWriter::commit(std::uint64_t frame_count, pcap::ReadStatus terminal_status,
+                              const telescope::SensorCounters& sensor) {
+  if (!open_) return false;
+  std::array<std::uint8_t, kHeaderSize> header{};
+  encode_header(header.data(), identity_, frame_count, probe_count_, terminal_status,
+                sensor, checksum_);
+  stream_.seekp(0);
+  stream_.write(reinterpret_cast<const char*>(header.data()),
+                static_cast<std::streamsize>(header.size()));
+  stream_.flush();
+  const bool ok = stream_.good();
+  stream_.close();
+  open_ = false;
+  std::error_code ec;
+  if (ok) {
+    std::filesystem::rename(tmp_path_, path_, ec);
+    if (!ec) return true;
+  }
+  std::filesystem::remove(tmp_path_, ec);
+  return false;
+}
+
+void ProbeCacheWriter::abandon() {
+  if (!open_) return;
+  stream_.close();
+  open_ = false;
+  std::error_code ec;
+  std::filesystem::remove(tmp_path_, ec);
+}
+
+std::optional<ProbeCacheReader> ProbeCacheReader::open(
+    const std::filesystem::path& path, const CacheIdentity& expected) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) return std::nullopt;
+
+  ProbeCacheReader reader;
+  try {
+    reader.file_ = pcap::MappedFile::open(path);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const auto bytes = reader.file_.bytes();
+  if (bytes.size() < kHeaderSize) return std::nullopt;
+  const std::uint8_t* h = bytes.data();
+  if (net::load_le32(h) != kMagic || net::load_le32(h + 4) != kVersion) {
+    return std::nullopt;
+  }
+  if (net::load_le64(h + 8) != expected.source_size ||
+      net::load_le64(h + 16) != expected.source_mtime_ns) {
+    return std::nullopt;  // stale: the capture changed since the cache was cut
+  }
+  reader.frame_count_ = net::load_le64(h + 24);
+  reader.probe_count_ = net::load_le64(h + 32);
+  const auto status = net::load_le32(h + 40);
+  if (status > static_cast<std::uint32_t>(pcap::ReadStatus::kBadRecord)) {
+    return std::nullopt;
+  }
+  reader.terminal_status_ = static_cast<pcap::ReadStatus>(status);
+  reader.sensor_.scan_probes = net::load_le64(h + 48);
+  reader.sensor_.backscatter = net::load_le64(h + 56);
+  reader.sensor_.xmas_or_null = net::load_le64(h + 64);
+  reader.sensor_.other_tcp = net::load_le64(h + 72);
+  reader.sensor_.udp = net::load_le64(h + 80);
+  reader.sensor_.icmp = net::load_le64(h + 88);
+  reader.sensor_.not_monitored = net::load_le64(h + 96);
+  reader.sensor_.ingress_blocked = net::load_le64(h + 104);
+  reader.sensor_.malformed = net::load_le64(h + 112);
+  reader.sensor_.spoofed_source = net::load_le64(h + 120);
+  const auto expected_checksum = net::load_le64(h + 128);
+  if (reader.sensor_.scan_probes != reader.probe_count_) return std::nullopt;
+
+  // Walk the chunk framing and checksum every byte before releasing any
+  // probe: a torn write must read as "no cache", not as partial data.
+  std::size_t offset = kHeaderSize;
+  std::uint64_t rows_seen = 0;
+  std::uint64_t checksum = kFnvOffset;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < 8) return std::nullopt;
+    const auto rows = net::load_le64(bytes.data() + offset);
+    const auto chunk_size = 8 + static_cast<std::size_t>(rows) * kBytesPerRow;
+    if (rows == 0 || rows > reader.probe_count_ ||
+        bytes.size() - offset < chunk_size) {
+      return std::nullopt;
+    }
+    checksum = fnv1a(bytes.subspan(offset, chunk_size), checksum);
+    rows_seen += rows;
+    offset += chunk_size;
+  }
+  if (rows_seen != reader.probe_count_ || checksum != expected_checksum) {
+    return std::nullopt;
+  }
+  reader.offset_ = kHeaderSize;
+  return reader;
+}
+
+bool ProbeCacheReader::next_chunk(telescope::ProbeBatch& out) {
+  const auto bytes = file_.bytes();
+  if (offset_ >= bytes.size()) {
+    out.clear();
+    return false;
+  }
+  // Framing was fully validated in open(); this walk cannot run past the
+  // mapping.
+  const auto rows = static_cast<std::size_t>(net::load_le64(bytes.data() + offset_));
+  decode_columns(bytes.data() + offset_ + 8, rows, out);
+  offset_ += 8 + rows * kBytesPerRow;
+  return true;
+}
+
+}  // namespace synscan::core

@@ -70,4 +70,17 @@ constexpr void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
   p[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
 }
 
+/// Reads a little-endian 64-bit integer (probe-cache columns are
+/// little-endian on disk regardless of host order).
+[[nodiscard]] constexpr std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint64_t>(load_le32(p)) |
+         (static_cast<std::uint64_t>(load_le32(p + 4)) << 32);
+}
+
+/// Writes `v` as a little-endian 64-bit integer.
+constexpr void store_le64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_le32(p, static_cast<std::uint32_t>(v & 0xffffffffu));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
 }  // namespace synscan::net

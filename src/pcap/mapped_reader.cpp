@@ -1,0 +1,192 @@
+#include "pcap/mapped_reader.h"
+
+#include <array>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define SYNSCAN_HAVE_MMAP 1
+#endif
+
+namespace synscan::pcap {
+namespace {
+
+std::vector<std::uint8_t> drain_stream(std::istream& stream) {
+  std::vector<std::uint8_t> bytes;
+  std::array<char, 1 << 16> chunk{};
+  while (stream.read(chunk.data(), static_cast<std::streamsize>(chunk.size())) ||
+         stream.gcount() > 0) {
+    bytes.insert(bytes.end(), chunk.data(), chunk.data() + stream.gcount());
+  }
+  return bytes;
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() {
+#ifdef SYNSCAN_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast): munmap takes void*
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    this->~MappedFile();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    fallback_ = std::move(other.fallback_);
+    if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open(const std::filesystem::path& path) {
+#ifdef SYNSCAN_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    const bool mappable = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+    if (mappable && st.st_size == 0) {
+      ::close(fd);
+      return {};  // empty file: a valid, empty window
+    }
+    if (mappable) {
+      void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                          MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (addr != MAP_FAILED) {
+        ::madvise(addr, static_cast<std::size_t>(st.st_size), MADV_SEQUENTIAL);
+        MappedFile file;
+        file.data_ = static_cast<const std::uint8_t*>(addr);
+        file.size_ = static_cast<std::size_t>(st.st_size);
+        file.mapped_ = true;
+        return file;
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  // Fallback: bulk-read the file (FIFO, /proc entry, mmap refusal, or a
+  // platform without mmap).
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream.is_open()) {
+    throw std::runtime_error("pcap: cannot open " + path.string());
+  }
+  return from_stream(stream);
+}
+
+MappedFile MappedFile::from_stream(std::istream& stream) {
+  MappedFile file;
+  file.fallback_ = drain_stream(stream);
+  file.data_ = file.fallback_.data();
+  file.size_ = file.fallback_.size();
+  file.mapped_ = false;
+  return file;
+}
+
+MappedReader::MappedReader(MappedFile file) : file_(std::move(file)) {
+  const auto info = parse_global_header(file_.bytes());
+  if (!info) {
+    throw std::runtime_error(
+        file_.bytes().size() < kGlobalHeaderSize
+            ? "pcap: capture shorter than the global header"
+            : "pcap: unknown magic number");
+  }
+  info_ = *info;
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    obs_frames_ = &registry.counter("pcap.frames");
+    obs_bytes_ = &registry.counter("pcap.bytes");
+    obs_truncated_ = &registry.counter("pcap.truncated");
+    obs_bad_records_ = &registry.counter("pcap.bad_records");
+  }
+}
+
+MappedReader MappedReader::open(const std::filesystem::path& path) {
+  return MappedReader(MappedFile::open(path));
+}
+
+MappedReader MappedReader::open_stream(std::istream& stream) {
+  return MappedReader(MappedFile::from_stream(stream));
+}
+
+ReadStatus MappedReader::next(net::FrameView& out) {
+  if (done_) return ReadStatus::kEndOfFile;
+  const auto bytes = file_.bytes();
+  const auto remaining = bytes.size() - offset_;
+  if (remaining == 0) {
+    done_ = true;
+    return ReadStatus::kEndOfFile;
+  }
+  if (remaining < kRecordHeaderSize) {
+    // The capture stops inside a record header (killed mid-write).
+    done_ = true;
+    if (obs_truncated_ != nullptr) obs_truncated_->add();
+    return ReadStatus::kTruncated;
+  }
+  RecordHeader header;
+  if (parse_record_header(bytes.subspan(offset_, kRecordHeaderSize), info_, header) !=
+      ReadStatus::kOk) {
+    done_ = true;
+    if (obs_bad_records_ != nullptr) obs_bad_records_->add();
+    return ReadStatus::kBadRecord;
+  }
+  if (remaining - kRecordHeaderSize < header.captured_length) {
+    done_ = true;
+    if (obs_truncated_ != nullptr) obs_truncated_->add();
+    return ReadStatus::kTruncated;
+  }
+  out.timestamp_us = header.timestamp_us;
+  out.bytes = bytes.subspan(offset_ + kRecordHeaderSize, header.captured_length);
+  offset_ += kRecordHeaderSize + header.captured_length;
+  ++frames_read_;
+  if (obs_frames_ != nullptr) {
+    obs_frames_->add();
+    obs_bytes_->add(header.captured_length);
+  }
+  return ReadStatus::kOk;
+}
+
+ReadStatus MappedReader::next_batch(std::vector<net::FrameView>& out,
+                                    std::size_t max_frames) {
+  out.clear();
+  if (pending_) {
+    const auto status = *pending_;
+    pending_.reset();
+    return status;
+  }
+  while (out.size() < max_frames) {
+    net::FrameView view;
+    const auto status = next(view);
+    if (status == ReadStatus::kOk) {
+      out.push_back(view);
+      continue;
+    }
+    if (out.empty()) return status;
+    // Deliver the partial batch now; owe the non-EOF terminal status to
+    // the next call (kEndOfFile re-emerges from next() by itself).
+    if (status != ReadStatus::kEndOfFile) pending_ = status;
+    break;
+  }
+  return ReadStatus::kOk;
+}
+
+}  // namespace synscan::pcap

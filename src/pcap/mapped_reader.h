@@ -1,0 +1,106 @@
+// Zero-copy classic-pcap reader over a memory-mapped capture.
+//
+// `pcap::Reader` pulls one record at a time through `std::istream`: two
+// buffered reads plus a per-record byte-vector copy. At telescope scale
+// (§3: 45 B packets before any analysis) that per-record overhead is the
+// front-end bottleneck once tracking is fast. `MappedReader` maps the
+// whole file read-only and yields `net::FrameView`s that point directly
+// into the mapping — no stream calls, no copies — in caller-sized
+// batches. Input that cannot be mapped (pipes, non-regular files, or a
+// failed mmap) degrades gracefully to a single bulk read into an owned
+// buffer; the record walk is identical either way.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <istream>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+#include "obs/metrics.h"
+#include "pcap/pcap.h"
+
+namespace synscan::pcap {
+
+/// Read-only byte window over a file: mmap(2) for regular files, a bulk
+/// read into an owned buffer otherwise. Movable, not copyable.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only; falls back to reading it into memory when
+  /// mapping is unavailable. Throws `std::runtime_error` if the file
+  /// cannot be opened at all.
+  [[nodiscard]] static MappedFile open(const std::filesystem::path& path);
+
+  /// Drains a non-seekable stream into an owned buffer (never mapped).
+  [[nodiscard]] static MappedFile from_stream(std::istream& stream);
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, size_};
+  }
+  /// True when backed by an actual mmap (false: owned-buffer fallback).
+  [[nodiscard]] bool mapped() const noexcept { return mapped_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::uint8_t> fallback_;  ///< owns the bytes when !mapped_
+};
+
+/// Batch-oriented reader over a `MappedFile` holding a classic pcap
+/// capture. Mirrors `Reader`'s status contract: a terminal status
+/// (kEndOfFile / kTruncated / kBadRecord) is reported exactly once;
+/// subsequent calls return kEndOfFile.
+class MappedReader {
+ public:
+  /// Throws `std::runtime_error` when the global header is missing or
+  /// carries an unknown magic.
+  explicit MappedReader(MappedFile file);
+
+  [[nodiscard]] static MappedReader open(const std::filesystem::path& path);
+
+  /// Fallback entry point for non-seekable input: drains the stream
+  /// into memory first, then walks it exactly like a mapping.
+  [[nodiscard]] static MappedReader open_stream(std::istream& stream);
+
+  [[nodiscard]] const FileInfo& info() const noexcept { return info_; }
+  [[nodiscard]] bool mapped() const noexcept { return file_.mapped(); }
+  /// Total capture size in bytes (mapped or buffered).
+  [[nodiscard]] std::uint64_t byte_size() const noexcept { return file_.bytes().size(); }
+
+  /// Yields the next frame as a view into the mapping.
+  [[nodiscard]] ReadStatus next(net::FrameView& out);
+
+  /// Clears `out` and appends up to `max_frames` views. Returns kOk when
+  /// at least one frame was produced; a terminal status interrupting a
+  /// partially filled batch is delivered by the *next* call, so no frame
+  /// and no status is ever lost. Do not interleave with `next()`.
+  [[nodiscard]] ReadStatus next_batch(std::vector<net::FrameView>& out,
+                                      std::size_t max_frames);
+
+  [[nodiscard]] std::uint64_t frames_read() const noexcept { return frames_read_; }
+
+ private:
+  MappedFile file_;
+  FileInfo info_;
+  std::size_t offset_ = kGlobalHeaderSize;
+  std::uint64_t frames_read_ = 0;
+  bool done_ = false;  ///< a terminal status has been reported
+  std::optional<ReadStatus> pending_;  ///< terminal status owed after a partial batch
+  // Resolved once at construction iff obs is enabled; null otherwise.
+  obs::Counter* obs_frames_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_truncated_ = nullptr;
+  obs::Counter* obs_bad_records_ = nullptr;
+};
+
+}  // namespace synscan::pcap

@@ -15,9 +15,6 @@ constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
 constexpr std::uint32_t kMagicMicrosSwapped = 0xd4c3b2a1;
 constexpr std::uint32_t kMagicNanosSwapped = 0x4d3cb2a1;
 
-constexpr std::size_t kGlobalHeaderSize = 24;
-constexpr std::size_t kRecordHeaderSize = 16;
-
 std::uint16_t load16(const std::uint8_t* p, bool big_endian) {
   return big_endian ? net::load_be16(p) : net::load_le16(p);
 }
@@ -27,6 +24,63 @@ std::uint32_t load32(const std::uint8_t* p, bool big_endian) {
 }
 
 }  // namespace
+
+std::optional<FileInfo> parse_global_header(
+    std::span<const std::uint8_t> header) noexcept {
+  if (header.size() < kGlobalHeaderSize) return std::nullopt;
+  FileInfo info;
+  const auto raw_magic = net::load_le32(header.data());
+  switch (raw_magic) {
+    case kMagicMicros:
+      info.big_endian = false;
+      info.nanosecond = false;
+      break;
+    case kMagicNanos:
+      info.big_endian = false;
+      info.nanosecond = true;
+      break;
+    case kMagicMicrosSwapped:
+      info.big_endian = true;
+      info.nanosecond = false;
+      break;
+    case kMagicNanosSwapped:
+      info.big_endian = true;
+      info.nanosecond = true;
+      break;
+    default:
+      return std::nullopt;
+  }
+  info.version_major = load16(header.data() + 4, info.big_endian);
+  info.version_minor = load16(header.data() + 6, info.big_endian);
+  // bytes 8..15: thiszone + sigfigs, historically zero; ignored.
+  info.snap_length = load32(header.data() + 16, info.big_endian);
+  info.link_type = static_cast<LinkType>(load32(header.data() + 20, info.big_endian));
+  return info;
+}
+
+ReadStatus parse_record_header(std::span<const std::uint8_t> record,
+                               const FileInfo& info, RecordHeader& out) noexcept {
+  const auto ts_seconds = load32(record.data(), info.big_endian);
+  const auto ts_frac = load32(record.data() + 4, info.big_endian);
+  out.captured_length = load32(record.data() + 8, info.big_endian);
+  out.original_length = load32(record.data() + 12, info.big_endian);
+
+  // Sanity limits: a captured length above the snap length (or an absurd
+  // 256 KiB when the snap length itself is damaged) means the stream has
+  // lost framing.
+  const auto limit = std::max<std::uint32_t>(info.snap_length, 65535);
+  if (out.captured_length > limit || out.captured_length > out.original_length ||
+      out.captured_length > (1u << 18)) {
+    return ReadStatus::kBadRecord;
+  }
+  if (info.nanosecond ? ts_frac >= 1'000'000'000u : ts_frac >= 1'000'000u) {
+    return ReadStatus::kBadRecord;
+  }
+  const auto frac_us = info.nanosecond ? ts_frac / 1000 : ts_frac;
+  out.timestamp_us = static_cast<net::TimeUs>(ts_seconds) * net::kMicrosPerSecond +
+                     static_cast<net::TimeUs>(frac_us);
+  return ReadStatus::kOk;
+}
 
 Reader::Reader(std::unique_ptr<std::istream> stream) : stream_(std::move(stream)) {
   if (!stream_ || !*stream_) {
@@ -38,32 +92,9 @@ Reader::Reader(std::unique_ptr<std::istream> stream) : stream_(std::move(stream)
   if (stream_->gcount() != static_cast<std::streamsize>(header.size())) {
     throw std::runtime_error("pcap: capture shorter than the global header");
   }
-  const auto raw_magic = net::load_le32(header.data());
-  switch (raw_magic) {
-    case kMagicMicros:
-      info_.big_endian = false;
-      info_.nanosecond = false;
-      break;
-    case kMagicNanos:
-      info_.big_endian = false;
-      info_.nanosecond = true;
-      break;
-    case kMagicMicrosSwapped:
-      info_.big_endian = true;
-      info_.nanosecond = false;
-      break;
-    case kMagicNanosSwapped:
-      info_.big_endian = true;
-      info_.nanosecond = true;
-      break;
-    default:
-      throw std::runtime_error("pcap: unknown magic number");
-  }
-  info_.version_major = load16(header.data() + 4, info_.big_endian);
-  info_.version_minor = load16(header.data() + 6, info_.big_endian);
-  // bytes 8..15: thiszone + sigfigs, historically zero; ignored.
-  info_.snap_length = load32(header.data() + 16, info_.big_endian);
-  info_.link_type = static_cast<LinkType>(load32(header.data() + 20, info_.big_endian));
+  const auto info = parse_global_header(header);
+  if (!info) throw std::runtime_error("pcap: unknown magic number");
+  info_ = *info;
 
   if (obs::enabled()) {
     auto& registry = obs::MetricsRegistry::global();
@@ -93,40 +124,24 @@ ReadStatus Reader::next(net::RawFrame& out) {
     return ReadStatus::kTruncated;
   }
 
-  const auto ts_seconds = load32(record.data(), info_.big_endian);
-  const auto ts_frac = load32(record.data() + 4, info_.big_endian);
-  const auto captured_length = load32(record.data() + 8, info_.big_endian);
-  const auto original_length = load32(record.data() + 12, info_.big_endian);
-
-  // Sanity limits: a captured length above the snap length (or an absurd
-  // 256 KiB when the snap length itself is damaged) means the stream has
-  // lost framing.
-  const auto limit = std::max<std::uint32_t>(info_.snap_length, 65535);
-  if (captured_length > limit || captured_length > original_length ||
-      captured_length > (1u << 18)) {
-    if (obs_bad_records_ != nullptr) obs_bad_records_->add();
-    return ReadStatus::kBadRecord;
-  }
-  if (info_.nanosecond ? ts_frac >= 1'000'000'000u : ts_frac >= 1'000'000u) {
+  RecordHeader header;
+  if (parse_record_header(record, info_, header) != ReadStatus::kOk) {
     if (obs_bad_records_ != nullptr) obs_bad_records_->add();
     return ReadStatus::kBadRecord;
   }
 
-  out.bytes.resize(captured_length);
+  out.bytes.resize(header.captured_length);
   stream_->read(reinterpret_cast<char*>(out.bytes.data()),
-                static_cast<std::streamsize>(captured_length));
-  if (stream_->gcount() != static_cast<std::streamsize>(captured_length)) {
+                static_cast<std::streamsize>(header.captured_length));
+  if (stream_->gcount() != static_cast<std::streamsize>(header.captured_length)) {
     if (obs_truncated_ != nullptr) obs_truncated_->add();
     return ReadStatus::kTruncated;
   }
-  const auto frac_us =
-      info_.nanosecond ? ts_frac / 1000 : ts_frac;
-  out.timestamp_us = static_cast<net::TimeUs>(ts_seconds) * net::kMicrosPerSecond +
-                     static_cast<net::TimeUs>(frac_us);
+  out.timestamp_us = header.timestamp_us;
   ++frames_read_;
   if (obs_frames_ != nullptr) {
     obs_frames_->add();
-    obs_bytes_->add(captured_length);
+    obs_bytes_->add(header.captured_length);
   }
   return ReadStatus::kOk;
 }

@@ -48,6 +48,28 @@ enum class ReadStatus {
   kBadRecord,       ///< record header inconsistent (corruption)
 };
 
+inline constexpr std::size_t kGlobalHeaderSize = 24;
+inline constexpr std::size_t kRecordHeaderSize = 16;
+
+/// Parses the 24-byte global header. Returns nullopt on unknown magic;
+/// shared by the streaming `Reader` and the mmap-backed `MappedReader`.
+[[nodiscard]] std::optional<FileInfo> parse_global_header(
+    std::span<const std::uint8_t> header) noexcept;
+
+/// One decoded per-record header, timestamp normalized to µs.
+struct RecordHeader {
+  net::TimeUs timestamp_us = 0;
+  std::uint32_t captured_length = 0;
+  std::uint32_t original_length = 0;
+};
+
+/// Decodes and sanity-checks a 16-byte record header against `info`.
+/// Returns kOk or kBadRecord (inconsistent lengths / impossible
+/// sub-second field — the stream has lost framing).
+[[nodiscard]] ReadStatus parse_record_header(std::span<const std::uint8_t> record,
+                                             const FileInfo& info,
+                                             RecordHeader& out) noexcept;
+
 /// Streaming reader over any `std::istream`.
 class Reader {
  public:

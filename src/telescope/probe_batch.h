@@ -1,0 +1,94 @@
+// Structure-of-arrays batch of classified scan probes.
+//
+// The ingest hot path moves probes between stages in batches, not one
+// `ScanProbe` at a time. Column layout buys two things: the batched
+// sensor appends ~31 bytes of probe across ten dense arrays (no padding,
+// no per-record allocation), and the columnar probe cache (`.spc`,
+// `core/probe_cache.h`) serializes each column with a straight copy on
+// little-endian hosts. Consumers that want the record shape back
+// materialize it with `get(i)`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "telescope/sensor.h"
+
+namespace synscan::telescope {
+
+/// Parallel arrays of `ScanProbe` fields; row `i` across all columns is
+/// one probe. All columns always have identical length.
+struct ProbeBatch {
+  std::vector<net::TimeUs> timestamp_us;
+  std::vector<std::uint32_t> source;
+  std::vector<std::uint32_t> destination;
+  std::vector<std::uint16_t> source_port;
+  std::vector<std::uint16_t> destination_port;
+  std::vector<std::uint32_t> sequence;
+  std::vector<std::uint32_t> acknowledgment;
+  std::vector<std::uint16_t> ip_id;
+  std::vector<std::uint16_t> window;
+  std::vector<std::uint8_t> ttl;
+
+  [[nodiscard]] std::size_t size() const noexcept { return timestamp_us.size(); }
+  [[nodiscard]] bool empty() const noexcept { return timestamp_us.empty(); }
+
+  void reserve(std::size_t n) {
+    timestamp_us.reserve(n);
+    source.reserve(n);
+    destination.reserve(n);
+    source_port.reserve(n);
+    destination_port.reserve(n);
+    sequence.reserve(n);
+    acknowledgment.reserve(n);
+    ip_id.reserve(n);
+    window.reserve(n);
+    ttl.reserve(n);
+  }
+
+  /// Drops all rows; keeps column capacity (batches are recycled).
+  void clear() noexcept {
+    timestamp_us.clear();
+    source.clear();
+    destination.clear();
+    source_port.clear();
+    destination_port.clear();
+    sequence.clear();
+    acknowledgment.clear();
+    ip_id.clear();
+    window.clear();
+    ttl.clear();
+  }
+
+  void push_back(const ScanProbe& probe) {
+    timestamp_us.push_back(probe.timestamp_us);
+    source.push_back(probe.source.value());
+    destination.push_back(probe.destination.value());
+    source_port.push_back(probe.source_port);
+    destination_port.push_back(probe.destination_port);
+    sequence.push_back(probe.sequence);
+    acknowledgment.push_back(probe.acknowledgment);
+    ip_id.push_back(probe.ip_id);
+    window.push_back(probe.window);
+    ttl.push_back(probe.ttl);
+  }
+
+  /// Materializes row `i` as a `ScanProbe`; `i < size()`.
+  [[nodiscard]] ScanProbe get(std::size_t i) const noexcept {
+    ScanProbe probe;
+    probe.timestamp_us = timestamp_us[i];
+    probe.source = net::Ipv4Address(source[i]);
+    probe.destination = net::Ipv4Address(destination[i]);
+    probe.source_port = source_port[i];
+    probe.destination_port = destination_port[i];
+    probe.sequence = sequence[i];
+    probe.acknowledgment = acknowledgment[i];
+    probe.ip_id = ip_id[i];
+    probe.window = window[i];
+    probe.ttl = ttl[i];
+    return probe;
+  }
+};
+
+}  // namespace synscan::telescope

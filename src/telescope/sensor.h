@@ -63,7 +63,23 @@ struct SensorCounters {
     return scan_probes + backscatter + xmas_or_null + other_tcp + udp + icmp +
            not_monitored + ingress_blocked + malformed + spoofed_source;
   }
+
+  /// Accumulates another tally (merging per-worker or per-stage sensors).
+  void add(const SensorCounters& other) noexcept {
+    scan_probes += other.scan_probes;
+    backscatter += other.backscatter;
+    xmas_or_null += other.xmas_or_null;
+    other_tcp += other.other_tcp;
+    udp += other.udp;
+    icmp += other.icmp;
+    not_monitored += other.not_monitored;
+    ingress_blocked += other.ingress_blocked;
+    malformed += other.malformed;
+    spoofed_source += other.spoofed_source;
+  }
 };
+
+struct ProbeBatch;
 
 /// Stateless-per-frame classifier bound to a telescope. Thread-compatible:
 /// use one sensor per thread and merge counters.
@@ -80,6 +96,16 @@ class Sensor {
   /// re-decoding).
   FrameClass classify_decoded(net::TimeUs timestamp_us, const net::DecodedFrame& frame,
                               ScanProbe& probe);
+
+  /// Classifies a whole batch of frame views (e.g. straight out of
+  /// `pcap::MappedReader`), appending every scan probe to `out` in frame
+  /// order. Decode, SYN filtering and the dark-address check run inline
+  /// over the raw bytes — no `DecodedFrame` is materialized — but the
+  /// classification (and therefore every counter) is bit-identical to
+  /// feeding each frame through `classify`; the differential tests in
+  /// tests/telescope/probe_batch_test.cpp hold the two paths together.
+  /// Returns the number of probes appended.
+  std::size_t classify_batch(std::span<const net::FrameView> frames, ProbeBatch& out);
 
   [[nodiscard]] const SensorCounters& counters() const noexcept { return counters_; }
   void reset_counters() noexcept { counters_ = {}; }

@@ -3,24 +3,6 @@
 #include <stdexcept>
 
 namespace synscan::telescope {
-namespace {
-
-// SplitMix64 finalizer: a cheap, well-distributed mixing function. The
-// predicate must be stable forever (generator and sensor both use it), so
-// it is deliberately self-contained rather than `std::hash`.
-constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
-bool Telescope::address_is_dark(net::Ipv4Address addr, std::uint32_t permille) noexcept {
-  if (permille >= 1000) return true;
-  return mix64(addr.value()) % 1000 < permille;
-}
 
 Telescope::Telescope(std::vector<MonitoredBlock> blocks,
                      std::vector<IngressBlockRule> ingress_rules)
@@ -47,22 +29,6 @@ Telescope Telescope::paper_default() {
   return Telescope(
       {{*p1, 400}, {*p2, 350}, {*p3, 342}},
       {{23, kIngressPolicyChange}, {445, kIngressPolicyChange}});
-}
-
-bool Telescope::monitors(net::Ipv4Address addr) const noexcept {
-  for (const auto& block : blocks_) {
-    if (block.prefix.contains(addr)) {
-      return address_is_dark(addr, block.population_permille);
-    }
-  }
-  return false;
-}
-
-bool Telescope::ingress_blocked(std::uint16_t port, net::TimeUs when) const noexcept {
-  for (const auto& rule : ingress_rules_) {
-    if (rule.port == port && when >= rule.effective_from) return true;
-  }
-  return false;
 }
 
 std::vector<net::Ipv4Address> Telescope::dark_addresses() const {

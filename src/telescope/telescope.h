@@ -46,11 +46,26 @@ class Telescope {
   /// 23/TCP and 445/TCP dropped at the ingress from 2017-01-01.
   [[nodiscard]] static Telescope paper_default();
 
-  /// Whether `addr` is a dark (monitored) address.
-  [[nodiscard]] bool monitors(net::Ipv4Address addr) const noexcept;
+  /// Whether `addr` is a dark (monitored) address. Defined inline: this
+  /// sits on the per-frame ingest hot path (sensor classification), where
+  /// an out-of-line call per frame is measurable.
+  [[nodiscard]] bool monitors(net::Ipv4Address addr) const noexcept {
+    for (const auto& block : blocks_) {
+      if (block.prefix.contains(addr)) {
+        return address_is_dark(addr, block.population_permille);
+      }
+    }
+    return false;
+  }
 
   /// Whether a frame to `port` arriving at `when` is dropped at ingress.
-  [[nodiscard]] bool ingress_blocked(std::uint16_t port, net::TimeUs when) const noexcept;
+  /// Inline for the same reason as `monitors`.
+  [[nodiscard]] bool ingress_blocked(std::uint16_t port, net::TimeUs when) const noexcept {
+    for (const auto& rule : ingress_rules_) {
+      if (rule.port == port && when >= rule.effective_from) return true;
+    }
+    return false;
+  }
 
   /// Exact count of dark addresses across all blocks.
   [[nodiscard]] std::uint64_t monitored_count() const noexcept { return monitored_count_; }
@@ -77,10 +92,23 @@ class Telescope {
   /// The deterministic population predicate: address `addr` of a block
   /// with population `permille` is dark iff mix(addr) % 1000 < permille.
   /// Exposed so generators can enumerate dark addresses cheaply.
-  [[nodiscard]] static bool address_is_dark(net::Ipv4Address addr,
-                                            std::uint32_t permille) noexcept;
+  [[nodiscard]] static constexpr bool address_is_dark(net::Ipv4Address addr,
+                                                      std::uint32_t permille) noexcept {
+    if (permille >= 1000) return true;
+    return mix64(addr.value()) % 1000 < permille;
+  }
 
  private:
+  // SplitMix64 finalizer: a cheap, well-distributed mixing function. The
+  // predicate must be stable forever (generator and sensor both use it),
+  // so it is deliberately self-contained rather than `std::hash`.
+  [[nodiscard]] static constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
   std::vector<MonitoredBlock> blocks_;
   std::vector<IngressBlockRule> ingress_rules_;
   std::uint64_t monitored_count_ = 0;

@@ -1,0 +1,182 @@
+#include "core/probe_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "test_support.h"
+
+namespace synscan::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ProbeCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "synscan_probe_cache_test";
+    fs::create_directories(dir_);
+    source_ = dir_ / "capture.pcap";
+    cache_ = dir_ / "capture.pcap.spc";
+    std::ofstream out(source_, std::ios::binary);
+    out << "stand-in capture bytes";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] CacheIdentity identity() const {
+    const auto id = cache_identity(source_);
+    EXPECT_TRUE(id.has_value());
+    return *id;
+  }
+
+  static telescope::ProbeBatch sample_batch(std::size_t rows, std::uint32_t salt) {
+    telescope::ProbeBatch batch;
+    for (std::size_t i = 0; i < rows; ++i) {
+      testing::ProbeBuilder builder;
+      builder.at(static_cast<net::TimeUs>(i) * 100)
+          .from(net::Ipv4Address(salt + static_cast<std::uint32_t>(i)))
+          .port(static_cast<std::uint16_t>(i % 7))
+          .seq(salt ^ static_cast<std::uint32_t>(i))
+          .ipid(static_cast<std::uint16_t>(i));
+      batch.push_back(builder);
+    }
+    return batch;
+  }
+
+  fs::path dir_;
+  fs::path source_;
+  fs::path cache_;
+};
+
+TEST_F(ProbeCacheTest, WriteReadRoundTrip) {
+  const auto id = identity();
+  telescope::SensorCounters sensor;
+  sensor.scan_probes = 7;
+  sensor.malformed = 3;
+  sensor.udp = 1;
+
+  {
+    ProbeCacheWriter writer(cache_, id);
+    writer.append(sample_batch(4, 100));
+    writer.append(sample_batch(3, 900));
+    ASSERT_TRUE(writer.commit(42, pcap::ReadStatus::kEndOfFile, sensor));
+  }
+  EXPECT_TRUE(fs::exists(cache_));
+  EXPECT_FALSE(fs::exists(cache_.native() + ".tmp"));
+
+  auto reader = ProbeCacheReader::open(cache_, id);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->frame_count(), 42u);
+  EXPECT_EQ(reader->probe_count(), 7u);
+  EXPECT_EQ(reader->terminal_status(), pcap::ReadStatus::kEndOfFile);
+  EXPECT_EQ(reader->sensor().scan_probes, 7u);
+  EXPECT_EQ(reader->sensor().malformed, 3u);
+  EXPECT_EQ(reader->sensor().udp, 1u);
+
+  telescope::ProbeBatch chunk;
+  ASSERT_TRUE(reader->next_chunk(chunk));
+  ASSERT_EQ(chunk.size(), 4u);
+  const auto expected = sample_batch(4, 100);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(chunk.timestamp_us[i], expected.timestamp_us[i]);
+    EXPECT_EQ(chunk.source[i], expected.source[i]);
+    EXPECT_EQ(chunk.destination[i], expected.destination[i]);
+    EXPECT_EQ(chunk.source_port[i], expected.source_port[i]);
+    EXPECT_EQ(chunk.destination_port[i], expected.destination_port[i]);
+    EXPECT_EQ(chunk.sequence[i], expected.sequence[i]);
+    EXPECT_EQ(chunk.acknowledgment[i], expected.acknowledgment[i]);
+    EXPECT_EQ(chunk.ip_id[i], expected.ip_id[i]);
+    EXPECT_EQ(chunk.window[i], expected.window[i]);
+    EXPECT_EQ(chunk.ttl[i], expected.ttl[i]);
+  }
+  ASSERT_TRUE(reader->next_chunk(chunk));
+  EXPECT_EQ(chunk.size(), 3u);
+  EXPECT_FALSE(reader->next_chunk(chunk));
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST_F(ProbeCacheTest, PreservesTruncatedTerminalStatus) {
+  const auto id = identity();
+  telescope::SensorCounters sensor;
+  sensor.scan_probes = 2;
+  {
+    ProbeCacheWriter writer(cache_, id);
+    writer.append(sample_batch(2, 5));
+    ASSERT_TRUE(writer.commit(9, pcap::ReadStatus::kTruncated, sensor));
+  }
+  auto reader = ProbeCacheReader::open(cache_, id);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->terminal_status(), pcap::ReadStatus::kTruncated);
+}
+
+TEST_F(ProbeCacheTest, StaleIdentityIsRejected) {
+  const auto id = identity();
+  telescope::SensorCounters sensor;
+  sensor.scan_probes = 1;
+  {
+    ProbeCacheWriter writer(cache_, id);
+    writer.append(sample_batch(1, 1));
+    ASSERT_TRUE(writer.commit(1, pcap::ReadStatus::kEndOfFile, sensor));
+  }
+  auto changed = id;
+  changed.source_size += 1;
+  EXPECT_FALSE(ProbeCacheReader::open(cache_, changed).has_value());
+  changed = id;
+  changed.source_mtime_ns += 1;
+  EXPECT_FALSE(ProbeCacheReader::open(cache_, changed).has_value());
+  EXPECT_TRUE(ProbeCacheReader::open(cache_, id).has_value());
+}
+
+TEST_F(ProbeCacheTest, CorruptionIsRejected) {
+  const auto id = identity();
+  telescope::SensorCounters sensor;
+  sensor.scan_probes = 8;
+  {
+    ProbeCacheWriter writer(cache_, id);
+    writer.append(sample_batch(8, 77));
+    ASSERT_TRUE(writer.commit(8, pcap::ReadStatus::kEndOfFile, sensor));
+  }
+
+  // Flip one probe byte: the checksum must catch it.
+  {
+    std::fstream file(cache_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(136 + 8 + 3);
+    file.put('\x5a');
+  }
+  EXPECT_FALSE(ProbeCacheReader::open(cache_, id).has_value());
+}
+
+TEST_F(ProbeCacheTest, TornWriteIsRejected) {
+  const auto id = identity();
+  telescope::SensorCounters sensor;
+  sensor.scan_probes = 8;
+  {
+    ProbeCacheWriter writer(cache_, id);
+    writer.append(sample_batch(8, 3));
+    ASSERT_TRUE(writer.commit(8, pcap::ReadStatus::kEndOfFile, sensor));
+  }
+  fs::resize_file(cache_, fs::file_size(cache_) - 5);
+  EXPECT_FALSE(ProbeCacheReader::open(cache_, id).has_value());
+  fs::resize_file(cache_, 40);  // even into the header
+  EXPECT_FALSE(ProbeCacheReader::open(cache_, id).has_value());
+}
+
+TEST_F(ProbeCacheTest, AbandonLeavesNoFiles) {
+  {
+    ProbeCacheWriter writer(cache_, identity());
+    writer.append(sample_batch(4, 4));
+    // no commit: destructor abandons
+  }
+  EXPECT_FALSE(fs::exists(cache_));
+  EXPECT_FALSE(fs::exists(cache_.native() + ".tmp"));
+}
+
+TEST_F(ProbeCacheTest, MissingCacheAndNonRegularSourcesHandled) {
+  EXPECT_FALSE(ProbeCacheReader::open(cache_, identity()).has_value());
+  EXPECT_FALSE(cache_identity(dir_).has_value());               // a directory
+  EXPECT_FALSE(cache_identity(dir_ / "missing.pcap").has_value());
+}
+
+}  // namespace
+}  // namespace synscan::core

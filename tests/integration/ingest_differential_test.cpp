@@ -1,0 +1,340 @@
+// Differential test for the batched ingest front-end: every ingest path
+// (mmap, stream fallback, warm probe cache, parallel feeder) must produce
+// the exact sensor counters, tracker counters and campaigns that the
+// original per-frame `Pipeline::feed_frame` path produces.
+#include "core/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/pipeline.h"
+#include "net/endian.h"
+#include "pcap/pcap.h"
+#include "simgen/generator.h"
+#include "test_support.h"
+
+namespace synscan {
+namespace {
+
+namespace fs = std::filesystem;
+
+const telescope::Telescope& test_telescope() {
+  static const telescope::Telescope telescope(
+      {{*net::Ipv4Prefix::parse("198.51.0.0/20"), 1000}},
+      {{23, 0}});  // telnet blocked from the start
+  return telescope;
+}
+
+simgen::YearConfig capture_config() {
+  simgen::YearConfig config;
+  config.year = 2021;
+  config.window_days = 1;
+  config.seed = 20240;
+  config.port_table = {{80, 60}, {23, 20}, {443, 20}};
+  config.noise_sources = 25;
+  config.backscatter_fraction = 0.1;
+
+  simgen::GroupSpec group;
+  group.name = "ingest-group";
+  group.tool = simgen::WireTool::kZmap;
+  group.pool = enrich::ScannerType::kHosting;
+  group.sources = 4;
+  group.campaigns = 4;
+  group.hits_median = 250;
+  group.hits_sigma = 1.1;
+  group.pps_median = 500000;
+  group.pps_sigma = 1.1;
+  config.groups.push_back(group);
+  return config;
+}
+
+void expect_same_sensor(const telescope::SensorCounters& got,
+                        const telescope::SensorCounters& want) {
+  EXPECT_EQ(got.scan_probes, want.scan_probes);
+  EXPECT_EQ(got.backscatter, want.backscatter);
+  EXPECT_EQ(got.xmas_or_null, want.xmas_or_null);
+  EXPECT_EQ(got.other_tcp, want.other_tcp);
+  EXPECT_EQ(got.udp, want.udp);
+  EXPECT_EQ(got.icmp, want.icmp);
+  EXPECT_EQ(got.not_monitored, want.not_monitored);
+  EXPECT_EQ(got.ingress_blocked, want.ingress_blocked);
+  EXPECT_EQ(got.malformed, want.malformed);
+  EXPECT_EQ(got.spoofed_source, want.spoofed_source);
+}
+
+void expect_same_tracking(const core::PipelineResult& got,
+                          const core::PipelineResult& want) {
+  EXPECT_EQ(got.tracker.probes, want.tracker.probes);
+  EXPECT_EQ(got.tracker.campaigns, want.tracker.campaigns);
+  EXPECT_EQ(got.tracker.subthreshold_flows, want.tracker.subthreshold_flows);
+  EXPECT_EQ(got.tracker.subthreshold_packets, want.tracker.subthreshold_packets);
+  EXPECT_EQ(got.tracker.expired_flows, want.tracker.expired_flows);
+  EXPECT_EQ(got.tracker.sweeps, want.tracker.sweeps);
+
+  ASSERT_EQ(got.campaigns.size(), want.campaigns.size());
+  for (std::size_t i = 0; i < want.campaigns.size(); ++i) {
+    EXPECT_EQ(got.campaigns[i].source, want.campaigns[i].source) << "campaign " << i;
+    EXPECT_EQ(got.campaigns[i].packets, want.campaigns[i].packets) << "campaign " << i;
+    EXPECT_EQ(got.campaigns[i].distinct_destinations,
+              want.campaigns[i].distinct_destinations)
+        << "campaign " << i;
+    EXPECT_EQ(got.campaigns[i].first_seen_us, want.campaigns[i].first_seen_us)
+        << "campaign " << i;
+    EXPECT_EQ(got.campaigns[i].last_seen_us, want.campaigns[i].last_seen_us)
+        << "campaign " << i;
+  }
+}
+
+/// Per-source campaign summary: (packets, distinct destinations). The
+/// parallel merge re-issues ids, so cross-driver comparisons key on the
+/// source address rather than position.
+std::multimap<std::uint32_t, std::pair<std::uint64_t, std::uint32_t>> summarize(
+    const std::vector<core::Campaign>& campaigns) {
+  std::multimap<std::uint32_t, std::pair<std::uint64_t, std::uint32_t>> out;
+  for (const auto& campaign : campaigns) {
+    out.emplace(campaign.source.value(),
+                std::make_pair(campaign.packets, campaign.distinct_destinations));
+  }
+  return out;
+}
+
+class IngestDifferential : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "synscan_ingest_differential";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    capture_ = dir_ / "window.pcap";
+
+    auto writer = pcap::Writer::create(capture_);
+    simgen::TrafficGenerator generator(capture_config(), test_telescope(),
+                                       enrich::InternetRegistry::synthetic_default());
+    (void)generator.run([&](const net::RawFrame& f) { writer.write(f); });
+    writer.flush();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// The original path: pcap::Reader record-at-a-time into feed_frame.
+  [[nodiscard]] core::PipelineResult reference_result() const {
+    core::Pipeline pipeline(test_telescope());
+    auto reader = pcap::Reader::open(capture_);
+    net::RawFrame frame;
+    while (reader.next(frame) == pcap::ReadStatus::kOk) pipeline.feed_frame(frame);
+    return pipeline.finish();
+  }
+
+  /// Serial ingest through the given options; also returns the
+  /// IngestResult so callers can assert which path ran.
+  [[nodiscard]] std::pair<core::PipelineResult, core::IngestResult> ingest_result(
+      const core::IngestOptions& options) const {
+    core::Pipeline pipeline(test_telescope());
+    const auto ingest = core::ingest_capture(
+        capture_, test_telescope(), options,
+        [&](const telescope::ProbeBatch& batch) { pipeline.feed_probes(batch); });
+    pipeline.absorb_sensor_counters(ingest.sensor);
+    return {pipeline.finish(), ingest};
+  }
+
+  fs::path dir_;
+  fs::path capture_;
+};
+
+TEST_F(IngestDifferential, MmapStreamAndCachePathsMatchFrameByFrameReference) {
+  const auto reference = reference_result();
+  ASSERT_GT(reference.sensor.scan_probes, 0u);
+  ASSERT_GT(reference.campaigns.size(), 0u);
+
+  core::IngestOptions mmap_options;
+  mmap_options.use_cache = false;
+  const auto [mapped, mapped_ingest] = ingest_result(mmap_options);
+  EXPECT_FALSE(mapped_ingest.from_cache);
+  EXPECT_GT(mapped_ingest.batches, 0u);
+  expect_same_sensor(mapped.sensor, reference.sensor);
+  expect_same_tracking(mapped, reference);
+
+  core::IngestOptions stream_options;
+  stream_options.use_cache = false;
+  stream_options.use_mmap = false;
+  const auto [streamed, streamed_ingest] = ingest_result(stream_options);
+  EXPECT_FALSE(streamed_ingest.mapped);
+  expect_same_sensor(streamed.sensor, reference.sensor);
+  expect_same_tracking(streamed, reference);
+
+  // Cold cached run writes the .spc; warm run must come from it and
+  // still match bit for bit.
+  core::IngestOptions cached_options;
+  const auto [cold, cold_ingest] = ingest_result(cached_options);
+  EXPECT_FALSE(cold_ingest.from_cache);
+  EXPECT_TRUE(fs::exists(capture_.native() + ".spc"));
+  expect_same_sensor(cold.sensor, reference.sensor);
+  expect_same_tracking(cold, reference);
+
+  const auto [warm, warm_ingest] = ingest_result(cached_options);
+  EXPECT_TRUE(warm_ingest.from_cache);
+  EXPECT_EQ(warm_ingest.frames, cold_ingest.frames);
+  EXPECT_EQ(warm_ingest.status, cold_ingest.status);
+  expect_same_sensor(warm.sensor, reference.sensor);
+  expect_same_tracking(warm, reference);
+
+  // Touching the capture invalidates the cache: the next run re-decodes.
+  {
+    std::ofstream touch(capture_, std::ios::binary | std::ios::app);
+    touch.put('\0');
+  }
+  const auto [stale, stale_ingest] = ingest_result(cached_options);
+  EXPECT_FALSE(stale_ingest.from_cache);
+  (void)stale;
+}
+
+TEST_F(IngestDifferential, ParallelProbeFeedMatchesSerialReference) {
+  const auto reference = reference_result();
+
+  core::IngestOptions options;
+  options.use_cache = false;
+  core::ParallelAnalyzer analyzer(test_telescope(), 3);
+  const auto ingest = core::ingest_capture(
+      capture_, test_telescope(), options,
+      [&](const telescope::ProbeBatch& batch) { analyzer.feed_probes(batch); });
+  analyzer.absorb_sensor_counters(ingest.sensor);
+  const auto parallel = analyzer.finish();
+
+  expect_same_sensor(parallel.sensor, reference.sensor);
+  EXPECT_EQ(parallel.tracker.probes, reference.tracker.probes);
+  EXPECT_EQ(parallel.tracker.campaigns, reference.tracker.campaigns);
+  EXPECT_EQ(summarize(parallel.campaigns), summarize(reference.campaigns));
+  // The merge re-issues ids 1..n in its deterministic order (which is
+  // sorted, unlike the serial driver's flow-close order).
+  ASSERT_EQ(parallel.campaigns.size(), reference.campaigns.size());
+  for (std::size_t i = 0; i < parallel.campaigns.size(); ++i) {
+    EXPECT_EQ(parallel.campaigns[i].id, i + 1);
+  }
+}
+
+/// Hand-crafted single-probe captures in the three classic pcap on-disk
+/// dialects (LE microseconds, LE nanoseconds, BE microseconds): the
+/// batched ingest must read all of them exactly like pcap::Reader.
+class IngestDialects : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "synscan_ingest_dialects";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// One SYN to the dark net, timestamped 3.000005s.
+  [[nodiscard]] static std::vector<std::uint8_t> probe_frame() {
+    return testing::syn_frame(net::Ipv4Address::from_octets(93, 184, 216, 34),
+                              net::Ipv4Address::from_octets(198, 51, 0, 9), 80);
+  }
+
+  /// Writes a classic pcap by hand so the magic/byte order/sub-second
+  /// unit are exactly what the test names.
+  [[nodiscard]] fs::path write_capture(const char* name, std::uint32_t magic,
+                                       bool big_endian, std::uint32_t subsec) {
+    const auto path = dir_ / name;
+    std::ofstream out(path, std::ios::binary);
+    const auto u16 = [&](std::uint16_t v) {
+      std::uint8_t b[2];
+      big_endian ? net::store_be16(b, v) : net::store_le16(b, v);
+      out.write(reinterpret_cast<const char*>(b), 2);
+    };
+    const auto u32 = [&](std::uint32_t v) {
+      std::uint8_t b[4];
+      big_endian ? net::store_be32(b, v) : net::store_le32(b, v);
+      out.write(reinterpret_cast<const char*>(b), 4);
+    };
+    u32(magic);
+    u16(2);
+    u16(4);
+    u32(0);
+    u32(0);
+    u32(65535);
+    u32(1);  // ethernet
+    const auto frame = probe_frame();
+    u32(3);       // seconds
+    u32(subsec);  // microseconds or nanoseconds, per magic
+    u32(static_cast<std::uint32_t>(frame.size()));
+    u32(static_cast<std::uint32_t>(frame.size()));
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+    return path;
+  }
+
+  void expect_one_probe_at(const fs::path& path, net::TimeUs expected_us) {
+    // pcap::Reader agrees on the timestamp…
+    {
+      auto reader = pcap::Reader::open(path);
+      net::RawFrame frame;
+      ASSERT_EQ(reader.next(frame), pcap::ReadStatus::kOk);
+      EXPECT_EQ(frame.timestamp_us, expected_us);
+    }
+    // …and every ingest path yields exactly one probe carrying it.
+    for (const bool use_mmap : {true, false}) {
+      core::IngestOptions options;
+      options.use_cache = false;
+      options.use_mmap = use_mmap;
+      std::vector<net::TimeUs> stamps;
+      const auto ingest = core::ingest_capture(
+          path, test_telescope(), options, [&](const telescope::ProbeBatch& batch) {
+            stamps.insert(stamps.end(), batch.timestamp_us.begin(),
+                          batch.timestamp_us.end());
+          });
+      EXPECT_EQ(ingest.sensor.scan_probes, 1u);
+      EXPECT_EQ(ingest.frames, 1u);
+      EXPECT_EQ(ingest.status, pcap::ReadStatus::kEndOfFile);
+      ASSERT_EQ(stamps.size(), 1u);
+      EXPECT_EQ(stamps[0], expected_us);
+    }
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IngestDialects, MicrosecondNanosecondAndBigEndianCapturesAgree) {
+  const net::TimeUs expected = 3 * net::kMicrosPerSecond + 5;
+  expect_one_probe_at(write_capture("le_us.pcap", 0xa1b2c3d4, false, 5), expected);
+  expect_one_probe_at(write_capture("le_ns.pcap", 0xa1b23c4d, false, 5000), expected);
+  expect_one_probe_at(write_capture("be_us.pcap", 0xa1b2c3d4, true, 5), expected);
+  expect_one_probe_at(write_capture("be_ns.pcap", 0xa1b23c4d, true, 5000), expected);
+}
+
+TEST_F(IngestDialects, TruncatedCaptureKeepsProbesAndReportsStatus) {
+  const auto path = write_capture("trunc.pcap", 0xa1b2c3d4, false, 5);
+  // Append 7 bytes of a second record header: one whole probe survives,
+  // the terminal status flips to kTruncated, and the cache preserves it.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char partial[7] = {};
+    out.write(partial, sizeof(partial));
+  }
+  core::IngestOptions options;
+  std::size_t probes = 0;
+  const auto cold = core::ingest_capture(
+      path, test_telescope(), options,
+      [&](const telescope::ProbeBatch& batch) { probes += batch.size(); });
+  EXPECT_EQ(cold.status, pcap::ReadStatus::kTruncated);
+  EXPECT_EQ(cold.frames, 1u);
+  EXPECT_EQ(probes, 1u);
+  EXPECT_FALSE(cold.from_cache);
+
+  probes = 0;
+  const auto warm = core::ingest_capture(
+      path, test_telescope(), options,
+      [&](const telescope::ProbeBatch& batch) { probes += batch.size(); });
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.status, pcap::ReadStatus::kTruncated);
+  EXPECT_EQ(warm.frames, 1u);
+  EXPECT_EQ(probes, 1u);
+  expect_same_sensor(warm.sensor, cold.sensor);
+}
+
+}  // namespace
+}  // namespace synscan

@@ -1,0 +1,228 @@
+#include "pcap/mapped_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "net/endian.h"
+
+namespace synscan::pcap {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MappedReaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "synscan_mapped_reader_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path path(const char* name) const { return dir_ / name; }
+
+  static net::RawFrame frame(net::TimeUs t, std::initializer_list<std::uint8_t> bytes) {
+    net::RawFrame f;
+    f.timestamp_us = t;
+    f.bytes = bytes;
+    return f;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(MappedReaderTest, MapsRegularFilesAndMatchesReader) {
+  const std::vector<net::RawFrame> frames = {
+      frame(1'000'000, {1, 2, 3, 4}),
+      frame(2'500'000, {5, 6}),
+      frame(2'500'001, {7}),
+  };
+  write_file(path("basic.pcap"), frames);
+
+  auto reader = MappedReader::open(path("basic.pcap"));
+  EXPECT_TRUE(reader.mapped());
+  EXPECT_EQ(reader.info().link_type, LinkType::kEthernet);
+
+  net::FrameView view;
+  for (const auto& expected : frames) {
+    ASSERT_EQ(reader.next(view), ReadStatus::kOk);
+    EXPECT_EQ(view.timestamp_us, expected.timestamp_us);
+    EXPECT_EQ(std::vector<std::uint8_t>(view.bytes.begin(), view.bytes.end()),
+              expected.bytes);
+  }
+  EXPECT_EQ(reader.next(view), ReadStatus::kEndOfFile);
+  EXPECT_EQ(reader.frames_read(), 3u);
+}
+
+TEST_F(MappedReaderTest, StreamFallbackWalksIdentically) {
+  const std::vector<net::RawFrame> frames = {frame(5, {9, 8, 7}), frame(6, {1})};
+  write_file(path("stream.pcap"), frames);
+
+  std::ifstream stream(path("stream.pcap"), std::ios::binary);
+  auto reader = MappedReader::open_stream(stream);
+  EXPECT_FALSE(reader.mapped());
+
+  net::FrameView view;
+  ASSERT_EQ(reader.next(view), ReadStatus::kOk);
+  EXPECT_EQ(view.bytes.size(), 3u);
+  ASSERT_EQ(reader.next(view), ReadStatus::kOk);
+  EXPECT_EQ(view.bytes.size(), 1u);
+  EXPECT_EQ(reader.next(view), ReadStatus::kEndOfFile);
+}
+
+TEST_F(MappedReaderTest, EmptyCaptureIsValid) {
+  write_file(path("empty.pcap"), {});
+  auto reader = MappedReader::open(path("empty.pcap"));
+  net::FrameView view;
+  EXPECT_EQ(reader.next(view), ReadStatus::kEndOfFile);
+}
+
+TEST_F(MappedReaderTest, ThrowsOnUnknownMagicAndShortHeader) {
+  {
+    std::ofstream out(path("junk.pcap"), std::ios::binary);
+    const char junk[32] = "this is not a capture file!";
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW((void)MappedReader::open(path("junk.pcap")), std::runtime_error);
+  {
+    std::ofstream out(path("short.pcap"), std::ios::binary);
+    const char bytes[10] = {};
+    out.write(bytes, sizeof(bytes));
+  }
+  EXPECT_THROW((void)MappedReader::open(path("short.pcap")), std::runtime_error);
+  EXPECT_THROW((void)MappedReader::open(path("missing.pcap")), std::runtime_error);
+}
+
+TEST_F(MappedReaderTest, MidHeaderTruncationReportedOnceThenEndOfFile) {
+  {
+    const std::vector<net::RawFrame> frames = {frame(1, {1, 2}), frame(2, {3, 4})};
+    write_file(path("midhdr.pcap"), frames);
+  }
+  const auto size = fs::file_size(path("midhdr.pcap"));
+  fs::resize_file(path("midhdr.pcap"), size - 2 - 9);  // 7 bytes of record 2's header
+
+  auto reader = MappedReader::open(path("midhdr.pcap"));
+  net::FrameView view;
+  ASSERT_EQ(reader.next(view), ReadStatus::kOk);
+  EXPECT_EQ(reader.next(view), ReadStatus::kTruncated);
+  EXPECT_EQ(reader.next(view), ReadStatus::kEndOfFile);
+  EXPECT_EQ(reader.next(view), ReadStatus::kEndOfFile);
+}
+
+TEST_F(MappedReaderTest, MidBodyTruncationReportedOnceThenEndOfFile) {
+  {
+    const std::vector<net::RawFrame> frames = {frame(1, {1, 2, 3, 4, 5, 6, 7, 8})};
+    write_file(path("midbody.pcap"), frames);
+  }
+  const auto size = fs::file_size(path("midbody.pcap"));
+  fs::resize_file(path("midbody.pcap"), size - 4);
+
+  auto reader = MappedReader::open(path("midbody.pcap"));
+  net::FrameView view;
+  EXPECT_EQ(reader.next(view), ReadStatus::kTruncated);
+  EXPECT_EQ(reader.next(view), ReadStatus::kEndOfFile);
+}
+
+TEST_F(MappedReaderTest, BigEndianMidHeaderTruncationMatchesContract) {
+  std::ofstream out(path("midhdr_be.pcap"), std::ios::binary);
+  const auto be16 = [&](std::uint16_t v) {
+    std::uint8_t b[2];
+    net::store_be16(b, v);
+    out.write(reinterpret_cast<const char*>(b), 2);
+  };
+  const auto be32 = [&](std::uint32_t v) {
+    std::uint8_t b[4];
+    net::store_be32(b, v);
+    out.write(reinterpret_cast<const char*>(b), 4);
+  };
+  be32(0xa1b2c3d4);
+  be16(2);
+  be16(4);
+  be32(0);
+  be32(0);
+  be32(65535);
+  be32(1);
+  be32(10);  // record 1
+  be32(0);
+  be32(2);
+  be32(2);
+  out.put(0x01);
+  out.put(0x02);
+  be32(11);  // 4 of record 2's 16 header bytes
+  out.close();
+
+  auto reader = MappedReader::open(path("midhdr_be.pcap"));
+  EXPECT_TRUE(reader.info().big_endian);
+  net::FrameView view;
+  ASSERT_EQ(reader.next(view), ReadStatus::kOk);
+  EXPECT_EQ(view.timestamp_us, 10 * net::kMicrosPerSecond);
+  EXPECT_EQ(reader.next(view), ReadStatus::kTruncated);
+  EXPECT_EQ(reader.next(view), ReadStatus::kEndOfFile);
+}
+
+TEST_F(MappedReaderTest, BadRecordReportedOnceThenEndOfFile) {
+  {
+    const std::vector<net::RawFrame> frames = {frame(1, {1, 2, 3})};
+    write_file(path("bad.pcap"), frames);
+  }
+  std::fstream file(path("bad.pcap"), std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(24 + 8);
+  std::uint8_t bytes[4];
+  net::store_le32(bytes, 0x7fffffffu);
+  file.write(reinterpret_cast<const char*>(bytes), 4);
+  file.close();
+
+  auto reader = MappedReader::open(path("bad.pcap"));
+  net::FrameView view;
+  EXPECT_EQ(reader.next(view), ReadStatus::kBadRecord);
+  EXPECT_EQ(reader.next(view), ReadStatus::kEndOfFile);
+}
+
+TEST_F(MappedReaderTest, NextBatchChunksAndPreservesOrder) {
+  std::vector<net::RawFrame> frames;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    frames.push_back(frame(i, {i, static_cast<std::uint8_t>(i + 1)}));
+  }
+  write_file(path("batch.pcap"), frames);
+
+  auto reader = MappedReader::open(path("batch.pcap"));
+  std::vector<net::FrameView> batch;
+  std::size_t seen = 0;
+  ReadStatus status;
+  while ((status = reader.next_batch(batch, 4)) == ReadStatus::kOk) {
+    EXPECT_LE(batch.size(), 4u);
+    for (const auto& view : batch) {
+      EXPECT_EQ(view.timestamp_us, static_cast<net::TimeUs>(seen));
+      EXPECT_EQ(view.bytes[0], static_cast<std::uint8_t>(seen));
+      ++seen;
+    }
+  }
+  EXPECT_EQ(status, ReadStatus::kEndOfFile);
+  EXPECT_EQ(seen, 10u);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST_F(MappedReaderTest, NextBatchOwesTerminalStatusAfterPartialBatch) {
+  {
+    const std::vector<net::RawFrame> frames = {frame(1, {1}), frame(2, {2}),
+                                               frame(3, {3})};
+    write_file(path("owed.pcap"), frames);
+  }
+  const auto size = fs::file_size(path("owed.pcap"));
+  fs::resize_file(path("owed.pcap"), size - 1 - 8);  // into record 3's header
+
+  auto reader = MappedReader::open(path("owed.pcap"));
+  std::vector<net::FrameView> batch;
+  // All readable frames arrive as one kOk batch; the truncation is owed
+  // to the next call, and after that the reader settles on kEndOfFile.
+  ASSERT_EQ(reader.next_batch(batch, 8), ReadStatus::kOk);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(reader.next_batch(batch, 8), ReadStatus::kTruncated);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(reader.next_batch(batch, 8), ReadStatus::kEndOfFile);
+}
+
+}  // namespace
+}  // namespace synscan::pcap

@@ -111,6 +111,64 @@ TEST_F(PcapTest, TruncatedRecordHeaderReported) {
   EXPECT_EQ(read.size(), 1u);  // the first record survived
 }
 
+TEST_F(PcapTest, MidHeaderTruncationReportedOnceThenEndOfFile) {
+  // A capture killed mid-record-header must yield the readable prefix,
+  // report kTruncated exactly once, and then settle on kEndOfFile.
+  {
+    const std::vector<net::RawFrame> frames = {frame(1, {1, 2}), frame(2, {3, 4})};
+    write_file(path("midhdr.pcap"), frames);
+  }
+  const auto size = fs::file_size(path("midhdr.pcap"));
+  fs::resize_file(path("midhdr.pcap"), size - 2 - 9);  // 7 bytes of record 2's header
+
+  auto reader = Reader::open(path("midhdr.pcap"));
+  net::RawFrame out;
+  ASSERT_EQ(reader.next(out), ReadStatus::kOk);
+  EXPECT_EQ(out.bytes, (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(reader.next(out), ReadStatus::kTruncated);
+  EXPECT_EQ(reader.next(out), ReadStatus::kEndOfFile);
+  EXPECT_EQ(reader.next(out), ReadStatus::kEndOfFile);
+}
+
+TEST_F(PcapTest, MidHeaderTruncationBigEndianReportedOnceThenEndOfFile) {
+  // Same contract for a swapped-magic (big-endian) capture.
+  std::ofstream out(path("midhdr_be.pcap"), std::ios::binary);
+  const auto be16 = [&](std::uint16_t v) {
+    std::uint8_t b[2];
+    net::store_be16(b, v);
+    out.write(reinterpret_cast<const char*>(b), 2);
+  };
+  const auto be32 = [&](std::uint32_t v) {
+    std::uint8_t b[4];
+    net::store_be32(b, v);
+    out.write(reinterpret_cast<const char*>(b), 4);
+  };
+  be32(0xa1b2c3d4);  // written big-endian => swapped magic on disk
+  be16(2);
+  be16(4);
+  be32(0);
+  be32(0);
+  be32(65535);
+  be32(1);       // Ethernet
+  be32(10);      // record 1: ts seconds
+  be32(0);       // ts micros
+  be32(2);       // captured
+  be32(2);       // original
+  out.put(0x01);
+  out.put(0x02);
+  be32(11);      // record 2: 4 of 16 header bytes, then the file ends
+  out.close();
+
+  auto reader = Reader::open(path("midhdr_be.pcap"));
+  EXPECT_TRUE(reader.info().big_endian);
+  net::RawFrame frame;
+  ASSERT_EQ(reader.next(frame), ReadStatus::kOk);
+  EXPECT_EQ(frame.bytes, (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(reader.next(frame), ReadStatus::kTruncated);
+  EXPECT_EQ(reader.next(frame), ReadStatus::kEndOfFile);
+  EXPECT_EQ(reader.next(frame), ReadStatus::kEndOfFile);
+}
+
 TEST_F(PcapTest, InsaneCapturedLengthIsBadRecord) {
   {
     const std::vector<net::RawFrame> frames = {frame(1, {1, 2, 3})};

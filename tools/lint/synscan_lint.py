@@ -5,8 +5,9 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
 
   hot-path-container  std::unordered_map/std::unordered_set/std::map and
                       friends are banned in the hot-path directories
-                      (src/core, src/net, src/pcap); the flat containers
-                      from the tracker rewrite are mandatory there.
+                      (src/core, src/net, src/pcap, src/telescope); the
+                      flat containers from the tracker rewrite are
+                      mandatory there.
   metric-doc-sync     every metric name registered in code appears in
                       docs/OBSERVABILITY.md and every documented name is
                       registered in code.
@@ -35,7 +36,7 @@ import re
 import sys
 from pathlib import Path
 
-HOT_PATH_DIRS = ("src/core", "src/net", "src/pcap")
+HOT_PATH_DIRS = ("src/core", "src/net", "src/pcap", "src/telescope")
 METRIC_CODE_DIRS = ("src", "bench")
 NAKED_NEW_DIRS = ("src", "bench", "examples")
 HEADER_DIRS = ("src", "tests", "bench", "examples")

@@ -1,0 +1,9 @@
+// Fixture: cold diagnostic path, flat containers deliberately skipped.
+// synscan-lint: allow-file(hot-path-container)
+#include <unordered_set>
+
+bool hot_dark_lookup(unsigned addr) {
+  std::unordered_set<unsigned> dark;
+  dark.insert(addr);
+  return dark.contains(addr);
+}

@@ -1,0 +1,7 @@
+#include <unordered_set>
+
+bool hot_dark_lookup(unsigned addr) {
+  std::unordered_set<unsigned> dark;
+  dark.insert(addr);
+  return dark.contains(addr);
+}
