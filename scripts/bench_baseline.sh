@@ -3,16 +3,18 @@
 # microbenchmark plus the bench_tracker_replay mixed workload, and append
 # one record to BENCH_tracker.json at the repo root; then run the
 # bench_ingest capture-replay workload and append one record to
-# BENCH_ingest.json. Run this before and after any change to the tracker
-# or ingest hot paths so the perf trajectory stays auditable in-repo
-# (see docs/PERFORMANCE.md).
+# BENCH_ingest.json; then run the bench_analyze warm-cache analytics
+# workload and append one record to BENCH_analyze.json. Run this before
+# and after any change to the tracker, ingest or analyze hot paths so
+# the perf trajectory stays auditable in-repo (see docs/PERFORMANCE.md).
 #
 # Usage:
 #   scripts/bench_baseline.sh [label]
 # Environment:
-#   BUILD_DIR     build directory (default: build-bench)
-#   REPLAY_PROBES workload size for bench_tracker_replay (default: 4000000)
-#   INGEST_FRAMES workload size for bench_ingest (default: 2000000)
+#   BUILD_DIR      build directory (default: build-bench)
+#   REPLAY_PROBES  workload size for bench_tracker_replay (default: 4000000)
+#   INGEST_FRAMES  workload size for bench_ingest (default: 2000000)
+#   ANALYZE_FRAMES workload size for bench_analyze (default: 2000000)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,8 +22,10 @@ build="${BUILD_DIR:-${repo}/build-bench}"
 label="${1:-$(git -C "${repo}" rev-parse --abbrev-ref HEAD 2>/dev/null || echo unlabeled)}"
 probes="${REPLAY_PROBES:-4000000}"
 ingest_frames="${INGEST_FRAMES:-2000000}"
+analyze_frames="${ANALYZE_FRAMES:-2000000}"
 out="${repo}/BENCH_tracker.json"
 ingest_out="${repo}/BENCH_ingest.json"
+analyze_out="${repo}/BENCH_analyze.json"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== build (${build}, Release)" >&2
@@ -30,7 +34,7 @@ cmake -B "${build}" -S "${repo}" -G Ninja \
   -DSYNSCAN_BUILD_TESTS=OFF \
   -DSYNSCAN_BUILD_EXAMPLES=OFF >&2
 cmake --build "${build}" -j "${jobs}" \
-  --target bench_micro bench_tracker_replay bench_ingest >&2
+  --target bench_micro bench_tracker_replay bench_ingest bench_analyze >&2
 
 # Appends one record to a JSON-array trajectory file kept as one record
 # per line, so appending is a three-line edit rather than a JSON-parser
@@ -87,3 +91,12 @@ ingest_record="$(printf '{"label":"%s","git":"%s","date":"%s","ingest":%s}' \
 append_record "${ingest_out}" "${ingest_record}"
 echo "== appended record to ${ingest_out}" >&2
 echo "${ingest_record}"
+
+echo "== bench_analyze (${analyze_frames} frames)" >&2
+analyze_json="$("${build}/bench/bench_analyze" --frames="${analyze_frames}" \
+  --label="${label}")"
+analyze_record="$(printf '{"label":"%s","git":"%s","date":"%s","analyze":%s}' \
+  "${label}" "${git_rev}" "${date_utc}" "${analyze_json}")"
+append_record "${analyze_out}" "${analyze_record}"
+echo "== appended record to ${analyze_out}" >&2
+echo "${analyze_record}"

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <thread>
 
@@ -16,7 +17,7 @@
 #include "core/parallel.h"
 #include "core/pipeline.h"
 #include "core/port_tally.h"
-#include "fingerprint/classifier.h"
+#include "fingerprint/evidence_table.h"
 #include "obs/run_report.h"
 #include "obs/timer.h"
 #include "pcap/pcap.h"
@@ -120,21 +121,28 @@ Analysis analyze_capture(const std::string& path, std::size_t workers,
   }
 
   // Multi-core replay: campaign tracking runs sharded by source across
-  // the workers. Classification already happened once on the ingest
-  // thread, so the same batch drives both the workers and the (not
-  // thread-safe) streaming observers in file order.
+  // the workers (each worker receives row-index slices into a shared
+  // copy of the batch columns). Classification already happened once on
+  // the ingest thread, so the same batch drives both the workers and the
+  // (not thread-safe) streaming observers in file order.
   core::ParallelAnalyzer analyzer(shared_telescope(), workers);
+  std::vector<std::uint32_t> rows;
   {
     obs::ScopedTimer ingest("analyze.ingest");
     const auto ingested = core::ingest_capture(
         path, shared_telescope(), options, [&](const telescope::ProbeBatch& batch) {
           analyzer.feed_probes(batch);
-          for (std::size_t i = 0; i < batch.size(); ++i) {
-            const auto probe = batch.get(i);
-            analysis.ports.on_probe(probe);
-            analysis.types.on_probe(probe);
-            analysis.geo.on_probe(probe);
+          const auto n = batch.size();
+          if (rows.size() < n) {
+            const auto old = static_cast<std::uint32_t>(rows.size());
+            rows.resize(n);
+            for (std::uint32_t i = old; i < n; ++i) rows[i] = i;
           }
+          const std::span<const std::uint32_t> all(rows.data(), n);
+          const obs::ScopedTimer observers("analyze.observers");
+          analysis.ports.observe_batch(batch, all);
+          analysis.types.observe_batch(batch, all);
+          analysis.geo.observe_batch(batch, all);
         });
     analyzer.absorb_sensor_counters(ingested.sensor);
     analysis.frames = ingested.frames;
@@ -280,34 +288,31 @@ int run_fingerprint(const std::vector<std::string>& args) {
     throw std::invalid_argument("fingerprint requires a capture path");
   }
   const auto& telescope = shared_telescope();
-  std::map<std::uint32_t, fingerprint::ToolEvidence> evidence;
+  // Flat evidence table (fingerprint/evidence_table.h): the batch path
+  // resolves each source's record once per same-source run.
+  fingerprint::EvidenceTable evidence;
 
-  (void)core::ingest_capture(parsed.positional().front(), telescope,
-                             ingest_options(parsed),
-                             [&](const telescope::ProbeBatch& batch) {
-                               for (std::size_t i = 0; i < batch.size(); ++i) {
-                                 const auto probe = batch.get(i);
-                                 evidence[probe.source.value()].observe(probe);
-                               }
-                             });
+  (void)core::ingest_capture(
+      parsed.positional().front(), telescope, ingest_options(parsed),
+      [&](const telescope::ProbeBatch& batch) { evidence.observe_batch(batch); });
 
   report::Table table({"source", "probes", "verdict", "zmap", "masscan", "mirai",
                        "nmap-pairs", "unicorn-pairs"});
   std::size_t shown = 0;
-  for (const auto& [source, tool_evidence] : evidence) {
-    if (tool_evidence.probes() < 3) continue;  // skip one-off chatter
+  for (const auto& [source, tool_evidence] : evidence.sorted_entries()) {
+    if (tool_evidence->probes() < 3) continue;  // skip one-off chatter
     table.add_row({net::Ipv4Address(source).to_string(),
-                   std::to_string(tool_evidence.probes()),
-                   std::string(fingerprint::to_string(tool_evidence.verdict())),
-                   std::to_string(tool_evidence.matches(fingerprint::Tool::kZmap)),
-                   std::to_string(tool_evidence.matches(fingerprint::Tool::kMasscan)),
-                   std::to_string(tool_evidence.matches(fingerprint::Tool::kMirai)),
-                   std::to_string(tool_evidence.matches(fingerprint::Tool::kNmap)),
-                   std::to_string(tool_evidence.matches(fingerprint::Tool::kUnicorn))});
+                   std::to_string(tool_evidence->probes()),
+                   std::string(fingerprint::to_string(tool_evidence->verdict())),
+                   std::to_string(tool_evidence->matches(fingerprint::Tool::kZmap)),
+                   std::to_string(tool_evidence->matches(fingerprint::Tool::kMasscan)),
+                   std::to_string(tool_evidence->matches(fingerprint::Tool::kMirai)),
+                   std::to_string(tool_evidence->matches(fingerprint::Tool::kNmap)),
+                   std::to_string(tool_evidence->matches(fingerprint::Tool::kUnicorn))});
     if (++shown == 40) break;
   }
   std::cout << table;
-  std::cout << "(" << evidence.size() << " sources total; showing up to 40 with >=3 "
+  std::cout << "(" << evidence.sources() << " sources total; showing up to 40 with >=3 "
             << "probes)\n";
   return 0;
 }

@@ -35,6 +35,23 @@ void GeoTally::on_probe(const telescope::ScanProbe& probe) {
   packets_per_port_.add(probe.destination_port, 1);
 }
 
+void GeoTally::observe_batch(const telescope::ProbeBatch& batch,
+                             std::span<const std::uint32_t> rows) {
+  total_ += rows.size();
+  for (const auto row : rows) {
+    const auto source = batch.source[row];
+    if (!memo_valid_ || source != memo_source_) {
+      memo_country_ = registry_->country_of(net::Ipv4Address(source));
+      memo_source_ = source;
+      memo_valid_ = true;
+    }
+    const auto port = batch.destination_port[row];
+    ++packets_per_country_[memo_country_.packed()];
+    ++packets_per_port_country_[port_country_key(port, memo_country_)];
+    packets_per_port_.add(port, 1);
+  }
+}
+
 std::vector<GeoTally::CountryShare> GeoTally::top_countries(std::size_t n) const {
   std::vector<CountryShare> rows;
   rows.reserve(packets_per_country_.size());

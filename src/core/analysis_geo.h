@@ -22,6 +22,11 @@ class GeoTally final : public ProbeObserver {
 
   void on_probe(const telescope::ScanProbe& probe) override;
 
+  /// Column-direct tally with a one-entry source→country memo (probes
+  /// arrive in per-source bursts). Bit-identical to `on_probe`.
+  void observe_batch(const telescope::ProbeBatch& batch,
+                     std::span<const std::uint32_t> rows) override;
+
   /// A country's share of the total packet volume.
   struct CountryShare {
     enrich::CountryCode country;
@@ -65,6 +70,10 @@ class GeoTally final : public ProbeObserver {
 
  private:
   const enrich::InternetRegistry* registry_;
+  // Last resolved source, carried across batches.
+  std::uint32_t memo_source_ = 0;
+  enrich::CountryCode memo_country_;
+  bool memo_valid_ = false;
   // Keyed by CountryCode::packed(); per-probe tallies use the flat
   // accumulator maps (docs/PERFORMANCE.md).
   FlatHashMap<std::uint32_t, std::uint64_t> packets_per_country_;

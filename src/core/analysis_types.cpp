@@ -26,6 +26,25 @@ void TypeTally::on_probe(const telescope::ScanProbe& probe) {
   port_packets_.add(probe.destination_port, 1);
 }
 
+void TypeTally::observe_batch(const telescope::ProbeBatch& batch,
+                              std::span<const std::uint32_t> rows) {
+  total_packets_ += rows.size();
+  for (const auto row : rows) {
+    const auto source = batch.source[row];
+    if (!memo_valid_ || source != memo_source_) {
+      memo_type_ = registry_->type_of(net::Ipv4Address(source));
+      memo_source_ = source;
+      memo_valid_ = true;
+    }
+    const auto index = enrich::scanner_type_index(memo_type_);
+    const auto port = batch.destination_port[row];
+    ++packets_[index];
+    sources_[index].insert(source);
+    ++port_type_packets_[port_type_key(port, memo_type_)];
+    port_packets_.add(port, 1);
+  }
+}
+
 std::uint64_t TypeTally::total_sources() const noexcept {
   std::uint64_t total = 0;
   for (const auto& set : sources_) total += set.size();

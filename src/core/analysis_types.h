@@ -30,6 +30,12 @@ class TypeTally final : public ProbeObserver {
 
   void on_probe(const telescope::ScanProbe& probe) override;
 
+  /// Column-direct tally with a one-entry source→type memo: scan probes
+  /// arrive in per-source bursts, so most rows skip the registry lookup
+  /// entirely. Bit-identical to `on_probe` (the registry is immutable).
+  void observe_batch(const telescope::ProbeBatch& batch,
+                     std::span<const std::uint32_t> rows) override;
+
   [[nodiscard]] std::uint64_t packets(enrich::ScannerType type) const noexcept {
     return packets_[enrich::scanner_type_index(type)];
   }
@@ -48,6 +54,10 @@ class TypeTally final : public ProbeObserver {
 
  private:
   const enrich::InternetRegistry* registry_;
+  // Last resolved source, carried across batches.
+  std::uint32_t memo_source_ = 0;
+  enrich::ScannerType memo_type_ = enrich::ScannerType::kUnknown;
+  bool memo_valid_ = false;
   std::array<std::uint64_t, enrich::kScannerTypeCount> packets_{};
   std::array<std::unordered_set<std::uint32_t>, enrich::kScannerTypeCount> sources_;
   // (port << 3) | type — type fits in 3 bits.

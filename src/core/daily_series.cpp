@@ -14,6 +14,19 @@ void DailyPortSeries::on_probe(const telescope::ScanProbe& probe) {
   ++day_totals_[static_cast<std::uint32_t>(day)];
 }
 
+void DailyPortSeries::observe_batch(const telescope::ProbeBatch& batch,
+                                    std::span<const std::uint32_t> rows) {
+  for (const auto row : rows) {
+    const auto t = batch.timestamp_us[row];
+    const auto day = t <= origin_ ? std::size_t{0}
+                                  : static_cast<std::size_t>((t - origin_) /
+                                                             net::kMicrosPerDay);
+    max_day_ = std::max(max_day_, day);
+    ++counts_[(static_cast<std::uint64_t>(batch.destination_port[row]) << 32) | day];
+    ++day_totals_[static_cast<std::uint32_t>(day)];
+  }
+}
+
 std::vector<std::uint64_t> DailyPortSeries::series(std::uint16_t port) const {
   std::vector<std::uint64_t> out(days(), 0);
   for (std::size_t day = 0; day < out.size(); ++day) {

@@ -19,6 +19,11 @@ class DailyPortSeries final : public ProbeObserver {
 
   void on_probe(const telescope::ScanProbe& probe) override;
 
+  /// Column-direct tally over the timestamp and destination-port
+  /// columns; bit-identical to `on_probe`.
+  void observe_batch(const telescope::ProbeBatch& batch,
+                     std::span<const std::uint32_t> rows) override;
+
   /// Dense daily packet counts for a port over [0, days()).
   [[nodiscard]] std::vector<std::uint64_t> series(std::uint16_t port) const;
 

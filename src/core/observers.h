@@ -4,8 +4,22 @@
 // recompute from stored probes (the paper's dataset is 45 billion
 // packets). Observers attach to the pipeline and accumulate during the
 // single pass over the traffic.
+//
+// The pipeline moves probes as `telescope::ProbeBatch` columns, so the
+// interface has two granularities: `on_probe` consumes one materialized
+// `ScanProbe`, and `observe_batch` consumes a batch slice — a span of row
+// indices into the batch's columns. The default `observe_batch` loops
+// `on_probe(batch.get(row))`; it is deliberately kept as the differential
+// reference for the column-direct overrides (tests feed both paths and
+// require bit-identical tallies). Batch slices are borrowed: the batch is
+// only valid for the duration of the call (ingest recycles its buffers),
+// so observers must copy out anything they keep.
 #pragma once
 
+#include <cstdint>
+#include <span>
+
+#include "telescope/probe_batch.h"
 #include "telescope/sensor.h"
 
 namespace synscan::core {
@@ -14,7 +28,17 @@ namespace synscan::core {
 class ProbeObserver {
  public:
   virtual ~ProbeObserver() = default;
+
+  /// Consumes one probe (the per-probe reference path).
   virtual void on_probe(const telescope::ScanProbe& probe) = 0;
+
+  /// Consumes the batch rows listed in `rows`, in order. Overrides read
+  /// the columns directly; the default materializes each row and is the
+  /// reference implementation batched overrides are tested against.
+  virtual void observe_batch(const telescope::ProbeBatch& batch,
+                             std::span<const std::uint32_t> rows) {
+    for (const auto row : rows) on_probe(batch.get(row));
+  }
 };
 
 }  // namespace synscan::core

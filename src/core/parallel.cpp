@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "obs/timer.h"
 
@@ -13,12 +14,11 @@ ParallelAnalyzer::ParallelAnalyzer(const telescope::Telescope& telescope,
   if (workers == 0) throw std::invalid_argument("ParallelAnalyzer: workers must be >= 1");
   workers_.reserve(workers);
   pending_.resize(workers);
-  probe_pending_.resize(workers);
+  slice_rows_.resize(workers);
   // Pre-size the feeder batches: in steady state a batch fills to kBatch
   // and is flushed, so no push_back should ever reallocate. The
   // `parallel.feeder_reallocs` counter witnesses regressions.
   for (auto& batch : pending_) batch.reserve(kBatch);
-  for (auto& batch : probe_pending_) batch.reserve(kBatch);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(telescope, tracker_config));
   }
@@ -28,23 +28,25 @@ ParallelAnalyzer::ParallelAnalyzer(const telescope::Telescope& telescope,
   for (const auto& worker : workers_) {
     worker->thread = std::thread([w = worker.get()] {
       std::vector<Item> batch;
-      std::vector<telescope::ScanProbe> probes;
+      std::vector<Slice> slices;
       for (;;) {
         {
           std::unique_lock lock(w->mutex);
           w->ready.wait(lock, [w] {
-            return !w->queue.empty() || !w->probe_queue.empty() || w->done;
+            return !w->queue.empty() || !w->slice_queue.empty() || w->done;
           });
-          if (w->queue.empty() && w->probe_queue.empty() && w->done) return;
+          if (w->queue.empty() && w->slice_queue.empty() && w->done) return;
           batch.swap(w->queue);
-          probes.swap(w->probe_queue);
+          slices.swap(w->slice_queue);
         }
         for (const auto& item : batch) {
           w->pipeline.feed_decoded(item.timestamp_us, item.frame);
         }
-        for (const auto& probe : probes) w->pipeline.feed_probe(probe);
+        for (const auto& slice : slices) {
+          w->pipeline.feed_probe_rows(*slice.batch, slice.rows);
+        }
         batch.clear();
-        probes.clear();
+        slices.clear();  // may drop the last reference to a shared batch
       }
     });
   }
@@ -86,45 +88,45 @@ void ParallelAnalyzer::flush(std::size_t index) {
     }
     worker.items += batch_size;
     ++worker.batches;
-    worker.peak_queue = std::max(worker.peak_queue, worker.queue.size());
-  }
-  worker.ready.notify_one();
-  if (batch.capacity() < kBatch) batch.reserve(kBatch);
-}
-
-void ParallelAnalyzer::flush_probes(std::size_t index) {
-  auto& batch = probe_pending_[index];
-  if (batch.empty()) return;
-  if (obs_batch_items_ != nullptr) obs_batch_items_->observe(batch.size());
-  auto& worker = *workers_[index];
-  const auto batch_size = batch.size();
-  {
-    const std::lock_guard lock(worker.mutex);
-    if (worker.probe_queue.empty()) {
-      worker.probe_queue.swap(batch);
-    } else {
-      worker.probe_queue.insert(worker.probe_queue.end(), batch.begin(), batch.end());
-      batch.clear();
-    }
-    worker.items += batch_size;
-    ++worker.batches;
-    worker.peak_queue = std::max(worker.peak_queue, worker.probe_queue.size());
+    worker.peak_queue =
+        std::max(worker.peak_queue, worker.queue.size() + worker.slice_queue.size());
   }
   worker.ready.notify_one();
   if (batch.capacity() < kBatch) batch.reserve(kBatch);
 }
 
 void ParallelAnalyzer::feed_probes(const telescope::ProbeBatch& batch) {
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    // Same sharding as feed_decoded: campaigns are per-source.
+  const auto n = batch.size();
+  if (n == 0) return;
+  // Bucket rows by owning worker. Same sharding as feed_decoded:
+  // campaigns are per-source, so same-source rows must land together.
+  for (std::size_t i = 0; i < n; ++i) {
     const auto source = batch.source[i];
     const auto index = static_cast<std::size_t>(
         (static_cast<std::uint64_t>(source) * 0x9e3779b97f4a7c15ull) >> 32) %
         workers_.size();
-    auto& lane = probe_pending_[index];
-    if (lane.size() == lane.capacity()) ++feeder_reallocs_;
-    lane.push_back(batch.get(i));
-    if (lane.size() >= kBatch) flush_probes(index);
+    slice_rows_[index].push_back(static_cast<std::uint32_t>(i));
+  }
+  // One columnar copy shares the batch with every worker (the caller's
+  // buffer is recycled after this call returns); the slices alias it.
+  const auto shared = std::make_shared<const telescope::ProbeBatch>(batch);
+  for (std::size_t index = 0; index < workers_.size(); ++index) {
+    auto& rows = slice_rows_[index];
+    if (rows.empty()) continue;
+    if (obs_batch_items_ != nullptr) obs_batch_items_->observe(rows.size());
+    auto& worker = *workers_[index];
+    const auto row_count = rows.size();
+    {
+      const std::lock_guard lock(worker.mutex);
+      worker.slice_queue.push_back({shared, std::move(rows)});
+      worker.items += row_count;
+      ++worker.batches;
+      worker.peak_queue =
+          std::max(worker.peak_queue, worker.queue.size() + worker.slice_queue.size());
+    }
+    worker.ready.notify_one();
+    ++slices_;
+    rows = {};  // moved-from; make the scratch unambiguously empty
   }
 }
 
@@ -158,10 +160,7 @@ PipelineResult ParallelAnalyzer::finish() {
   if (finished_) throw std::logic_error("ParallelAnalyzer::finish called twice");
   finished_ = true;
 
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    flush(i);
-    flush_probes(i);
-  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) flush(i);
   for (const auto& worker : workers_) {
     {
       const std::lock_guard lock(worker->mutex);
@@ -216,6 +215,7 @@ PipelineResult ParallelAnalyzer::finish() {
     registry.gauge("parallel.workers").store(static_cast<std::int64_t>(workers_.size()));
     registry.counter("parallel.undecodable").add(undecodable_);
     registry.counter("parallel.feeder_reallocs").add(feeder_reallocs_);
+    registry.counter("parallel.slices").add(slices_);
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       const auto& worker = *workers_[i];
       registry.counter("parallel.items").add(worker.items);

@@ -3,19 +3,26 @@
 // A telescope receives a terabyte of traffic per month (§3.2); replaying
 // archives at that volume wants more than one core. Campaign tracking is
 // embarrassingly parallel across *sources* — a campaign never spans two
-// source addresses — so the driver decodes frames on the feeding thread
-// and dispatches each to a worker chosen by source-address hash. Each
-// worker runs its own sensor-equivalent classification and campaign
-// tracker; `finish()` joins the workers and merges campaigns and
-// counters into one result, ordered deterministically.
+// source addresses — so the driver dispatches work to a worker chosen by
+// source-address hash. Two entry shapes exist: raw/decoded frames are
+// queued per worker and classified there, while pre-sensed probe batches
+// (the batched ingest path) are shared as-is — the feeder copies each
+// `ProbeBatch` once into a shared columnar buffer and hands every worker
+// a *slice*, a vector of row indices into the shared columns. No
+// `ScanProbe` is ever materialized or copied on the feeder; workers
+// run batched observers and the tracker straight off the columns via
+// `Pipeline::feed_probe_rows`. `finish()` joins the workers and merges
+// campaigns and counters into one result, ordered deterministically.
 //
-// Streaming observers are per-worker and not supported here; run them in
-// a serial pass, or use the per-worker results. Equivalence with the
-// serial `Pipeline` is covered by tests.
+// Streaming observers attached on the feeder thread consume the same
+// batches in file order (see `cli::analyze_capture`); per-worker
+// pipelines carry no observers of their own. Equivalence with the serial
+// `Pipeline` is covered by tests.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -47,8 +54,10 @@ class ParallelAnalyzer {
   void feed_decoded(net::TimeUs timestamp_us, net::DecodedFrame frame);
 
   /// Dispatches a batch of pre-sensed probes (the batched ingest path:
-  /// classification already happened on the feeder). Call from one
-  /// thread only; do not interleave with the frame-feeding entry points.
+  /// classification already happened on the feeder). The batch's columns
+  /// are copied once into a shared buffer; workers receive row-index
+  /// slices into it. Call from one thread only; do not interleave with
+  /// the frame-feeding entry points.
   void feed_probes(const telescope::ProbeBatch& batch);
 
   /// Folds counters from the feeder-side sensor into `finish()`'s
@@ -69,6 +78,14 @@ class ParallelAnalyzer {
     net::DecodedFrame frame;
   };
 
+  /// One worker's share of a shared probe batch: the rows (in batch
+  /// order) whose sources hash to that worker. The `shared_ptr` keeps
+  /// the columns alive until every worker holding a slice has drained it.
+  struct Slice {
+    std::shared_ptr<const telescope::ProbeBatch> batch;
+    std::vector<std::uint32_t> rows;
+  };
+
   struct Worker {
     explicit Worker(const telescope::Telescope& telescope, TrackerConfig config)
         : pipeline(telescope, config) {}
@@ -77,28 +94,29 @@ class ParallelAnalyzer {
     std::mutex mutex;
     std::condition_variable ready;
     std::vector<Item> queue;
-    std::vector<telescope::ScanProbe> probe_queue;
+    std::vector<Slice> slice_queue;
     bool done = false;
     std::thread thread;
-    // Feeder-side stats, updated under `mutex` in flush(); cheap enough
+    // Feeder-side stats, updated under `mutex` on enqueue; cheap enough
     // to keep unconditionally.
-    std::uint64_t items = 0;        ///< frames enqueued to this worker
-    std::uint64_t batches = 0;      ///< flush batches delivered
-    std::size_t peak_queue = 0;     ///< deepest pending queue observed
+    std::uint64_t items = 0;        ///< frames + probe rows enqueued
+    std::uint64_t batches = 0;      ///< flush batches / slices delivered
+    std::size_t peak_queue = 0;     ///< deepest pending entry count observed
   };
 
   void flush(std::size_t index);
-  void flush_probes(std::size_t index);
 
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<std::vector<Item>> pending_;  ///< feeder-side batches
-  std::vector<std::vector<telescope::ScanProbe>> probe_pending_;
+  std::vector<std::vector<Item>> pending_;  ///< feeder-side frame batches
+  /// Per-worker row-index scratch, refilled for every shared batch.
+  std::vector<std::vector<std::uint32_t>> slice_rows_;
   telescope::SensorCounters absorbed_;  ///< feeder-side sensor counters
   std::uint64_t undecodable_ = 0;
   /// Feeder-side batch reallocations. Zero in steady state (batches are
   /// pre-sized to kBatch and recycled); published as
   /// `parallel.feeder_reallocs` so capacity regressions are visible.
   std::uint64_t feeder_reallocs_ = 0;
+  std::uint64_t slices_ = 0;  ///< probe slices enqueued across workers
   bool finished_ = false;
   /// Batch-size distribution; resolved at construction iff obs is on.
   obs::Histogram* obs_batch_items_ = nullptr;

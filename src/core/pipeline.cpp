@@ -13,6 +13,7 @@ Pipeline::Pipeline(const telescope::Telescope& telescope, TrackerConfig tracker_
     auto& registry = obs::MetricsRegistry::global();
     obs_frames_ = &registry.counter("pipeline.frames");
     obs_probes_ = &registry.counter("pipeline.probes");
+    obs_batches_ = &registry.counter("pipeline.batches");
   }
 }
 
@@ -42,7 +43,25 @@ void Pipeline::feed_probe(const telescope::ScanProbe& probe) {
 }
 
 void Pipeline::feed_probes(const telescope::ProbeBatch& batch) {
-  for (std::size_t i = 0; i < batch.size(); ++i) feed_probe(batch.get(i));
+  const auto n = batch.size();
+  if (n == 0) return;
+  // The identity slice [0, n) is built once and reused; ingest batches
+  // have a fixed row budget, so this settles after the first call.
+  if (identity_rows_.size() < n) {
+    const auto old = static_cast<std::uint32_t>(identity_rows_.size());
+    identity_rows_.resize(n);
+    for (std::uint32_t i = old; i < n; ++i) identity_rows_[i] = i;
+  }
+  feed_probe_rows(batch, std::span(identity_rows_.data(), n));
+}
+
+void Pipeline::feed_probe_rows(const telescope::ProbeBatch& batch,
+                               std::span<const std::uint32_t> rows) {
+  if (rows.empty()) return;
+  if (obs_probes_ != nullptr) obs_probes_->add(rows.size());
+  if (obs_batches_ != nullptr) obs_batches_->add();
+  for (auto* observer : observers_) observer->observe_batch(batch, rows);
+  tracker_.feed_batch(batch, rows);
 }
 
 void Pipeline::absorb_sensor_counters(const telescope::SensorCounters& counters) {

@@ -2,7 +2,9 @@
 // streaming observers -> finalized campaigns.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/observers.h"
@@ -43,7 +45,16 @@ class Pipeline {
   void feed_probe(const telescope::ScanProbe& probe);
 
   /// Feeds a whole batch of pre-sensed probes (the batched ingest path).
+  /// Observers see the batch through `observe_batch`; the tracker feeds
+  /// row by row (its state machine is inherently per-probe).
   void feed_probes(const telescope::ProbeBatch& batch);
+
+  /// Feeds a slice of a batch: the rows listed in `rows`, in order. This
+  /// is the parallel path — workers receive index slices into a shared
+  /// batch instead of per-probe copies. The batch (and `rows`) are only
+  /// borrowed for the duration of the call.
+  void feed_probe_rows(const telescope::ProbeBatch& batch,
+                       std::span<const std::uint32_t> rows);
 
   /// Folds counters from an external front-end sensor (the batched
   /// ingest classifies on the feeder, not here) into `finish()`'s result.
@@ -64,10 +75,14 @@ class Pipeline {
   std::vector<Campaign> campaigns_;
   CampaignTracker tracker_;
   std::vector<ProbeObserver*> observers_;
+  /// Identity row indices [0, n) for full-batch feeds; grown on demand
+  /// and reused so `feed_probes` allocates only when batches grow.
+  std::vector<std::uint32_t> identity_rows_;
   // Resolved once at construction iff obs is enabled; null pointers keep
   // the per-frame cost at one predictable branch when it is off.
   obs::Counter* obs_frames_ = nullptr;
   obs::Counter* obs_probes_ = nullptr;
+  obs::Counter* obs_batches_ = nullptr;
 };
 
 }  // namespace synscan::core

@@ -12,6 +12,18 @@ void PortTally::on_probe(const telescope::ScanProbe& probe) {
   }
 }
 
+void PortTally::observe_batch(const telescope::ProbeBatch& batch,
+                              std::span<const std::uint32_t> rows) {
+  total_packets_ += rows.size();
+  for (const auto row : rows) {
+    const auto port = batch.destination_port[row];
+    packets_per_port_.add(port, 1);
+    if (ports_per_source_[batch.source[row]].insert(port)) {
+      sources_per_port_.add(port, 1);
+    }
+  }
+}
+
 namespace {
 
 std::vector<PortCount> top_n(const PortPacketMap& counts, std::size_t n,

@@ -26,6 +26,12 @@ class PortTally final : public ProbeObserver {
  public:
   void on_probe(const telescope::ScanProbe& probe) override;
 
+  /// Column-direct tally over a batch slice: reads only the source and
+  /// destination-port columns, no `ScanProbe` materialization. Must stay
+  /// bit-identical to the `on_probe` reference (differential-tested).
+  void observe_batch(const telescope::ProbeBatch& batch,
+                     std::span<const std::uint32_t> rows) override;
+
   /// Total probes observed.
   [[nodiscard]] std::uint64_t total_packets() const noexcept { return total_packets_; }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telescope/probe_batch.h"
+
 namespace synscan::core {
 
 CampaignTracker::CampaignTracker(TrackerConfig config, std::uint64_t monitored_addresses,
@@ -65,6 +67,11 @@ void CampaignTracker::feed(const telescope::ScanProbe& probe) {
     sweep(now_);
   }
   counters_.table_rehashes = table_.rehashes();
+}
+
+void CampaignTracker::feed_batch(const telescope::ProbeBatch& batch,
+                                 std::span<const std::uint32_t> rows) {
+  for (const auto row : rows) feed(batch.get(row));
 }
 
 void CampaignTracker::close_flow(net::Ipv4Address source, Flow& flow) {

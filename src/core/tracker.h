@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/campaign.h"
@@ -72,6 +73,12 @@ class CampaignTracker {
   /// Feeds the next probe. Probes may arrive slightly out of order; the
   /// tracker uses the maximum timestamp seen as "now" for expiry.
   void feed(const telescope::ScanProbe& probe);
+
+  /// Feeds the batch rows listed in `rows`, in order. The tracker's flow
+  /// state machine is inherently per-probe, so this materializes each
+  /// row; it exists so batch-slice callers need no ScanProbe staging.
+  void feed_batch(const telescope::ProbeBatch& batch,
+                  std::span<const std::uint32_t> rows);
 
   /// Flushes all open flows (end of measurement window).
   void finish();

@@ -29,6 +29,20 @@ void VolatilityTracker::on_probe(const telescope::ScanProbe& probe) {
   active_blocks_.insert(block);
 }
 
+void VolatilityTracker::observe_batch(const telescope::ProbeBatch& batch,
+                                      std::span<const std::uint32_t> rows) {
+  for (const auto row : rows) {
+    const auto source = batch.source[row];
+    const auto block = static_cast<std::uint32_t>(net::Ipv4Address(source).slash16());
+    const auto week = week_of(batch.timestamp_us[row]);
+    max_week_ = std::max(max_week_, week);
+    const auto key = key_of(block, week);
+    ++packets_[key];
+    sources_[key].insert(source);
+    active_blocks_.insert(block);
+  }
+}
+
 void VolatilityTracker::on_campaign(const Campaign& campaign) {
   const auto block = static_cast<std::uint32_t>(campaign.source.slash16());
   const auto week = week_of(campaign.first_seen_us);

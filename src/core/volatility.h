@@ -25,6 +25,11 @@ class VolatilityTracker final : public ProbeObserver {
 
   void on_probe(const telescope::ScanProbe& probe) override;
 
+  /// Column-direct tally over the source and timestamp columns;
+  /// bit-identical to `on_probe`.
+  void observe_batch(const telescope::ProbeBatch& batch,
+                     std::span<const std::uint32_t> rows) override;
+
   /// Campaigns are attributed to the week of their first packet.
   void on_campaign(const Campaign& campaign);
 

@@ -1,5 +1,6 @@
 #include "enrich/registry.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "enrich/known_scanners.h"
@@ -98,16 +99,60 @@ std::vector<PrefixRecord> build_synthetic_plan() {
 
 InternetRegistry::InternetRegistry(std::vector<PrefixRecord> records)
     : records_(std::move(records)) {
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    const auto& rec = records_[i];
-    const auto len = rec.prefix.length();
-    by_length_[static_cast<std::size_t>(len)].emplace(rec.prefix.base().value(), i);
-    max_length_ = std::max(max_length_, len);
-    min_length_ = std::min(min_length_, len);
+  // Build the interval index with a base-order sweep. CIDR prefixes
+  // either nest or are disjoint, so sorting by (base, length) visits
+  // outer prefixes before the prefixes they contain, and a stack of
+  // still-active prefixes always has the most-specific cover on top.
+  std::vector<std::uint32_t> order(records_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const auto base_a = records_[a].prefix.base().value();
+    const auto base_b = records_[b].prefix.base().value();
+    if (base_a != base_b) return base_a < base_b;
+    if (records_[a].prefix.length() != records_[b].prefix.length()) {
+      return records_[a].prefix.length() < records_[b].prefix.length();
+    }
+    return a < b;  // duplicates keep registry order; first one wins
+  });
+
+  const auto last_of = [&](std::uint32_t index) {
+    const auto& prefix = records_[index].prefix;
+    return prefix.base().value() +
+           static_cast<std::uint32_t>(prefix.size() - 1);  // inclusive end
+  };
+  // Appends "addresses from `start` on resolve to `record`", overwriting
+  // a same-start entry (a more specific prefix opening at the same base).
+  const auto emit = [&](std::uint64_t start, std::uint32_t record) {
+    if (start > 0xffffffffull) return;  // closed at the top of the space
+    const auto start32 = static_cast<std::uint32_t>(start);
+    if (!intervals_.empty() && intervals_.back().start == start32) {
+      intervals_.back().record = record;
+    } else {
+      intervals_.push_back({start32, record});
+    }
+  };
+
+  emit(0, kNoRecord);
+  std::vector<std::uint32_t> active;  // indices of prefixes covering the cursor
+  for (const auto index : order) {
+    const auto start = records_[index].prefix.base().value();
+    while (!active.empty() && last_of(active.back()) < start) {
+      const auto closed = active.back();
+      active.pop_back();
+      emit(static_cast<std::uint64_t>(last_of(closed)) + 1,
+           active.empty() ? kNoRecord : active.back());
+    }
+    if (!active.empty() && records_[active.back()].prefix == records_[index].prefix) {
+      continue;  // exact duplicate prefix: the first record keeps it
+    }
+    active.push_back(index);
+    emit(start, index);
   }
-  if (records_.empty()) {
-    min_length_ = 0;
-    max_length_ = -1;  // lookup loop never runs
+  while (!active.empty()) {
+    const auto closed = active.back();
+    active.pop_back();
+    emit(static_cast<std::uint64_t>(last_of(closed)) + 1,
+         active.empty() ? kNoRecord : active.back());
   }
 }
 
@@ -117,14 +162,12 @@ const InternetRegistry& InternetRegistry::synthetic_default() {
 }
 
 const PrefixRecord* InternetRegistry::lookup(net::Ipv4Address addr) const noexcept {
-  for (int len = max_length_; len >= min_length_; --len) {
-    const auto& bucket = by_length_[static_cast<std::size_t>(len)];
-    if (bucket.empty()) continue;
-    const std::uint32_t mask = len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
-    const auto it = bucket.find(addr.value() & mask);
-    if (it != bucket.end()) return &records_[it->second];
-  }
-  return nullptr;
+  // The index always opens with {0, ...}, so the predecessor exists.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), addr.value(),
+      [](std::uint32_t value, const Interval& interval) { return value < interval.start; });
+  const auto record = (it - 1)->record;
+  return record == kNoRecord ? nullptr : &records_[record];
 }
 
 std::vector<const PrefixRecord*> InternetRegistry::records_of(ScannerType type) const {

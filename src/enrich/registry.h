@@ -12,7 +12,6 @@
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "enrich/country.h"
@@ -62,11 +61,21 @@ class InternetRegistry {
   [[nodiscard]] std::vector<const PrefixRecord*> records_of(CountryCode country) const;
 
  private:
+  /// One entry per point where the longest-prefix-match answer changes:
+  /// addresses in [start, next.start) resolve to `records_[record]`, or
+  /// to nothing when `record == kNoRecord`. Built once by a base-order
+  /// sweep (CIDR prefixes either nest or are disjoint, so a stack of
+  /// active prefixes yields the most-specific cover); lookup is a single
+  /// binary search over a dense sorted array instead of up to 33 hash
+  /// probes longest-length-first.
+  struct Interval {
+    std::uint32_t start = 0;
+    std::uint32_t record = kNoRecord;
+  };
+  static constexpr std::uint32_t kNoRecord = 0xffffffffu;
+
   std::vector<PrefixRecord> records_;
-  // One hash map per prefix length; lookup probes lengths longest-first.
-  std::array<std::unordered_map<std::uint32_t, std::size_t>, 33> by_length_;
-  int max_length_ = 0;
-  int min_length_ = 32;
+  std::vector<Interval> intervals_;  ///< sorted by `start`, first is 0
 };
 
 }  // namespace synscan::enrich

@@ -1,0 +1,103 @@
+#include "fingerprint/evidence_table.h"
+
+#include <algorithm>
+
+namespace synscan::fingerprint {
+namespace {
+
+/// splitmix64 finalizer — the same mix the core flat tables use; good
+/// dispersion for sequential or netblock-clustered addresses.
+[[nodiscard]] constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::size_t kInitialSlots = 64;
+
+}  // namespace
+
+EvidenceTable::EvidenceTable(ClassifierConfig config) : config_(config) {
+  slots_.assign(kInitialSlots, kEmpty);
+}
+
+std::size_t EvidenceTable::slot_of(std::uint32_t source) const noexcept {
+  const auto mask = slots_.size() - 1;
+  auto slot = static_cast<std::size_t>(mix(source)) & mask;
+  while (slots_[slot] != kEmpty && pool_[slots_[slot]].first != source) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
+void EvidenceTable::grow() {
+  std::vector<std::uint32_t> old;
+  old.swap(slots_);
+  slots_.assign(old.size() * 2, kEmpty);
+  const auto mask = slots_.size() - 1;
+  for (const auto index : old) {
+    if (index == kEmpty) continue;
+    auto slot = static_cast<std::size_t>(mix(pool_[index].first)) & mask;
+    while (slots_[slot] != kEmpty) slot = (slot + 1) & mask;
+    slots_[slot] = index;
+  }
+}
+
+std::uint32_t EvidenceTable::index_of(std::uint32_t source) {
+  auto slot = slot_of(source);
+  if (slots_[slot] != kEmpty) return slots_[slot];
+  // 70% load factor: grow before the cluster lengths degrade.
+  if ((pool_.size() + 1) * 10 >= slots_.size() * 7) {
+    grow();
+    slot = slot_of(source);
+  }
+  const auto index = static_cast<std::uint32_t>(pool_.size());
+  pool_.emplace_back(source, ToolEvidence(config_));
+  slots_[slot] = index;
+  return index;
+}
+
+void EvidenceTable::observe(const telescope::ScanProbe& probe) {
+  pool_[index_of(probe.source.value())].second.observe(probe);
+}
+
+void EvidenceTable::observe_batch(const telescope::ProbeBatch& batch,
+                                  std::span<const std::uint32_t> rows) {
+  for (const auto row : rows) {
+    const auto source = batch.source[row];
+    if (memo_index_ == kEmpty || source != memo_source_) {
+      memo_index_ = index_of(source);
+      memo_source_ = source;
+    }
+    pool_[memo_index_].second.observe(batch.get(row));
+  }
+}
+
+void EvidenceTable::observe_batch(const telescope::ProbeBatch& batch) {
+  for (std::size_t row = 0; row < batch.size(); ++row) {
+    const auto source = batch.source[row];
+    if (memo_index_ == kEmpty || source != memo_source_) {
+      memo_index_ = index_of(source);
+      memo_source_ = source;
+    }
+    pool_[memo_index_].second.observe(batch.get(row));
+  }
+}
+
+const ToolEvidence* EvidenceTable::find(std::uint32_t source) const noexcept {
+  const auto slot = slot_of(source);
+  return slots_[slot] == kEmpty ? nullptr : &pool_[slots_[slot]].second;
+}
+
+std::vector<std::pair<std::uint32_t, const ToolEvidence*>> EvidenceTable::sorted_entries()
+    const {
+  std::vector<std::pair<std::uint32_t, const ToolEvidence*>> entries;
+  entries.reserve(pool_.size());
+  for (const auto& [source, evidence] : pool_) entries.emplace_back(source, &evidence);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+}  // namespace synscan::fingerprint

@@ -1,0 +1,72 @@
+// Flat per-source evidence accumulation over probe batches.
+//
+// The fingerprint CLI used to key `ToolEvidence` by source in a
+// `std::map` — one allocation and a tree rebalance per new source, plus
+// an O(log n) descent per probe. This table keeps the evidence records
+// in a dense insertion-ordered pool indexed by an open-addressing hash
+// table (the `FlowIndexTable` recipe), and its batch path exploits the
+// bursty arrival of scan traffic: consecutive rows from the same source
+// reuse the previously resolved record, so the hash probe — and with it
+// the only per-source work besides the matchers themselves — runs once
+// per source *run* per batch, not once per probe. Matcher semantics are
+// untouched; `observe` is the per-probe reference path the batch path is
+// differential-tested against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fingerprint/classifier.h"
+#include "telescope/probe_batch.h"
+
+namespace synscan::fingerprint {
+
+/// Maps source address -> ToolEvidence, flat and insertion-ordered.
+/// Sources are never removed; the table only grows.
+class EvidenceTable {
+ public:
+  explicit EvidenceTable(ClassifierConfig config = {});
+
+  /// Feeds one probe (reference path; no memoization).
+  void observe(const telescope::ScanProbe& probe);
+
+  /// Feeds the batch rows listed in `rows`, in order, reading the
+  /// columns directly. Bit-identical to calling `observe` per row.
+  void observe_batch(const telescope::ProbeBatch& batch,
+                     std::span<const std::uint32_t> rows);
+
+  /// Feeds every row of the batch.
+  void observe_batch(const telescope::ProbeBatch& batch);
+
+  /// Distinct sources seen.
+  [[nodiscard]] std::size_t sources() const noexcept { return pool_.size(); }
+
+  /// Evidence for one source; nullptr when the source was never seen.
+  [[nodiscard]] const ToolEvidence* find(std::uint32_t source) const noexcept;
+
+  /// All (source, evidence) entries in ascending source order — the
+  /// deterministic report order (matches the old std::map iteration).
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, const ToolEvidence*>>
+  sorted_entries() const;
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  /// Index of `source`'s pool entry, inserting an empty record if new.
+  [[nodiscard]] std::uint32_t index_of(std::uint32_t source);
+  [[nodiscard]] std::size_t slot_of(std::uint32_t source) const noexcept;
+  void grow();
+
+  ClassifierConfig config_;
+  /// Open-addressing slots holding pool indices (kEmpty = free); the
+  /// key lives in the pool entry. Power-of-two sized, grown at 70% load.
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::pair<std::uint32_t, ToolEvidence>> pool_;
+  /// One-entry memo for the batch path: the last resolved source run.
+  std::uint32_t memo_source_ = 0;
+  std::uint32_t memo_index_ = kEmpty;
+};
+
+}  // namespace synscan::fingerprint

@@ -1,12 +1,103 @@
 #include "report/json.h"
 
 #include <algorithm>
+#include <charconv>
+#include <concepts>
+#include <cstdio>
 #include <ostream>
 #include <vector>
 
 #include "fingerprint/tool.h"
 
 namespace synscan::report {
+namespace {
+
+/// Row-buffered emission, like the `.spc` writer: fields append to one
+/// string and hit the stream in large writes instead of one operator<<
+/// (with its sentry and locale machinery) per field. Integers format via
+/// to_chars; doubles via printf "%g", which is byte-identical to the
+/// default ostream formatting the per-field writer used (defaultfloat at
+/// precision 6), so downstream diffs of existing reports stay empty.
+class RowBuffer {
+ public:
+  explicit RowBuffer(std::ostream& os) : os_(os) { buffer_.reserve(kFlushBytes + 512); }
+  ~RowBuffer() { flush(); }
+  RowBuffer(const RowBuffer&) = delete;
+  RowBuffer& operator=(const RowBuffer&) = delete;
+
+  void text(std::string_view s) { buffer_.append(s); }
+  void ch(char c) { buffer_.push_back(c); }
+
+  template <typename Int>
+    requires std::integral<Int>
+  void number(Int value) {
+    char tmp[24];
+    const auto [end, ec] = std::to_chars(tmp, tmp + sizeof(tmp), value);
+    buffer_.append(tmp, end);
+  }
+
+  void number(double value) {
+    char tmp[32];
+    const auto n = std::snprintf(tmp, sizeof(tmp), "%g", value);
+    if (n > 0) buffer_.append(tmp, static_cast<std::size_t>(n));
+  }
+
+  /// Call between rows: flushes once the buffer is big enough that the
+  /// stream write cost is well amortized.
+  void maybe_flush() {
+    if (buffer_.size() >= kFlushBytes) flush();
+  }
+
+  void flush() {
+    if (buffer_.empty()) return;
+    os_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+
+ private:
+  static constexpr std::size_t kFlushBytes = 64 * 1024;
+
+  std::ostream& os_;
+  std::string buffer_;
+};
+
+void append_campaign(RowBuffer& out, const core::Campaign& campaign,
+                     std::size_t max_ports) {
+  std::vector<std::uint16_t> ports;
+  ports.reserve(campaign.port_packets.size());
+  for (const auto& [port, packets] : campaign.port_packets) ports.push_back(port);
+  std::sort(ports.begin(), ports.end());
+  const auto listed = std::min(ports.size(), max_ports);
+
+  out.text("{\"id\":");
+  out.number(campaign.id);
+  out.text(",\"source\":\"");
+  out.text(campaign.source.to_string());
+  out.text("\",\"tool\":\"");
+  out.text(fingerprint::to_string(campaign.tool));
+  out.text("\",\"first_seen_us\":");
+  out.number(campaign.first_seen_us);
+  out.text(",\"last_seen_us\":");
+  out.number(campaign.last_seen_us);
+  out.text(",\"packets\":");
+  out.number(campaign.packets);
+  out.text(",\"destinations\":");
+  out.number(campaign.distinct_destinations);
+  out.text(",\"distinct_ports\":");
+  out.number(campaign.distinct_ports());
+  out.text(",\"ports\":[");
+  for (std::size_t i = 0; i < listed; ++i) {
+    if (i > 0) out.ch(',');
+    out.number(ports[i]);
+  }
+  out.text("],\"pps\":");
+  out.number(campaign.extrapolated_pps);
+  out.text(",\"coverage\":");
+  out.number(campaign.coverage_fraction);
+  out.ch('}');
+}
+
+}  // namespace
 
 std::string json_escape(std::string_view text) {
   std::string out;
@@ -44,51 +135,55 @@ std::string json_escape(std::string_view text) {
 
 void write_campaign_json(std::ostream& os, const core::Campaign& campaign,
                          std::size_t max_ports) {
-  std::vector<std::uint16_t> ports;
-  ports.reserve(campaign.port_packets.size());
-  for (const auto& [port, packets] : campaign.port_packets) ports.push_back(port);
-  std::sort(ports.begin(), ports.end());
-  const auto listed = std::min(ports.size(), max_ports);
-
-  os << "{\"id\":" << campaign.id << ",\"source\":\""
-     << campaign.source.to_string() << "\",\"tool\":\""
-     << fingerprint::to_string(campaign.tool) << "\",\"first_seen_us\":"
-     << campaign.first_seen_us << ",\"last_seen_us\":" << campaign.last_seen_us
-     << ",\"packets\":" << campaign.packets
-     << ",\"destinations\":" << campaign.distinct_destinations
-     << ",\"distinct_ports\":" << campaign.distinct_ports() << ",\"ports\":[";
-  for (std::size_t i = 0; i < listed; ++i) {
-    if (i > 0) os << ',';
-    os << ports[i];
-  }
-  os << "],\"pps\":" << campaign.extrapolated_pps
-     << ",\"coverage\":" << campaign.coverage_fraction << "}";
+  RowBuffer out(os);
+  append_campaign(out, campaign, max_ports);
 }
 
 void write_campaigns_jsonl(std::ostream& os, std::span<const core::Campaign> campaigns,
                            std::size_t max_ports) {
+  RowBuffer out(os);
   for (const auto& campaign : campaigns) {
-    write_campaign_json(os, campaign, max_ports);
-    os << '\n';
+    append_campaign(out, campaign, max_ports);
+    out.ch('\n');
+    out.maybe_flush();
   }
 }
 
 void write_counters_json(std::ostream& os, const core::PipelineResult& result) {
-  os << "{\"scan_probes\":" << result.sensor.scan_probes
-     << ",\"backscatter\":" << result.sensor.backscatter
-     << ",\"xmas_or_null\":" << result.sensor.xmas_or_null
-     << ",\"other_tcp\":" << result.sensor.other_tcp
-     << ",\"udp\":" << result.sensor.udp << ",\"icmp\":" << result.sensor.icmp
-     << ",\"not_monitored\":" << result.sensor.not_monitored
-     << ",\"ingress_blocked\":" << result.sensor.ingress_blocked
-     << ",\"malformed\":" << result.sensor.malformed
-     << ",\"spoofed_source\":" << result.sensor.spoofed_source
-     << ",\"campaigns\":" << result.campaigns.size()
-     << ",\"subthreshold_flows\":" << result.tracker.subthreshold_flows
-     << ",\"subthreshold_packets\":" << result.tracker.subthreshold_packets
-     << ",\"expired_flows\":" << result.tracker.expired_flows
-     << ",\"sweeps\":" << result.tracker.sweeps
-     << ",\"peak_open_flows\":" << result.tracker.peak_open_flows << "}";
+  RowBuffer out(os);
+  out.text("{\"scan_probes\":");
+  out.number(result.sensor.scan_probes);
+  out.text(",\"backscatter\":");
+  out.number(result.sensor.backscatter);
+  out.text(",\"xmas_or_null\":");
+  out.number(result.sensor.xmas_or_null);
+  out.text(",\"other_tcp\":");
+  out.number(result.sensor.other_tcp);
+  out.text(",\"udp\":");
+  out.number(result.sensor.udp);
+  out.text(",\"icmp\":");
+  out.number(result.sensor.icmp);
+  out.text(",\"not_monitored\":");
+  out.number(result.sensor.not_monitored);
+  out.text(",\"ingress_blocked\":");
+  out.number(result.sensor.ingress_blocked);
+  out.text(",\"malformed\":");
+  out.number(result.sensor.malformed);
+  out.text(",\"spoofed_source\":");
+  out.number(result.sensor.spoofed_source);
+  out.text(",\"campaigns\":");
+  out.number(result.campaigns.size());
+  out.text(",\"subthreshold_flows\":");
+  out.number(result.tracker.subthreshold_flows);
+  out.text(",\"subthreshold_packets\":");
+  out.number(result.tracker.subthreshold_packets);
+  out.text(",\"expired_flows\":");
+  out.number(result.tracker.expired_flows);
+  out.text(",\"sweeps\":");
+  out.number(result.tracker.sweeps);
+  out.text(",\"peak_open_flows\":");
+  out.number(result.tracker.peak_open_flows);
+  out.ch('}');
 }
 
 }  // namespace synscan::report

@@ -1,5 +1,11 @@
 // JSON-lines export of analysis results, for downstream tooling
 // (notebooks, SIEM ingestion, plotting).
+//
+// Emission is row-buffered like the `.spc` writer: each row is appended
+// to an in-memory buffer (integers via to_chars, doubles via "%g" —
+// byte-identical to the former per-field ostream output) and flushed to
+// the stream in large writes, so a million-campaign JSONL export is not
+// bound by per-field ostream overhead.
 #pragma once
 
 #include <iosfwd>

@@ -36,7 +36,14 @@ import re
 import sys
 from pathlib import Path
 
-HOT_PATH_DIRS = ("src/core", "src/net", "src/pcap", "src/telescope")
+HOT_PATH_DIRS = (
+    "src/core",
+    "src/enrich",
+    "src/fingerprint",
+    "src/net",
+    "src/pcap",
+    "src/telescope",
+)
 METRIC_CODE_DIRS = ("src", "bench")
 NAKED_NEW_DIRS = ("src", "bench", "examples")
 HEADER_DIRS = ("src", "tests", "bench", "examples")

@@ -1,0 +1,9 @@
+// Fixture: cold diagnostic path, flat containers deliberately skipped.
+// synscan-lint: allow-file(hot-path-container)
+#include <map>
+
+int hot_prefix_lookup(unsigned addr) {
+  std::map<unsigned, int> by_prefix;
+  by_prefix[addr] = 1;
+  return by_prefix[addr];
+}

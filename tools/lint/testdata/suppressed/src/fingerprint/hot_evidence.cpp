@@ -1,0 +1,9 @@
+// Fixture: cold diagnostic path, flat containers deliberately skipped.
+// synscan-lint: allow-file(hot-path-container)
+#include <unordered_map>
+
+int hot_evidence_for(unsigned source) {
+  std::unordered_map<unsigned, int> evidence;
+  evidence[source] = 1;
+  return evidence[source];
+}

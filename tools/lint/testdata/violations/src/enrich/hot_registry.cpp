@@ -1,0 +1,7 @@
+#include <map>
+
+int hot_prefix_lookup(unsigned addr) {
+  std::map<unsigned, int> by_prefix;
+  by_prefix[addr] = 1;
+  return by_prefix[addr];
+}

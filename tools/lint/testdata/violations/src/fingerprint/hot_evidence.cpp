@@ -1,0 +1,7 @@
+#include <unordered_map>
+
+int hot_evidence_for(unsigned source) {
+  std::unordered_map<unsigned, int> evidence;
+  evidence[source] = 1;
+  return evidence[source];
+}
