@@ -4,17 +4,21 @@
 # one record to BENCH_tracker.json at the repo root; then run the
 # bench_ingest capture-replay workload and append one record to
 # BENCH_ingest.json; then run the bench_analyze warm-cache analytics
-# workload and append one record to BENCH_analyze.json. Run this before
-# and after any change to the tracker, ingest or analyze hot paths so
-# the perf trajectory stays auditable in-repo (see docs/PERFORMANCE.md).
+# workload and append one record to BENCH_analyze.json; then run the
+# bench_synscand open-loop daemon load harness and append one record to
+# BENCH_synscand.json. Run this before and after any change to the
+# tracker, ingest, analyze or daemon hot paths so the perf trajectory
+# stays auditable in-repo (see docs/PERFORMANCE.md, docs/SYNSCAND.md).
 #
 # Usage:
 #   scripts/bench_baseline.sh [label]
 # Environment:
-#   BUILD_DIR      build directory (default: build-bench)
-#   REPLAY_PROBES  workload size for bench_tracker_replay (default: 4000000)
-#   INGEST_FRAMES  workload size for bench_ingest (default: 2000000)
-#   ANALYZE_FRAMES workload size for bench_analyze (default: 2000000)
+#   BUILD_DIR       build directory (default: build-bench)
+#   REPLAY_PROBES   workload size for bench_tracker_replay (default: 4000000)
+#   INGEST_FRAMES   workload size for bench_ingest (default: 2000000)
+#   ANALYZE_FRAMES  workload size for bench_analyze (default: 2000000)
+#   SYNSCAND_RATE   offered load for bench_synscand (default: 4000 qps)
+#   SYNSCAND_SECONDS  bench_synscand send window (default: 5)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,9 +27,12 @@ label="${1:-$(git -C "${repo}" rev-parse --abbrev-ref HEAD 2>/dev/null || echo u
 probes="${REPLAY_PROBES:-4000000}"
 ingest_frames="${INGEST_FRAMES:-2000000}"
 analyze_frames="${ANALYZE_FRAMES:-2000000}"
+synscand_rate="${SYNSCAND_RATE:-4000}"
+synscand_seconds="${SYNSCAND_SECONDS:-5}"
 out="${repo}/BENCH_tracker.json"
 ingest_out="${repo}/BENCH_ingest.json"
 analyze_out="${repo}/BENCH_analyze.json"
+synscand_out="${repo}/BENCH_synscand.json"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== build (${build}, Release)" >&2
@@ -34,7 +41,8 @@ cmake -B "${build}" -S "${repo}" -G Ninja \
   -DSYNSCAN_BUILD_TESTS=OFF \
   -DSYNSCAN_BUILD_EXAMPLES=OFF >&2
 cmake --build "${build}" -j "${jobs}" \
-  --target bench_micro bench_tracker_replay bench_ingest bench_analyze >&2
+  --target bench_micro bench_tracker_replay bench_ingest bench_analyze \
+           bench_synscand >&2
 
 # Appends one record to a JSON-array trajectory file kept as one record
 # per line, so appending is a three-line edit rather than a JSON-parser
@@ -100,3 +108,12 @@ analyze_record="$(printf '{"label":"%s","git":"%s","date":"%s","analyze":%s}' \
 append_record "${analyze_out}" "${analyze_record}"
 echo "== appended record to ${analyze_out}" >&2
 echo "${analyze_record}"
+
+echo "== bench_synscand (${synscand_rate} qps for ${synscand_seconds}s)" >&2
+synscand_json="$("${build}/bench/bench_synscand" --rate="${synscand_rate}" \
+  --seconds="${synscand_seconds}" --label="${label}" --check-qps=1000)"
+synscand_record="$(printf '{"label":"%s","git":"%s","date":"%s","synscand":%s}' \
+  "${label}" "${git_rev}" "${date_utc}" "${synscand_json}")"
+append_record "${synscand_out}" "${synscand_record}"
+echo "== appended record to ${synscand_out}" >&2
+echo "${synscand_record}"

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, test, and smoke the observability
-# surface — the same sequence CI runs. Usage:
+# Full verification: configure, build, test, then smoke the
+# observability surface and the synscand daemon (serve/query round trip
+# pinned against offline analyze output) — the same sequence CI runs.
+# Usage:
 #   scripts/check.sh [build-dir]
 # Environment:
 #   SYNSCAN_WERROR=ON|OFF   warnings-as-errors (default ON here, unlike
@@ -41,6 +43,36 @@ for needle in '"schema":"synscan.run_report/1"' 'sensor.scan_probes' \
     exit 1
   }
 done
+
+echo "== synscand smoke"
+# Daemon end to end: serve the capture analyzed above, drive the full
+# command set through the query client, and check the daemon's QUERY
+# output is byte-identical to the offline analyze --json export
+# (docs/SYNSCAND.md). Worker counts must match for the comparison.
+sock="${workdir}/synscand.sock"
+"${cli}" analyze "${workdir}/window.pcap" --workers=2 \
+  --json="${workdir}/offline.jsonl" > /dev/null
+"${cli}" serve --socket="${sock}" --capture="${workdir}/window.pcap" \
+  --workers=2 &
+serve_pid=$!
+trap '{ kill "${serve_pid}" 2>/dev/null || true; }' EXIT
+for _ in $(seq 1 50); do
+  [ -S "${sock}" ] && break
+  sleep 0.1
+done
+"${cli}" query --socket="${sock}" PING
+"${cli}" query --socket="${sock}" STATUS | grep -qF '"state":"ready"' || {
+  echo "synscand smoke: STATUS did not report a resident capture" >&2
+  exit 1
+}
+"${cli}" query --socket="${sock}" QUERY analyze > "${workdir}/daemon.jsonl"
+cmp "${workdir}/offline.jsonl" "${workdir}/daemon.jsonl" || {
+  echo "synscand smoke: daemon QUERY analyze diverged from offline --json" >&2
+  exit 1
+}
+"${cli}" query --socket="${sock}" SHUTDOWN
+wait "${serve_pid}"
+trap - EXIT
 
 if [ "${SYNSCAN_LINT:-OFF}" = "ON" ]; then
   echo "== lint"

@@ -1,28 +1,28 @@
 #include "cli/commands.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
-#include <span>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 
 #include "core/analysis_campaigns.h"
-#include "core/analysis_geo.h"
+#include "core/analysis_session.h"
 #include "core/analysis_summary.h"
 #include "core/analysis_types.h"
 #include "core/ingest.h"
-#include "core/parallel.h"
-#include "core/pipeline.h"
-#include "core/port_tally.h"
 #include "fingerprint/evidence_table.h"
 #include "obs/run_report.h"
-#include "obs/timer.h"
 #include "pcap/pcap.h"
 #include "report/json.h"
 #include "report/table.h"
+#include "server/client.h"
+#include "server/daemon.h"
+#include "server/protocol.h"
 #include "simgen/ecosystem.h"
 #include "simgen/generator.h"
 
@@ -64,16 +64,6 @@ class Args {
   std::vector<std::string> positional_;
 };
 
-/// Replays a capture through the pipeline with all CLI observers.
-struct Analysis {
-  core::PipelineResult result;
-  core::PortTally ports;
-  core::TypeTally types{enrich::InternetRegistry::synthetic_default()};
-  core::GeoTally geo{enrich::InternetRegistry::synthetic_default()};
-  std::uint64_t frames = 0;
-  pcap::ReadStatus final_status = pcap::ReadStatus::kEndOfFile;
-};
-
 const telescope::Telescope& shared_telescope() {
   static const auto telescope = telescope::Telescope::paper_default();
   return telescope;
@@ -97,63 +87,18 @@ core::IngestOptions ingest_options(const Args& args) {
   return options;
 }
 
-Analysis analyze_capture(const std::string& path, std::size_t workers,
-                         const core::IngestOptions& options) {
-  Analysis analysis;
-  if (workers <= 1) {
-    core::Pipeline pipeline(shared_telescope());
-    pipeline.add_observer(analysis.ports);
-    pipeline.add_observer(analysis.types);
-    pipeline.add_observer(analysis.geo);
-
-    {
-      obs::ScopedTimer ingest("analyze.ingest");
-      const auto ingested = core::ingest_capture(
-          path, shared_telescope(), options,
-          [&](const telescope::ProbeBatch& batch) { pipeline.feed_probes(batch); });
-      pipeline.absorb_sensor_counters(ingested.sensor);
-      analysis.frames = ingested.frames;
-      analysis.final_status = ingested.status;
-    }
-    const obs::ScopedTimer finish("analyze.finish");
-    analysis.result = pipeline.finish();
-    return analysis;
-  }
-
-  // Multi-core replay: campaign tracking runs sharded by source across
-  // the workers (each worker receives row-index slices into a shared
-  // copy of the batch columns). Classification already happened once on
-  // the ingest thread, so the same batch drives both the workers and the
-  // (not thread-safe) streaming observers in file order.
-  core::ParallelAnalyzer analyzer(shared_telescope(), workers);
-  std::vector<std::uint32_t> rows;
-  {
-    obs::ScopedTimer ingest("analyze.ingest");
-    const auto ingested = core::ingest_capture(
-        path, shared_telescope(), options, [&](const telescope::ProbeBatch& batch) {
-          analyzer.feed_probes(batch);
-          const auto n = batch.size();
-          if (rows.size() < n) {
-            const auto old = static_cast<std::uint32_t>(rows.size());
-            rows.resize(n);
-            for (std::uint32_t i = old; i < n; ++i) rows[i] = i;
-          }
-          const std::span<const std::uint32_t> all(rows.data(), n);
-          const obs::ScopedTimer observers("analyze.observers");
-          analysis.ports.observe_batch(batch, all);
-          analysis.types.observe_batch(batch, all);
-          analysis.geo.observe_batch(batch, all);
-        });
-    analyzer.absorb_sensor_counters(ingested.sensor);
-    analysis.frames = ingested.frames;
-    analysis.final_status = ingested.status;
-  }
-  const obs::ScopedTimer finish("analyze.finish");
-  analysis.result = analyzer.finish();
-  return analysis;
+/// The shared analysis entry point (core/analysis_session.h) bound to
+/// the CLI's fixed telescope and registry. The daemon's LOAD runs the
+/// exact same function, which is what makes `QUERY analyze` responses
+/// byte-identical to the offline `--json` file.
+core::AnalyzedCapture analyze_capture(const std::string& path, std::size_t workers,
+                                      const core::IngestOptions& options) {
+  return core::analyze_capture(path, shared_telescope(),
+                               enrich::InternetRegistry::synthetic_default(), workers,
+                               options);
 }
 
-void warn_on_truncation(const Analysis& analysis) {
+void warn_on_truncation(const core::AnalyzedCapture& analysis) {
   if (analysis.final_status == pcap::ReadStatus::kTruncated) {
     std::cerr << "warning: capture ends mid-record (truncated write?); analyzed the "
                  "readable prefix\n";
@@ -253,13 +198,17 @@ int run_analyze(const std::vector<std::string>& args) {
   std::cout << "-- origin countries --\n" << countries;
 
   if (const auto json_path = parsed.flag("json")) {
-    std::ofstream json_out(*json_path, std::ios::trunc);
+    // Serialize to a string first — the same append_* emission the
+    // daemon sends over its socket — then write the bytes in one go.
+    std::string payload;
+    report::append_counters_json(payload, analysis.result);
+    payload.push_back('\n');
+    report::append_campaigns_jsonl(payload, campaigns);
+    std::ofstream json_out(*json_path, std::ios::trunc | std::ios::binary);
     if (!json_out.is_open()) {
       throw std::runtime_error("cannot write " + *json_path);
     }
-    report::write_counters_json(json_out, analysis.result);
-    json_out << '\n';
-    report::write_campaigns_jsonl(json_out, campaigns);
+    json_out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
     std::cout << "\nwrote counters + " << campaigns.size() << " campaigns to "
               << *json_path << " (JSON lines)\n";
   }
@@ -279,6 +228,87 @@ int run_analyze(const std::vector<std::string>& args) {
       std::cout << "\nwrote run report to " << *metrics << "\n";
     }
   }
+  return 0;
+}
+
+int run_serve(const std::vector<std::string>& args) {
+  const Args parsed(args);
+  // `--metrics` must precede daemon construction: the server resolves
+  // its metric cells once, in the constructor.
+  const bool metrics = parsed.flag("metrics").has_value();
+  if (metrics) obs::set_enabled(true);
+
+  server::DaemonConfig config;
+  if (const auto socket = parsed.flag("socket")) config.unix_socket = *socket;
+  if (const auto port = parsed.flag("port")) {
+    config.tcp = true;
+    config.tcp_port = static_cast<std::uint16_t>(std::stoul(*port));
+  }
+  if (config.unix_socket.empty() && !config.tcp) {
+    throw std::invalid_argument("serve requires --socket=<path> and/or --port=<n>");
+  }
+  // `--workers` matches analyze's flag on purpose: query bytes are only
+  // comparable across the two when the analysis worker count matches.
+  config.analysis_workers = static_cast<std::size_t>(
+      parsed.number("workers", static_cast<double>(default_workers())));
+  config.workers = static_cast<std::size_t>(parsed.number("io-workers", 2));
+  config.idle_timeout_ms =
+      static_cast<std::uint64_t>(parsed.number("idle-timeout-ms", 0));
+  config.force_poll = parsed.flag("poll").has_value();
+  config.install_signal_handlers = true;
+  config.ingest = ingest_options(parsed);
+
+  server::Daemon daemon(shared_telescope(),
+                        enrich::InternetRegistry::synthetic_default(),
+                        std::move(config));
+  if (const auto capture = parsed.flag("capture")) {
+    std::cout << "synscand: loading " << *capture << "\n" << std::flush;
+    daemon.preload(*capture);
+  }
+  std::cout << "synscand: listening";
+  if (!daemon.unix_socket_path().empty()) {
+    std::cout << " on " << daemon.unix_socket_path();
+  }
+  if (daemon.tcp_port() != 0) std::cout << " on 127.0.0.1:" << daemon.tcp_port();
+  std::cout << "\n" << std::flush;  // scripts wait for this line
+
+  daemon.serve();
+  std::cout << "synscand: drained, exiting\n";
+  if (metrics) {
+    std::cout << "\n-- run report --\n"
+              << obs::RunReport::capture("serve").to_table();
+  }
+  return 0;
+}
+
+int run_query(const std::vector<std::string>& args) {
+  const Args parsed(args);
+  const auto socket = parsed.flag("socket");
+  const auto port = parsed.flag("port");
+  if (!socket && !port) {
+    throw std::invalid_argument("query requires --socket=<path> or --port=<n>");
+  }
+  std::string command;
+  for (const auto& word : parsed.positional()) {
+    if (!command.empty()) command.push_back(' ');
+    command.append(word);
+  }
+  if (command.empty()) {
+    throw std::invalid_argument(
+        "query requires a daemon command, e.g. STATUS or 'QUERY campaigns'");
+  }
+  auto client = socket ? server::Client::connect_unix(*socket)
+                       : server::Client::connect_tcp(
+                             parsed.flag("host").value_or("127.0.0.1"),
+                             static_cast<std::uint16_t>(std::stoul(*port)));
+  const auto response = client.roundtrip(command);
+  std::string_view body;
+  std::string error;
+  if (!server::parse_response(response, body, error)) {
+    std::cerr << "synscand error: " << error << "\n";
+    return 1;
+  }
+  std::cout << body;
   return 0;
 }
 

@@ -11,5 +11,9 @@ int run_simulate(const std::vector<std::string>& args);
 int run_analyze(const std::vector<std::string>& args);
 int run_fingerprint(const std::vector<std::string>& args);
 int run_info(const std::vector<std::string>& args);
+/// `synscan serve`: run the synscand daemon (docs/SYNSCAND.md).
+int run_serve(const std::vector<std::string>& args);
+/// `synscan query`: one framed command against a running daemon.
+int run_query(const std::vector<std::string>& args);
 
 }  // namespace synscan::cli

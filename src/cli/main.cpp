@@ -13,6 +13,13 @@
 //
 //   synscan info <capture.pcap>
 //       Capture metadata and frame classification counts.
+//
+//   synscan serve --socket=/run/synscand.sock [--capture=window.pcap]
+//       Long-running analysis daemon (synscand): loads captures once,
+//       keeps them resident, answers framed queries (docs/SYNSCAND.md).
+//
+//   synscan query --socket=/run/synscand.sock QUERY campaigns tool=zmap
+//       Thin client: send one daemon command, print the response body.
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -30,12 +37,19 @@ void print_usage(std::ostream& os) {
         "  analyze      campaign/tool/port/type analysis of a capture\n"
         "  fingerprint  per-source scanning-tool attribution\n"
         "  info         capture metadata and traffic classification\n"
+        "  serve        run the resident analysis daemon (synscand)\n"
+        "  query        send one command to a running synscand\n"
         "\ncommon options:\n"
         "  simulate: --year=<2015..2024> --out=<file> [--scale=<x>] [--seed=<n>]\n"
         "            [--days=<n>]\n"
         "  analyze:  <capture.pcap> [--top=<n>] [--json=<file>] [--workers=<n>]\n"
         "            [--metrics[=<file>]]   run report: ASCII table, or JSON\n"
-        "            with per-stage timings (docs/OBSERVABILITY.md)\n";
+        "            with per-stage timings (docs/OBSERVABILITY.md)\n"
+        "  serve:    --socket=<path> and/or --port=<n> [--capture=<pcap>]\n"
+        "            [--workers=<n>] [--io-workers=<n>] [--idle-timeout-ms=<n>]\n"
+        "            [--poll] [--metrics]   protocol spec: docs/SYNSCAND.md\n"
+        "  query:    --socket=<path> | --port=<n> [--host=<ip>] <command...>\n"
+        "            e.g. PING | STATUS | LOAD <pcap> | QUERY analyze | SHUTDOWN\n";
 }
 
 }  // namespace
@@ -52,6 +66,8 @@ int main(int argc, char** argv) {
     if (command == "analyze") return synscan::cli::run_analyze(args);
     if (command == "fingerprint") return synscan::cli::run_fingerprint(args);
     if (command == "info") return synscan::cli::run_info(args);
+    if (command == "serve") return synscan::cli::run_serve(args);
+    if (command == "query") return synscan::cli::run_query(args);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage(std::cout);
       return 0;

@@ -12,12 +12,40 @@
 namespace synscan::report {
 namespace {
 
-/// Row-buffered emission, like the `.spc` writer: fields append to one
-/// string and hit the stream in large writes instead of one operator<<
-/// (with its sentry and locale machinery) per field. Integers format via
+/// Appends JSON fields to a caller-owned string. Integers format via
 /// to_chars; doubles via printf "%g", which is byte-identical to the
 /// default ostream formatting the per-field writer used (defaultfloat at
 /// precision 6), so downstream diffs of existing reports stay empty.
+/// This is the string layer: the daemon serializes a report straight
+/// into a client's write buffer through it, no filesystem involved.
+class Appender {
+ public:
+  explicit Appender(std::string& out) : out_(out) {}
+
+  void text(std::string_view s) { out_.append(s); }
+  void ch(char c) { out_.push_back(c); }
+
+  template <typename Int>
+    requires std::integral<Int>
+  void number(Int value) {
+    char tmp[24];
+    const auto [end, ec] = std::to_chars(tmp, tmp + sizeof(tmp), value);
+    out_.append(tmp, end);
+  }
+
+  void number(double value) {
+    char tmp[32];
+    const auto n = std::snprintf(tmp, sizeof(tmp), "%g", value);
+    if (n > 0) out_.append(tmp, static_cast<std::size_t>(n));
+  }
+
+ private:
+  std::string& out_;
+};
+
+/// The stream layer: rows accumulate in one string and hit the stream in
+/// large writes instead of one operator<< (with its sentry and locale
+/// machinery) per field — like the `.spc` writer.
 class RowBuffer {
  public:
   explicit RowBuffer(std::ostream& os) : os_(os) { buffer_.reserve(kFlushBytes + 512); }
@@ -25,22 +53,7 @@ class RowBuffer {
   RowBuffer(const RowBuffer&) = delete;
   RowBuffer& operator=(const RowBuffer&) = delete;
 
-  void text(std::string_view s) { buffer_.append(s); }
-  void ch(char c) { buffer_.push_back(c); }
-
-  template <typename Int>
-    requires std::integral<Int>
-  void number(Int value) {
-    char tmp[24];
-    const auto [end, ec] = std::to_chars(tmp, tmp + sizeof(tmp), value);
-    buffer_.append(tmp, end);
-  }
-
-  void number(double value) {
-    char tmp[32];
-    const auto n = std::snprintf(tmp, sizeof(tmp), "%g", value);
-    if (n > 0) buffer_.append(tmp, static_cast<std::size_t>(n));
-  }
+  [[nodiscard]] std::string& buffer() noexcept { return buffer_; }
 
   /// Call between rows: flushes once the buffer is big enough that the
   /// stream write cost is well amortized.
@@ -61,7 +74,7 @@ class RowBuffer {
   std::string buffer_;
 };
 
-void append_campaign(RowBuffer& out, const core::Campaign& campaign,
+void append_campaign(Appender& out, const core::Campaign& campaign,
                      std::size_t max_ports) {
   std::vector<std::uint16_t> ports;
   ports.reserve(campaign.port_packets.size());
@@ -94,6 +107,42 @@ void append_campaign(RowBuffer& out, const core::Campaign& campaign,
   out.number(campaign.extrapolated_pps);
   out.text(",\"coverage\":");
   out.number(campaign.coverage_fraction);
+  out.ch('}');
+}
+
+void append_counters(Appender& out, const core::PipelineResult& result) {
+  out.text("{\"scan_probes\":");
+  out.number(result.sensor.scan_probes);
+  out.text(",\"backscatter\":");
+  out.number(result.sensor.backscatter);
+  out.text(",\"xmas_or_null\":");
+  out.number(result.sensor.xmas_or_null);
+  out.text(",\"other_tcp\":");
+  out.number(result.sensor.other_tcp);
+  out.text(",\"udp\":");
+  out.number(result.sensor.udp);
+  out.text(",\"icmp\":");
+  out.number(result.sensor.icmp);
+  out.text(",\"not_monitored\":");
+  out.number(result.sensor.not_monitored);
+  out.text(",\"ingress_blocked\":");
+  out.number(result.sensor.ingress_blocked);
+  out.text(",\"malformed\":");
+  out.number(result.sensor.malformed);
+  out.text(",\"spoofed_source\":");
+  out.number(result.sensor.spoofed_source);
+  out.text(",\"campaigns\":");
+  out.number(result.campaigns.size());
+  out.text(",\"subthreshold_flows\":");
+  out.number(result.tracker.subthreshold_flows);
+  out.text(",\"subthreshold_packets\":");
+  out.number(result.tracker.subthreshold_packets);
+  out.text(",\"expired_flows\":");
+  out.number(result.tracker.expired_flows);
+  out.text(",\"sweeps\":");
+  out.number(result.tracker.sweeps);
+  out.text(",\"peak_open_flows\":");
+  out.number(result.tracker.peak_open_flows);
   out.ch('}');
 }
 
@@ -133,57 +182,45 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+void append_campaign_json(std::string& out, const core::Campaign& campaign,
+                          std::size_t max_ports) {
+  Appender appender(out);
+  append_campaign(appender, campaign, max_ports);
+}
+
+void append_campaigns_jsonl(std::string& out, std::span<const core::Campaign> campaigns,
+                            std::size_t max_ports) {
+  Appender appender(out);
+  for (const auto& campaign : campaigns) {
+    append_campaign(appender, campaign, max_ports);
+    appender.ch('\n');
+  }
+}
+
+void append_counters_json(std::string& out, const core::PipelineResult& result) {
+  Appender appender(out);
+  append_counters(appender, result);
+}
+
 void write_campaign_json(std::ostream& os, const core::Campaign& campaign,
                          std::size_t max_ports) {
-  RowBuffer out(os);
-  append_campaign(out, campaign, max_ports);
+  RowBuffer rows(os);
+  append_campaign_json(rows.buffer(), campaign, max_ports);
 }
 
 void write_campaigns_jsonl(std::ostream& os, std::span<const core::Campaign> campaigns,
                            std::size_t max_ports) {
-  RowBuffer out(os);
+  RowBuffer rows(os);
   for (const auto& campaign : campaigns) {
-    append_campaign(out, campaign, max_ports);
-    out.ch('\n');
-    out.maybe_flush();
+    append_campaign_json(rows.buffer(), campaign, max_ports);
+    rows.buffer().push_back('\n');
+    rows.maybe_flush();
   }
 }
 
 void write_counters_json(std::ostream& os, const core::PipelineResult& result) {
-  RowBuffer out(os);
-  out.text("{\"scan_probes\":");
-  out.number(result.sensor.scan_probes);
-  out.text(",\"backscatter\":");
-  out.number(result.sensor.backscatter);
-  out.text(",\"xmas_or_null\":");
-  out.number(result.sensor.xmas_or_null);
-  out.text(",\"other_tcp\":");
-  out.number(result.sensor.other_tcp);
-  out.text(",\"udp\":");
-  out.number(result.sensor.udp);
-  out.text(",\"icmp\":");
-  out.number(result.sensor.icmp);
-  out.text(",\"not_monitored\":");
-  out.number(result.sensor.not_monitored);
-  out.text(",\"ingress_blocked\":");
-  out.number(result.sensor.ingress_blocked);
-  out.text(",\"malformed\":");
-  out.number(result.sensor.malformed);
-  out.text(",\"spoofed_source\":");
-  out.number(result.sensor.spoofed_source);
-  out.text(",\"campaigns\":");
-  out.number(result.campaigns.size());
-  out.text(",\"subthreshold_flows\":");
-  out.number(result.tracker.subthreshold_flows);
-  out.text(",\"subthreshold_packets\":");
-  out.number(result.tracker.subthreshold_packets);
-  out.text(",\"expired_flows\":");
-  out.number(result.tracker.expired_flows);
-  out.text(",\"sweeps\":");
-  out.number(result.tracker.sweeps);
-  out.text(",\"peak_open_flows\":");
-  out.number(result.tracker.peak_open_flows);
-  out.ch('}');
+  RowBuffer rows(os);
+  append_counters_json(rows.buffer(), result);
 }
 
 }  // namespace synscan::report

@@ -1,11 +1,15 @@
 // JSON-lines export of analysis results, for downstream tooling
-// (notebooks, SIEM ingestion, plotting).
+// (notebooks, SIEM ingestion, plotting) and for the `synscand` daemon's
+// in-memory query responses.
 //
-// Emission is row-buffered like the `.spc` writer: each row is appended
-// to an in-memory buffer (integers via to_chars, doubles via "%g" —
-// byte-identical to the former per-field ostream output) and flushed to
-// the stream in large writes, so a million-campaign JSONL export is not
-// bound by per-field ostream overhead.
+// Emission has two layers so file writing stays separate from string
+// building: the `append_*` functions serialize into a caller-owned
+// `std::string` (what the daemon sends to a client buffer without
+// touching the filesystem), and the `write_*` stream functions wrap
+// them with chunked flushing (integers via to_chars, doubles via "%g" —
+// byte-identical to the former per-field ostream output), so a
+// million-campaign JSONL export is not bound by per-field ostream
+// overhead and both paths produce the same bytes.
 #pragma once
 
 #include <iosfwd>
@@ -20,11 +24,23 @@ namespace synscan::report {
 /// Escapes a string for inclusion in a JSON value.
 [[nodiscard]] std::string json_escape(std::string_view text);
 
-/// Writes one campaign as a single-line JSON object:
+/// Appends one campaign as a single-line JSON object:
 /// {"id":..,"source":"..","tool":"..","first_seen_us":..,"last_seen_us":..,
 ///  "packets":..,"destinations":..,"ports":[..],"pps":..,"coverage":..}
 /// Ports are listed in ascending order, capped at `max_ports` (the full
-/// count stays in "distinct_ports").
+/// count stays in "distinct_ports"). No trailing newline.
+void append_campaign_json(std::string& out, const core::Campaign& campaign,
+                          std::size_t max_ports = 64);
+
+/// Appends every campaign as newline-terminated JSON lines.
+void append_campaigns_jsonl(std::string& out, std::span<const core::Campaign> campaigns,
+                            std::size_t max_ports = 64);
+
+/// Appends the run's counters as one JSON object. No trailing newline.
+void append_counters_json(std::string& out, const core::PipelineResult& result);
+
+/// Writes one campaign as a single-line JSON object (same bytes as
+/// `append_campaign_json`).
 void write_campaign_json(std::ostream& os, const core::Campaign& campaign,
                          std::size_t max_ports = 64);
 

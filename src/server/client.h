@@ -1,0 +1,61 @@
+// Blocking synscand client: one socket, framed request/response.
+//
+// This is the thin side of the protocol — connect, send one framed
+// command, block until the response frame arrives. The CLI `query`
+// command, the integration tests and the load harness's warmup path all
+// speak through it; the bench hot loop uses its own non-blocking
+// pipelined reader instead (bench/bench_synscand.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "server/frame.h"
+
+namespace synscan::server {
+
+/// Responses (large JSONL report bodies) are allowed to be far bigger
+/// than the request cap the daemon enforces on its receive path.
+inline constexpr std::size_t kMaxResponseBytes = 1u << 30;
+
+class Client {
+ public:
+  /// Both throw `std::runtime_error` when the endpoint is unreachable.
+  [[nodiscard]] static Client connect_unix(const std::string& path);
+  [[nodiscard]] static Client connect_tcp(const std::string& host, std::uint16_t port);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one command and blocks for its response payload (the raw
+  /// `OK\n...`/`ERR ...` envelope; see protocol.h `parse_response`).
+  /// Throws `std::runtime_error` on socket errors or a closed peer.
+  [[nodiscard]] std::string roundtrip(std::string_view command);
+
+  /// Sends one framed command without waiting (pipelining).
+  void send_command(std::string_view command);
+
+  /// Blocks for the next response frame (pairs with `send_command`).
+  [[nodiscard]] std::string read_response();
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Relinquishes ownership of the connected socket and returns it —
+  /// for callers that drive the fd directly (the non-blocking open-loop
+  /// reader in bench_synscand). The Client must not be used afterwards.
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameDecoder decoder_{kMaxResponseBytes};
+};
+
+}  // namespace synscan::server

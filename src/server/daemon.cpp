@@ -1,0 +1,1003 @@
+#include "server/daemon.h"
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <fcntl.h>
+#include <memory>
+#include <mutex>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "report/json.h"
+#include "server/protocol.h"
+#include "server/query.h"
+
+namespace synscan::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_cloexec(int fd) { (void)::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+/// Signal -> event loop bridge. The handler may only touch lock-free
+/// state: it flags the request and writes one byte into the daemon's
+/// wake pipe. Only one daemon per process may install handlers, which
+/// is why these are globals rather than Impl members.
+std::atomic<bool> g_signal_pending{false};
+std::atomic<int> g_signal_wake_fd{-1};
+
+void on_signal(int /*signum*/) {
+  g_signal_pending.store(true, std::memory_order_relaxed);
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+/// One fd the loop watches plus the opaque pointer handed back with its
+/// events (null for listeners and the wake pipe, Connection* otherwise).
+struct Watch {
+  int fd = -1;
+  void* data = nullptr;
+  bool want_write = false;
+};
+
+/// What one fd reported this iteration. Translated eagerly out of the
+/// OS structures so that closing other fds mid-batch cannot dangle.
+struct PollEvent {
+  int fd = -1;
+  void* data = nullptr;
+  bool readable = false;
+  bool writable = false;
+  bool closed = false;
+};
+
+/// Readiness backend: epoll on Linux unless `force_poll`, poll(2)
+/// otherwise. The poll path is exercised on Linux too (tests and the
+/// `--poll` CLI switch) so the fallback cannot rot.
+class Poller {
+ public:
+  explicit Poller(bool force_poll) {
+#ifdef __linux__
+    if (!force_poll) {
+      epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+      if (epoll_fd_ < 0) throw_errno("epoll_create1");
+    }
+#else
+    (void)force_poll;
+#endif
+  }
+
+  ~Poller() {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  void add(int fd, void* data, bool want_write) {
+    auto watch = std::make_unique<Watch>();
+    watch->fd = fd;
+    watch->data = data;
+    watch->want_write = want_write;
+#ifdef __linux__
+    if (epoll_fd_ >= 0) {
+      epoll_event event{};
+      event.events = interest(want_write);
+      event.data.ptr = watch.get();
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) < 0) {
+        throw_errno("epoll_ctl(ADD)");
+      }
+    }
+#endif
+    watches_.push_back(std::move(watch));
+  }
+
+  void update(int fd, bool want_write) {
+    Watch* watch = find(fd);
+    if (watch == nullptr || watch->want_write == want_write) return;
+    watch->want_write = want_write;
+#ifdef __linux__
+    if (epoll_fd_ >= 0) {
+      epoll_event event{};
+      event.events = interest(want_write);
+      event.data.ptr = watch;
+      (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event);
+    }
+#endif
+  }
+
+  void remove(int fd) {
+#ifdef __linux__
+    if (epoll_fd_ >= 0) (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+    const auto it = std::find_if(watches_.begin(), watches_.end(),
+                                 [fd](const auto& w) { return w->fd == fd; });
+    if (it != watches_.end()) watches_.erase(it);
+  }
+
+  void wait(std::vector<PollEvent>& out, int timeout_ms) {
+    out.clear();
+#ifdef __linux__
+    if (epoll_fd_ >= 0) {
+      std::array<epoll_event, 64> events{};
+      const int count =
+          ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), timeout_ms);
+      for (int i = 0; i < count; ++i) {
+        const auto& raw = events[static_cast<std::size_t>(i)];
+        const auto* watch = static_cast<const Watch*>(raw.data.ptr);
+        PollEvent event;
+        event.fd = watch->fd;
+        event.data = watch->data;
+        event.readable = (raw.events & EPOLLIN) != 0;
+        event.writable = (raw.events & EPOLLOUT) != 0;
+        event.closed = (raw.events & (EPOLLHUP | EPOLLERR)) != 0;
+        out.push_back(event);
+      }
+      return;
+    }
+#endif
+    pollfds_.clear();
+    for (const auto& watch : watches_) {
+      pollfd entry{};
+      entry.fd = watch->fd;
+      entry.events = static_cast<short>(POLLIN | (watch->want_write ? POLLOUT : 0));
+      pollfds_.push_back(entry);
+    }
+    const int count =
+        ::poll(pollfds_.data(), static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+    if (count <= 0) return;
+    for (std::size_t i = 0; i < pollfds_.size(); ++i) {
+      const auto revents = pollfds_[i].revents;
+      if (revents == 0) continue;
+      PollEvent event;
+      event.fd = watches_[i]->fd;
+      event.data = watches_[i]->data;
+      event.readable = (revents & POLLIN) != 0;
+      event.writable = (revents & POLLOUT) != 0;
+      event.closed = (revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+      out.push_back(event);
+    }
+  }
+
+ private:
+#ifdef __linux__
+  static std::uint32_t interest(bool want_write) {
+    return static_cast<std::uint32_t>(EPOLLIN) |
+           (want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  }
+#endif
+
+  Watch* find(int fd) {
+    for (const auto& watch : watches_) {
+      if (watch->fd == fd) return watch.get();
+    }
+    return nullptr;
+  }
+
+  std::vector<std::unique_ptr<Watch>> watches_;
+  std::vector<pollfd> pollfds_;
+  int epoll_fd_ = -1;
+};
+
+/// A response finished out of request order, parked until its turn.
+struct ReadyResponse {
+  std::uint64_t seq = 0;
+  std::string frame;
+};
+
+struct Connection {
+  explicit Connection(std::size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+
+  int fd = -1;
+  std::uint32_t slot = 0;
+  /// Distinguishes this connection from an earlier occupant of the same
+  /// slot; completions carry {slot, id} and are dropped on mismatch.
+  std::uint64_t id = 0;
+  FrameDecoder decoder;
+  std::string outbox;
+  std::size_t outbox_sent = 0;
+  /// Requests read so far; each frame takes the next sequence number.
+  std::uint64_t next_seq = 0;
+  /// The sequence number whose response goes out next.
+  std::uint64_t next_response = 0;
+  std::vector<ReadyResponse> ready;
+  Clock::time_point last_activity{};
+  /// Flush pending responses, then close (poisoned framing, SHUTDOWN).
+  bool closing = false;
+
+  [[nodiscard]] bool responses_pending() const noexcept {
+    return next_response != next_seq || outbox.size() != outbox_sent;
+  }
+};
+
+struct Job {
+  std::uint32_t slot = 0;
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  Request request;
+  Clock::time_point received{};
+};
+
+struct Completion {
+  std::uint32_t slot = 0;
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  std::string frame;
+  std::uint64_t latency_us = 0;
+  bool is_query = false;
+  bool ok = false;
+};
+
+/// The loaded capture plus its analysis, immutable once published.
+struct ResidentCapture {
+  ResidentCapture(std::string capture_path, core::AnalyzedCapture capture_analysis)
+      : path(std::move(capture_path)), analysis(std::move(capture_analysis)) {}
+
+  std::string path;
+  core::AnalyzedCapture analysis;
+};
+
+}  // namespace
+
+struct Daemon::Impl {
+  Impl(const telescope::Telescope& scope, const enrich::InternetRegistry& internet,
+       DaemonConfig daemon_config)
+      : config(std::move(daemon_config)), telescope(&scope), registry(&internet) {
+    if (config.unix_socket.empty() && !config.tcp) {
+      throw std::runtime_error("synscand: no listener configured (need unix socket or tcp)");
+    }
+    if (config.workers == 0) config.workers = 1;
+    if (obs::enabled()) {
+      auto& metrics = obs::MetricsRegistry::global();
+      obs_accepts = &metrics.counter("server.accepts");
+      obs_frames = &metrics.counter("server.frames");
+      obs_queries = &metrics.counter("server.queries");
+      obs_errors = &metrics.counter("server.errors");
+      obs_bytes_in = &metrics.counter("server.bytes_in");
+      obs_bytes_out = &metrics.counter("server.bytes_out");
+      obs_rejected = &metrics.counter("server.rejected_frames");
+      obs_idle_closes = &metrics.counter("server.idle_closes");
+      obs_loads = &metrics.counter("server.loads");
+      obs_connections = &metrics.gauge("server.connections");
+      obs_queue_depth = &metrics.gauge("server.queue_depth");
+      obs_latency = &metrics.histogram("server.query_latency_us");
+    }
+    open_listeners();
+    open_wake_pipe();
+    started = Clock::now();
+  }
+
+  ~Impl() {
+    close_fd(unix_fd);
+    close_fd(tcp_fd);
+    close_fd(wake_read);
+    close_fd(wake_write);
+    if (!config.unix_socket.empty()) (void)::unlink(config.unix_socket.c_str());
+  }
+
+  // ---- setup -------------------------------------------------------
+
+  static void close_fd(int& fd) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+
+  void open_listeners() {
+    if (!config.unix_socket.empty()) {
+      sockaddr_un address{};
+      address.sun_family = AF_UNIX;
+      if (config.unix_socket.size() >= sizeof(address.sun_path)) {
+        throw std::runtime_error("synscand: unix socket path too long: " +
+                                 config.unix_socket);
+      }
+      std::memcpy(address.sun_path, config.unix_socket.c_str(),
+                  config.unix_socket.size() + 1);
+      unix_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (unix_fd < 0) throw_errno("socket(AF_UNIX)");
+      (void)::unlink(config.unix_socket.c_str());
+      if (::bind(unix_fd, reinterpret_cast<const sockaddr*>(&address),
+                 sizeof(address)) < 0) {
+        throw_errno("bind(" + config.unix_socket + ")");
+      }
+      if (::listen(unix_fd, 256) < 0) throw_errno("listen(unix)");
+      set_nonblocking(unix_fd);
+      set_cloexec(unix_fd);
+    }
+    if (config.tcp) {
+      tcp_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (tcp_fd < 0) throw_errno("socket(AF_INET)");
+      const int one = 1;
+      (void)::setsockopt(tcp_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      sockaddr_in address{};
+      address.sin_family = AF_INET;
+      address.sin_port = htons(config.tcp_port);
+      // Loopback only: the protocol has no authentication.
+      address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::bind(tcp_fd, reinterpret_cast<const sockaddr*>(&address),
+                 sizeof(address)) < 0) {
+        throw_errno("bind(127.0.0.1)");
+      }
+      if (::listen(tcp_fd, 256) < 0) throw_errno("listen(tcp)");
+      sockaddr_in bound{};
+      socklen_t bound_len = sizeof(bound);
+      if (::getsockname(tcp_fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+        config.tcp_port = ntohs(bound.sin_port);
+      }
+      set_nonblocking(tcp_fd);
+      set_cloexec(tcp_fd);
+    }
+  }
+
+  void open_wake_pipe() {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) < 0) throw_errno("pipe");
+    wake_read = fds[0];
+    wake_write = fds[1];
+    set_nonblocking(wake_read);
+    set_nonblocking(wake_write);
+    set_cloexec(wake_read);
+    set_cloexec(wake_write);
+  }
+
+  void wake() {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write, &byte, 1);
+  }
+
+  // ---- resident state ----------------------------------------------
+
+  std::shared_ptr<const ResidentCapture> state_snapshot() {
+    const std::lock_guard<std::mutex> lock(state_mutex);
+    return state;
+  }
+
+  /// Analyzes `path` and swaps it in as the resident capture. Runs on a
+  /// worker (LOAD) or the caller's thread (preload). Throws on failure.
+  std::shared_ptr<const ResidentCapture> load_capture(const std::string& path) {
+    auto resident = std::make_shared<ResidentCapture>(
+        path, core::analyze_capture(path, *telescope, *registry,
+                                    config.analysis_workers, config.ingest));
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex);
+      state = resident;
+    }
+    if (obs_loads != nullptr) obs_loads->add();
+    return resident;
+  }
+
+  static std::string load_summary(const ResidentCapture& resident) {
+    std::string body;
+    body.append("{\"capture\":\"");
+    body.append(report::json_escape(resident.path));
+    body.append("\",\"frames\":");
+    body.append(std::to_string(resident.analysis.frames));
+    body.append(",\"scan_probes\":");
+    body.append(std::to_string(resident.analysis.result.sensor.scan_probes));
+    body.append(",\"campaigns\":");
+    body.append(std::to_string(resident.analysis.result.campaigns.size()));
+    body.append(",\"from_cache\":");
+    body.append(resident.analysis.from_cache ? "true" : "false");
+    body.append("}\n");
+    return body;
+  }
+
+  std::string status_payload() {
+    const auto snapshot = state_snapshot();
+    std::string out(kOkHeader);
+    out.append("{\"state\":\"");
+    if (loading.load(std::memory_order_relaxed)) {
+      out.append("loading");
+    } else {
+      out.append(snapshot ? "ready" : "idle");
+    }
+    out.append("\",\"capture\":\"");
+    if (snapshot) out.append(report::json_escape(snapshot->path));
+    out.append("\",\"frames\":");
+    out.append(std::to_string(snapshot ? snapshot->analysis.frames : 0));
+    out.append(",\"scan_probes\":");
+    out.append(std::to_string(snapshot ? snapshot->analysis.result.sensor.scan_probes : 0));
+    out.append(",\"campaigns\":");
+    out.append(std::to_string(snapshot ? snapshot->analysis.result.campaigns.size() : 0));
+    out.append(",\"from_cache\":");
+    out.append(snapshot && snapshot->analysis.from_cache ? "true" : "false");
+    out.append(",\"connections\":");
+    out.append(std::to_string(open_connections));
+    out.append(",\"queries_served\":");
+    out.append(std::to_string(queries));
+    out.append(",\"loads\":");
+    out.append(std::to_string(loads));
+    out.append(",\"uptime_ms\":");
+    out.append(std::to_string(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - started)
+            .count())));
+    out.append("}\n");
+    return out;
+  }
+
+  // ---- worker pool -------------------------------------------------
+
+  void start_workers() {
+    workers.reserve(config.workers);
+    for (std::size_t i = 0; i < config.workers; ++i) {
+      workers.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  void stop_workers() {
+    {
+      const std::lock_guard<std::mutex> lock(jobs_mutex);
+      jobs_stop = true;
+    }
+    jobs_ready.notify_all();
+    for (auto& worker : workers) {
+      if (worker.joinable()) worker.join();
+    }
+    workers.clear();
+  }
+
+  void enqueue_job(Job job) {
+    in_flight.fetch_add(1, std::memory_order_relaxed);
+    std::size_t depth = 0;
+    {
+      const std::lock_guard<std::mutex> lock(jobs_mutex);
+      jobs.push_back(std::move(job));
+      depth = jobs.size();
+    }
+    if (obs_queue_depth != nullptr) {
+      obs_queue_depth->record_max(static_cast<std::int64_t>(depth));
+    }
+    jobs_ready.notify_one();
+  }
+
+  void worker_main() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(jobs_mutex);
+        jobs_ready.wait(lock, [this] { return jobs_stop || !jobs.empty(); });
+        if (jobs.empty()) return;  // only reachable with jobs_stop set
+        job = std::move(jobs.front());
+        jobs.pop_front();
+      }
+      Completion completion;
+      completion.slot = job.slot;
+      completion.conn_id = job.conn_id;
+      completion.seq = job.seq;
+      std::string payload;
+      if (job.request.kind == RequestKind::kQuery) {
+        completion.is_query = true;
+        const auto snapshot = state_snapshot();
+        if (!snapshot) {
+          payload = error_response("no capture loaded (use LOAD <path>)");
+        } else {
+          payload.assign(kOkHeader);
+          std::string error;
+          if (run_query(snapshot->analysis, job.request, payload, error)) {
+            completion.ok = true;
+          } else {
+            payload = error_response(error);
+          }
+        }
+      } else {  // RequestKind::kLoad
+        try {
+          const auto resident = load_capture(job.request.argument);
+          payload.assign(kOkHeader);
+          payload.append(load_summary(*resident));
+          completion.ok = true;
+        } catch (const std::exception& e) {
+          payload = error_response(std::string("load failed: ") + e.what());
+        }
+        loading.store(false, std::memory_order_release);
+      }
+      completion.latency_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                job.received)
+              .count());
+      if (completion.is_query && obs_latency != nullptr) {
+        obs_latency->observe(completion.latency_us);
+      }
+      completion.frame = encode_frame(payload);
+      {
+        const std::lock_guard<std::mutex> lock(completions_mutex);
+        completions.push_back(std::move(completion));
+      }
+      wake();
+    }
+  }
+
+  // ---- event loop --------------------------------------------------
+
+  void serve() {
+    start_workers();
+    struct sigaction previous_int {};
+    struct sigaction previous_term {};
+    const bool signals = config.install_signal_handlers;
+    if (signals) {
+      g_signal_pending.store(false);
+      g_signal_wake_fd.store(wake_write);
+      struct sigaction action {};
+      action.sa_handler = on_signal;
+      (void)sigemptyset(&action.sa_mask);
+      (void)::sigaction(SIGINT, &action, &previous_int);
+      (void)::sigaction(SIGTERM, &action, &previous_term);
+    }
+
+    poller = std::make_unique<Poller>(config.force_poll);
+    poller->add(wake_read, nullptr, false);
+    if (unix_fd >= 0) poller->add(unix_fd, nullptr, false);
+    if (tcp_fd >= 0) poller->add(tcp_fd, nullptr, false);
+
+    std::vector<PollEvent> events;
+    auto last_sweep = Clock::now();
+    for (;;) {
+      poller->wait(events, 250);
+      if (shutdown_requested.exchange(false) ||
+          (signals && g_signal_pending.exchange(false))) {
+        begin_shutdown();
+      }
+      for (const auto& event : events) {
+        if (event.fd == wake_read) {
+          drain_wake_pipe();
+        } else if (event.fd == unix_fd || event.fd == tcp_fd) {
+          accept_pending(event.fd);
+        } else {
+          auto* conn = static_cast<Connection*>(event.data);
+          if (conn->fd < 0) continue;  // closed earlier this iteration
+          if (event.closed) {
+            close_connection(*conn);
+            continue;
+          }
+          if (event.readable) handle_readable(*conn);
+          if (conn->fd >= 0 && event.writable) flush_outbox(*conn);
+        }
+      }
+      drain_completions();
+      const auto now = Clock::now();
+      if (now - last_sweep >= std::chrono::milliseconds(250)) {
+        last_sweep = now;
+        sweep_idle(now);
+      }
+      if (draining) {
+        sweep_drained();
+        const bool drained =
+            open_connections == 0 && in_flight.load(std::memory_order_relaxed) == 0;
+        if (drained || now >= drain_deadline) break;
+      }
+      reap_dead_slots();
+    }
+
+    stop_workers();
+    for (auto& conn : connections) {
+      if (conn && conn->fd >= 0) close_connection(*conn);
+    }
+    reap_dead_slots();
+    poller.reset();
+
+    if (signals) {
+      g_signal_wake_fd.store(-1);
+      (void)::sigaction(SIGINT, &previous_int, nullptr);
+      (void)::sigaction(SIGTERM, &previous_term, nullptr);
+    }
+  }
+
+  void begin_shutdown() {
+    if (draining) return;
+    draining = true;
+    drain_deadline = Clock::now() + std::chrono::milliseconds(config.drain_timeout_ms);
+    if (unix_fd >= 0) {
+      poller->remove(unix_fd);
+      close_fd(unix_fd);
+    }
+    if (tcp_fd >= 0) {
+      poller->remove(tcp_fd);
+      close_fd(tcp_fd);
+    }
+  }
+
+  void drain_wake_pipe() {
+    std::array<char, 256> sink{};
+    while (::read(wake_read, sink.data(), sink.size()) > 0) {
+    }
+  }
+
+  void accept_pending(int listener) {
+    for (;;) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        break;  // EAGAIN or a transient accept failure: retry next event
+      }
+      if (draining) {
+        ::close(fd);
+        continue;
+      }
+      set_nonblocking(fd);
+      set_cloexec(fd);
+      std::uint32_t slot = 0;
+      if (!free_slots.empty()) {
+        slot = free_slots.back();
+        free_slots.pop_back();
+      } else {
+        slot = static_cast<std::uint32_t>(connections.size());
+        connections.emplace_back();
+      }
+      auto conn = std::make_unique<Connection>(config.max_frame_bytes);
+      conn->fd = fd;
+      conn->slot = slot;
+      conn->id = next_conn_id++;
+      conn->last_activity = Clock::now();
+      poller->add(fd, conn.get(), false);
+      connections[slot] = std::move(conn);
+      ++open_connections;
+      ++accepts;
+      if (obs_accepts != nullptr) obs_accepts->add();
+      if (obs_connections != nullptr) {
+        obs_connections->store(static_cast<std::int64_t>(open_connections));
+      }
+    }
+  }
+
+  void close_connection(Connection& conn) {
+    poller->remove(conn.fd);
+    ::close(conn.fd);
+    conn.fd = -1;
+    --open_connections;
+    dead_slots.push_back(conn.slot);
+    if (obs_connections != nullptr) {
+      obs_connections->store(static_cast<std::int64_t>(open_connections));
+    }
+  }
+
+  /// Frees Connection objects closed during this loop iteration. Events
+  /// translated earlier in the iteration may still point at them, so
+  /// destruction waits until the batch is fully processed.
+  void reap_dead_slots() {
+    for (const auto slot : dead_slots) {
+      connections[slot].reset();
+      free_slots.push_back(slot);
+    }
+    dead_slots.clear();
+  }
+
+  void handle_readable(Connection& conn) {
+    std::array<char, 16384> buffer{};
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buffer.data(), buffer.size(), 0);
+      if (n > 0) {
+        conn.last_activity = Clock::now();
+        bytes_in += static_cast<std::uint64_t>(n);
+        if (obs_bytes_in != nullptr) obs_bytes_in->add(static_cast<std::uint64_t>(n));
+        conn.decoder.absorb(
+            std::string_view(buffer.data(), static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (n == 0) {
+        // Peer closed its end; any undelivered responses have no reader.
+        close_connection(conn);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(conn);
+      return;
+    }
+    std::string payload;
+    while (!conn.closing) {
+      const auto status = conn.decoder.next(payload);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kTooLarge) {
+        ++errors;
+        if (obs_errors != nullptr) obs_errors->add();
+        if (obs_rejected != nullptr) obs_rejected->add();
+        respond_inline(conn,
+                       error_response("frame exceeds " +
+                                      std::to_string(conn.decoder.max_payload_bytes()) +
+                                      " byte limit"));
+        conn.closing = true;
+        break;
+      }
+      handle_frame(conn, payload);
+      if (conn.fd < 0) return;
+    }
+    flush_outbox(conn);
+  }
+
+  void handle_frame(Connection& conn, std::string_view payload) {
+    ++frames;
+    if (obs_frames != nullptr) obs_frames->add();
+    Request request;
+    std::string error;
+    if (!parse_request(payload, request, error)) {
+      ++errors;
+      if (obs_errors != nullptr) obs_errors->add();
+      respond_inline(conn, error_response(error));
+      return;
+    }
+    switch (request.kind) {
+      case RequestKind::kPing:
+        respond_inline(conn, std::string(kOkHeader));
+        break;
+      case RequestKind::kStatus:
+        respond_inline(conn, status_payload());
+        break;
+      case RequestKind::kShutdown:
+        respond_inline(conn, std::string(kOkHeader));
+        conn.closing = true;
+        begin_shutdown();
+        break;
+      case RequestKind::kLoad:
+        if (draining) {
+          ++errors;
+          if (obs_errors != nullptr) obs_errors->add();
+          respond_inline(conn, error_response("daemon is shutting down"));
+        } else if (loading.exchange(true, std::memory_order_acq_rel)) {
+          ++errors;
+          if (obs_errors != nullptr) obs_errors->add();
+          respond_inline(conn, error_response("a load is already in progress"));
+        } else {
+          enqueue_request(conn, std::move(request));
+        }
+        break;
+      case RequestKind::kQuery:
+        enqueue_request(conn, std::move(request));
+        break;
+    }
+  }
+
+  void enqueue_request(Connection& conn, Request request) {
+    Job job;
+    job.slot = conn.slot;
+    job.conn_id = conn.id;
+    job.seq = conn.next_seq++;
+    job.request = std::move(request);
+    job.received = Clock::now();
+    enqueue_job(std::move(job));
+  }
+
+  /// Answers a request on the loop thread (PING, STATUS, errors). Goes
+  /// through the same sequencing as worker completions so interleaved
+  /// inline and pooled responses still come out in request order.
+  void respond_inline(Connection& conn, std::string payload) {
+    const auto seq = conn.next_seq++;
+    deliver(conn, seq, encode_frame(payload));
+  }
+
+  void deliver(Connection& conn, std::uint64_t seq, std::string frame) {
+    if (seq != conn.next_response) {
+      conn.ready.push_back(ReadyResponse{seq, std::move(frame)});
+      return;
+    }
+    conn.outbox.append(frame);
+    ++conn.next_response;
+    bool advanced = true;
+    while (advanced && !conn.ready.empty()) {
+      advanced = false;
+      for (std::size_t i = 0; i < conn.ready.size(); ++i) {
+        if (conn.ready[i].seq != conn.next_response) continue;
+        conn.outbox.append(conn.ready[i].frame);
+        ++conn.next_response;
+        conn.ready.erase(conn.ready.begin() + static_cast<std::ptrdiff_t>(i));
+        advanced = true;
+        break;
+      }
+    }
+  }
+
+  void drain_completions() {
+    std::vector<Completion> batch;
+    {
+      const std::lock_guard<std::mutex> lock(completions_mutex);
+      batch.swap(completions);
+    }
+    for (auto& completion : batch) {
+      in_flight.fetch_sub(1, std::memory_order_relaxed);
+      if (completion.is_query) {
+        if (completion.ok) {
+          ++queries;
+          if (obs_queries != nullptr) obs_queries->add();
+        } else {
+          ++errors;
+          if (obs_errors != nullptr) obs_errors->add();
+        }
+      } else if (completion.ok) {
+        ++loads;
+      } else {
+        ++errors;
+        if (obs_errors != nullptr) obs_errors->add();
+      }
+      Connection* conn = completion.slot < connections.size()
+                             ? connections[completion.slot].get()
+                             : nullptr;
+      if (conn == nullptr || conn->id != completion.conn_id || conn->fd < 0) {
+        continue;  // the client went away while its query ran
+      }
+      deliver(*conn, completion.seq, std::move(completion.frame));
+      flush_outbox(*conn);
+    }
+  }
+
+  void flush_outbox(Connection& conn) {
+    while (conn.outbox_sent < conn.outbox.size()) {
+      const ssize_t n = ::send(conn.fd, conn.outbox.data() + conn.outbox_sent,
+                               conn.outbox.size() - conn.outbox_sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.outbox_sent += static_cast<std::size_t>(n);
+        bytes_out += static_cast<std::uint64_t>(n);
+        if (obs_bytes_out != nullptr) obs_bytes_out->add(static_cast<std::uint64_t>(n));
+        conn.last_activity = Clock::now();
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(conn);
+      return;
+    }
+    if (conn.outbox_sent == conn.outbox.size()) {
+      conn.outbox.clear();
+      conn.outbox_sent = 0;
+      if (conn.closing && !conn.responses_pending()) {
+        close_connection(conn);
+        return;
+      }
+      poller->update(conn.fd, false);
+      return;
+    }
+    if (conn.outbox.size() - conn.outbox_sent > config.max_outbox_bytes) {
+      // The client stopped reading; shedding it beats buffering forever.
+      ++errors;
+      if (obs_errors != nullptr) obs_errors->add();
+      close_connection(conn);
+      return;
+    }
+    poller->update(conn.fd, true);
+  }
+
+  void sweep_idle(Clock::time_point now) {
+    if (config.idle_timeout_ms == 0) return;
+    const auto timeout = std::chrono::milliseconds(config.idle_timeout_ms);
+    for (const auto& conn : connections) {
+      if (!conn || conn->fd < 0) continue;
+      if (conn->responses_pending()) continue;
+      if (now - conn->last_activity >= timeout) {
+        ++idle_closes;
+        if (obs_idle_closes != nullptr) obs_idle_closes->add();
+        close_connection(*conn);
+      }
+    }
+  }
+
+  /// During a drain, connections with nothing left to say are closed
+  /// regardless of idle configuration.
+  void sweep_drained() {
+    for (const auto& conn : connections) {
+      if (!conn || conn->fd < 0) continue;
+      if (!conn->responses_pending()) close_connection(*conn);
+    }
+  }
+
+  // ---- data --------------------------------------------------------
+
+  DaemonConfig config;
+  const telescope::Telescope* telescope;
+  const enrich::InternetRegistry* registry;
+
+  int unix_fd = -1;
+  int tcp_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+
+  std::mutex state_mutex;
+  std::shared_ptr<const ResidentCapture> state;
+  std::atomic<bool> loading{false};
+
+  std::mutex jobs_mutex;
+  std::condition_variable jobs_ready;
+  std::deque<Job> jobs;
+  bool jobs_stop = false;  ///< guarded by jobs_mutex
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> in_flight{0};
+
+  std::mutex completions_mutex;
+  std::vector<Completion> completions;
+
+  // Everything below is owned by the event loop thread.
+  std::unique_ptr<Poller> poller;
+  std::vector<std::unique_ptr<Connection>> connections;
+  std::vector<std::uint32_t> free_slots;
+  std::vector<std::uint32_t> dead_slots;
+  std::size_t open_connections = 0;
+  std::uint64_t next_conn_id = 1;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  std::atomic<bool> shutdown_requested{false};
+
+  // Plain tallies mirrored into obs cells; STATUS reads these so the
+  // daemon reports activity even with observability off.
+  std::uint64_t accepts = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t idle_closes = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  Clock::time_point started{};
+
+  obs::Counter* obs_accepts = nullptr;
+  obs::Counter* obs_frames = nullptr;
+  obs::Counter* obs_queries = nullptr;
+  obs::Counter* obs_errors = nullptr;
+  obs::Counter* obs_bytes_in = nullptr;
+  obs::Counter* obs_bytes_out = nullptr;
+  obs::Counter* obs_rejected = nullptr;
+  obs::Counter* obs_idle_closes = nullptr;
+  obs::Counter* obs_loads = nullptr;
+  obs::Gauge* obs_connections = nullptr;
+  obs::Gauge* obs_queue_depth = nullptr;
+  obs::Histogram* obs_latency = nullptr;
+};
+
+Daemon::Daemon(const telescope::Telescope& telescope,
+               const enrich::InternetRegistry& registry, DaemonConfig config)
+    : impl_(std::make_unique<Impl>(telescope, registry, std::move(config))) {}
+
+Daemon::~Daemon() = default;
+
+void Daemon::preload(const std::string& capture) {
+  (void)impl_->load_capture(capture);
+  ++impl_->loads;
+}
+
+void Daemon::serve() { impl_->serve(); }
+
+void Daemon::request_shutdown() {
+  impl_->shutdown_requested.store(true);
+  impl_->wake();
+}
+
+std::uint16_t Daemon::tcp_port() const noexcept {
+  return impl_->config.tcp ? impl_->config.tcp_port : 0;
+}
+
+const std::string& Daemon::unix_socket_path() const noexcept {
+  return impl_->config.unix_socket;
+}
+
+}  // namespace synscan::server

@@ -1,0 +1,70 @@
+#include "server/frame.h"
+
+#include <cstring>
+
+namespace synscan::server {
+namespace {
+
+/// The length prefix is serialized explicitly byte-by-byte so the wire
+/// format is little-endian on every host.
+void put_u32_le(char* out, std::uint32_t value) {
+  out[0] = static_cast<char>(value & 0xff);
+  out[1] = static_cast<char>((value >> 8) & 0xff);
+  out[2] = static_cast<char>((value >> 16) & 0xff);
+  out[3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+std::uint32_t get_u32_le(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24);
+}
+
+}  // namespace
+
+void append_frame(std::string& out, std::string_view payload) {
+  char header[kFrameHeaderBytes];
+  put_u32_le(header, static_cast<std::uint32_t>(payload.size()));
+  out.append(header, kFrameHeaderBytes);
+  out.append(payload);
+}
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(out, payload);
+  return out;
+}
+
+void FrameDecoder::absorb(std::string_view bytes) {
+  if (poisoned_) return;  // stream is dead; don't grow the buffer
+  // Compact once the drained prefix dominates, so a long-lived
+  // connection's buffer doesn't creep: memmove the live suffix down
+  // instead of erasing per frame.
+  if (consumed_ > 4096 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string& payload) {
+  if (poisoned_) return Status::kTooLarge;
+  if (buffered() < kFrameHeaderBytes) return Status::kNeedMore;
+  const std::uint32_t length = get_u32_le(buffer_.data() + consumed_);
+  if (length > max_payload_) {
+    poisoned_ = true;
+    return Status::kTooLarge;
+  }
+  if (buffered() < kFrameHeaderBytes + length) return Status::kNeedMore;
+  payload.assign(buffer_, consumed_ + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return Status::kFrame;
+}
+
+}  // namespace synscan::server

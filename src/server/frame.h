@@ -1,0 +1,73 @@
+// synscand wire framing: length-prefixed frames over a byte stream.
+//
+// Every message — request or response — travels as one frame:
+//
+//   [u32 little-endian payload length][payload bytes]
+//
+// The decoder is push-based and stream-oriented: feed it whatever the
+// socket produced (half a header, three coalesced frames, one byte at a
+// time) and pull complete payloads out. A length above the configured
+// cap poisons the stream — the framing can no longer be trusted, so the
+// caller answers with an error and closes the connection (tested in
+// tests/server/frame_test.cpp and daemon_test.cpp). Zero-length frames
+// are valid at this layer; the protocol layer rejects empty requests.
+//
+// Full protocol spec: docs/SYNSCAND.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace synscan::server {
+
+/// Default cap on one frame's payload. Requests are short command lines;
+/// anything near this size is a confused or malicious peer. Responses
+/// (which can be large JSONL bodies) are sent, not decoded, by the
+/// daemon, so the cap only guards the receive path.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Bytes of length prefix in front of every payload.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Appends one encoded frame (header + payload) to `out`.
+void append_frame(std::string& out, std::string_view payload);
+
+/// One encoded frame as a fresh string.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame parser over a reassembly buffer.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     ///< `payload` holds one complete frame's payload
+    kNeedMore,  ///< no complete frame buffered yet
+    kTooLarge,  ///< advertised length exceeds the cap — close the stream
+  };
+
+  explicit FrameDecoder(std::size_t max_payload_bytes = kDefaultMaxFrameBytes)
+      : max_payload_(max_payload_bytes) {}
+
+  /// Appends raw socket bytes to the reassembly buffer.
+  void absorb(std::string_view bytes);
+
+  /// Extracts the next complete payload, if any. After `kTooLarge` the
+  /// decoder stays poisoned and keeps returning `kTooLarge`.
+  [[nodiscard]] Status next(std::string& payload);
+
+  /// Bytes currently buffered and not yet consumed by `next`.
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+  [[nodiscard]] std::size_t max_payload_bytes() const noexcept { return max_payload_; }
+
+ private:
+  std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< drained prefix, compacted opportunistically
+  bool poisoned_ = false;
+};
+
+}  // namespace synscan::server

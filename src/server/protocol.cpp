@@ -1,0 +1,107 @@
+#include "server/protocol.h"
+
+namespace synscan::server {
+namespace {
+
+/// Splits off the next space-delimited token; empty when exhausted.
+std::string_view take_token(std::string_view& rest) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  const auto space = rest.find(' ');
+  const auto token = rest.substr(0, space);
+  rest.remove_prefix(space == std::string_view::npos ? rest.size() : space);
+  return token;
+}
+
+bool printable_line(std::string_view payload) {
+  for (const char c : payload) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_request(std::string_view payload, Request& request, std::string& error) {
+  request = Request{};
+  if (payload.empty()) {
+    error = "empty request";
+    return false;
+  }
+  // Reject binary garbage before treating it as a command line; the
+  // offending bytes would only garble the error message anyway.
+  if (!printable_line(payload)) {
+    error = "request is not a printable command line";
+    return false;
+  }
+  std::string_view rest = payload;
+  const auto verb = take_token(rest);
+  if (verb == "PING") {
+    request.kind = RequestKind::kPing;
+  } else if (verb == "STATUS") {
+    request.kind = RequestKind::kStatus;
+  } else if (verb == "SHUTDOWN") {
+    request.kind = RequestKind::kShutdown;
+  } else if (verb == "LOAD") {
+    request.kind = RequestKind::kLoad;
+    // The remainder is the path verbatim (paths may contain spaces).
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    if (rest.empty()) {
+      error = "LOAD requires a capture path";
+      return false;
+    }
+    request.argument.assign(rest);
+    rest = {};
+  } else if (verb == "QUERY") {
+    request.kind = RequestKind::kQuery;
+    const auto report = take_token(rest);
+    if (report.empty()) {
+      error = "QUERY requires a report name";
+      return false;
+    }
+    request.argument.assign(report);
+    for (auto token = take_token(rest); !token.empty(); token = take_token(rest)) {
+      const auto eq = token.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        error = "malformed filter '" + std::string(token) + "' (expected key=value)";
+        return false;
+      }
+      request.filters.push_back(QueryFilter{std::string(token.substr(0, eq)),
+                                            std::string(token.substr(eq + 1))});
+    }
+  } else {
+    error = "unknown command '" + std::string(verb) + "'";
+    return false;
+  }
+  // Trailing junk after a complete command is an error, not ignored:
+  // it usually means a framing bug on the client side.
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (!rest.empty()) {
+    error = "trailing bytes after command";
+    return false;
+  }
+  return true;
+}
+
+std::string error_response(std::string_view message) {
+  std::string out;
+  out.reserve(4 + message.size());
+  out.append("ERR ");
+  out.append(message);
+  return out;
+}
+
+bool parse_response(std::string_view payload, std::string_view& body,
+                    std::string& error) {
+  if (payload.rfind(kOkHeader, 0) == 0) {
+    body = payload.substr(kOkHeader.size());
+    return true;
+  }
+  if (payload.rfind("ERR ", 0) == 0) {
+    error.assign(payload.substr(4));
+    return false;
+  }
+  error = "malformed response envelope";
+  return false;
+}
+
+}  // namespace synscan::server

@@ -1,0 +1,32 @@
+// Query execution over a resident `core::AnalyzedCapture`.
+//
+// Every report serializes through the same `report::append_*` string
+// emission the offline `analyze --json` path uses, so a daemon QUERY
+// response is byte-identical to the offline file for the same capture
+// and worker count. Execution is const over the shared analysis — the
+// daemon's worker pool runs these concurrently against one instance
+// with no locking (see docs/SYNSCAND.md, "State residency").
+//
+// Reports:
+//   counters                      the run's counters object + '\n'
+//   campaigns [tool=] [min_packets=] [max_ports=]
+//                                 campaign JSONL, optionally filtered
+//   analyze                       counters + '\n' + campaign JSONL —
+//                                 exactly the offline `--json` file bytes
+#pragma once
+
+#include <string>
+
+#include "core/analysis_session.h"
+#include "server/protocol.h"
+
+namespace synscan::server {
+
+/// Serializes the report named by `request` (kind kQuery) into `out`,
+/// appending. Returns false with a reason in `error` for unknown report
+/// names or bad filters; `out` is untouched in that case.
+[[nodiscard]] bool run_query(const core::AnalyzedCapture& analysis,
+                             const Request& request, std::string& out,
+                             std::string& error);
+
+}  // namespace synscan::server

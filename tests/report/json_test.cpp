@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 namespace synscan::report {
@@ -78,6 +79,45 @@ TEST(CountersJson, AllCountersPresent) {
   EXPECT_NE(text.find("\"backscatter\":2"), std::string::npos);
   EXPECT_NE(text.find("\"subthreshold_flows\":5"), std::string::npos);
   EXPECT_NE(text.find("\"campaigns\":0"), std::string::npos);
+}
+
+// The daemon serves `append_*` strings while the CLI writes through the
+// `write_*` stream wrappers; QUERY-vs-offline byte identity rests on the
+// two layers emitting the same bytes.
+TEST(JsonLayers, StreamAndStringEmissionAreByteIdentical) {
+  const auto campaign = sample_campaign();
+  std::string appended;
+  append_campaign_json(appended, campaign);
+  std::ostringstream streamed;
+  write_campaign_json(streamed, campaign);
+  EXPECT_EQ(streamed.str(), appended);
+
+  core::PipelineResult result;
+  result.sensor.scan_probes = 987654321;
+  result.tracker.subthreshold_flows = 42;
+  std::string counters;
+  append_counters_json(counters, result);
+  std::ostringstream counters_stream;
+  write_counters_json(counters_stream, result);
+  EXPECT_EQ(counters_stream.str(), counters);
+}
+
+TEST(JsonLayers, LargeJsonlExportMatchesAcrossChunkedFlushes) {
+  // Enough campaigns that the streaming side flushes its row buffer many
+  // times mid-export; the concatenation must still match the one-shot
+  // string build.
+  std::vector<core::Campaign> campaigns(2000, sample_campaign());
+  for (std::size_t i = 0; i < campaigns.size(); ++i) {
+    campaigns[i].id = i;
+    campaigns[i].packets = 100 + i;
+    campaigns[i].port_packets[static_cast<std::uint16_t>(1 + i % 4000)] = 1;
+  }
+  std::string appended;
+  append_campaigns_jsonl(appended, campaigns);
+  std::ostringstream streamed;
+  write_campaigns_jsonl(streamed, campaigns);
+  EXPECT_GT(appended.size(), 64u * 1024u);  // exercises maybe_flush
+  EXPECT_EQ(streamed.str(), appended);
 }
 
 }  // namespace

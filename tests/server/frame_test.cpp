@@ -1,0 +1,105 @@
+#include "server/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace synscan::server {
+namespace {
+
+TEST(Frame, EncodeRoundTripsThroughDecoder) {
+  FrameDecoder decoder;
+  decoder.absorb(encode_frame("QUERY counters"));
+  std::string payload;
+  ASSERT_EQ(decoder.next(payload), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(payload, "QUERY counters");
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frame, AppendFrameMatchesEncodeFrame) {
+  std::string appended("prefix");
+  append_frame(appended, "PING");
+  EXPECT_EQ(appended.substr(6), encode_frame("PING"));
+}
+
+TEST(Frame, HeaderIsLittleEndianLength) {
+  const auto encoded = encode_frame("abc");
+  ASSERT_EQ(encoded.size(), kFrameHeaderBytes + 3);
+  EXPECT_EQ(encoded[0], '\x03');
+  EXPECT_EQ(encoded[1], '\x00');
+  EXPECT_EQ(encoded[2], '\x00');
+  EXPECT_EQ(encoded[3], '\x00');
+}
+
+TEST(Frame, PartialDeliveryByteByByte) {
+  const auto encoded = encode_frame("STATUS");
+  FrameDecoder decoder;
+  std::string payload;
+  for (std::size_t i = 0; i + 1 < encoded.size(); ++i) {
+    decoder.absorb(std::string_view(&encoded[i], 1));
+    ASSERT_EQ(decoder.next(payload), FrameDecoder::Status::kNeedMore) << "byte " << i;
+  }
+  decoder.absorb(std::string_view(&encoded[encoded.size() - 1], 1));
+  ASSERT_EQ(decoder.next(payload), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(payload, "STATUS");
+}
+
+TEST(Frame, CoalescedFramesDecodeInOrder) {
+  std::string wire;
+  append_frame(wire, "one");
+  append_frame(wire, "");
+  append_frame(wire, "three");
+  FrameDecoder decoder;
+  decoder.absorb(wire);
+  std::string payload;
+  ASSERT_EQ(decoder.next(payload), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(payload, "one");
+  ASSERT_EQ(decoder.next(payload), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(payload, "");  // zero-length frames are valid at this layer
+  ASSERT_EQ(decoder.next(payload), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(payload, "three");
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kNeedMore);
+}
+
+TEST(Frame, MaxLengthPayloadAccepted) {
+  FrameDecoder decoder(64);
+  const std::string body(64, 'x');
+  decoder.absorb(encode_frame(body));
+  std::string payload;
+  ASSERT_EQ(decoder.next(payload), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(payload, body);
+}
+
+TEST(Frame, OversizedFramePoisonsDecoder) {
+  FrameDecoder decoder(64);
+  decoder.absorb(encode_frame(std::string(65, 'x')));
+  std::string payload;
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kTooLarge);
+  // Poisoned for good: even a well-formed follow-up frame is rejected,
+  // because stream framing can no longer be trusted.
+  decoder.absorb(encode_frame("PING"));
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kTooLarge);
+}
+
+TEST(Frame, OversizeDetectedFromHeaderAlone) {
+  FrameDecoder decoder(1024);
+  const std::string header("\xff\xff\xff\x7f", 4);  // ~2 GiB advertised
+  decoder.absorb(header);
+  std::string payload;
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kTooLarge);
+}
+
+TEST(Frame, ManySequentialFramesCompactTheBuffer) {
+  FrameDecoder decoder;
+  std::string payload;
+  for (int i = 0; i < 5000; ++i) {
+    decoder.absorb(encode_frame("QUERY campaigns tool=zmap"));
+    ASSERT_EQ(decoder.next(payload), FrameDecoder::Status::kFrame);
+    ASSERT_EQ(payload, "QUERY campaigns tool=zmap");
+  }
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace synscan::server

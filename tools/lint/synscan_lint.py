@@ -5,9 +5,10 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
 
   hot-path-container  std::unordered_map/std::unordered_set/std::map and
                       friends are banned in the hot-path directories
-                      (src/core, src/net, src/pcap, src/telescope); the
-                      flat containers from the tracker rewrite are
-                      mandatory there.
+                      (src/core, src/enrich, src/fingerprint, src/net,
+                      src/pcap, src/server, src/telescope); the flat
+                      containers from the tracker rewrite are mandatory
+                      there.
   metric-doc-sync     every metric name registered in code appears in
                       docs/OBSERVABILITY.md and every documented name is
                       registered in code.
@@ -42,6 +43,7 @@ HOT_PATH_DIRS = (
     "src/fingerprint",
     "src/net",
     "src/pcap",
+    "src/server",
     "src/telescope",
 )
 METRIC_CODE_DIRS = ("src", "bench")

@@ -1,0 +1,9 @@
+// Fixture: cold admin path, ordered iteration wanted for a debug dump.
+// synscan-lint: allow-file(hot-path-container)
+#include <map>
+
+unsigned hot_connection_lookup(int fd) {
+  std::map<int, unsigned> connections;
+  connections[fd] = 1;
+  return connections[fd];
+}

@@ -1,0 +1,7 @@
+#include <map>
+
+unsigned hot_connection_lookup(int fd) {
+  std::map<int, unsigned> connections;
+  connections[fd] = 1;
+  return connections[fd];
+}
