@@ -11,6 +11,8 @@
 //                   (docs/OBSERVABILITY.md documents the schema)
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -18,6 +20,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/analysis_summary.h"
 #include "core/daily_series.h"
@@ -116,6 +120,39 @@ inline Options parse_options(int argc, char** argv) {
   }
   install_metrics_hook(options, argc > 0 ? argv[0] : "bench");
   return options;
+}
+
+/// Warmed median-of-N runner. Executes `run` `warmup` unmeasured times
+/// (absorbing cold-cache and first-touch page-fault effects), then
+/// `iterations` measured times, and returns the run whose duration —
+/// extracted by `seconds_of(result)` — is the median. BENCH_*.json is a
+/// trajectory compared across commits, so a single-shot sample's
+/// run-to-run swing reads as a phantom regression; the warmup + median
+/// pair is what makes one appended record comparable to the last.
+template <typename Run, typename SecondsOf>
+auto median_result(Run&& run, SecondsOf&& seconds_of, int iterations, int warmup) {
+  for (int i = 0; i < warmup; ++i) (void)run();
+  using Result = decltype(run());
+  std::vector<Result> results;
+  results.reserve(static_cast<std::size_t>(std::max(iterations, 1)));
+  for (int i = 0; i < std::max(iterations, 1); ++i) results.push_back(run());
+  std::sort(results.begin(), results.end(), [&](const Result& a, const Result& b) {
+    return seconds_of(a) < seconds_of(b);
+  });
+  return std::move(results[results.size() / 2]);
+}
+
+/// Median wall-clock seconds of `body` over warmed iterations.
+template <typename Body>
+double median_seconds(Body&& body, int iterations = 5, int warmup = 1) {
+  return median_result(
+      [&body] {
+        const auto start = std::chrono::steady_clock::now();
+        body();
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+      },
+      [](double seconds) { return seconds; }, iterations, warmup);
 }
 
 /// Which streaming observers a bench needs (each costs memory/time).

@@ -6,14 +6,25 @@
 //   pre        — the original path: pcap::Reader (buffered istream, one
 //                byte-vector copy per record) + per-frame
 //                Sensor::classify through decode_frame;
-//   mmap_batch — core::ingest_capture with the cache off: mmap'ed
-//                frame views, Sensor::classify_batch, SoA ProbeBatch;
+//   mmap_batch — core::ingest_capture with the cache off: fused
+//                chunked scan + SIMD batch classify, SoA ProbeBatch;
 //   cache_warm — core::ingest_capture over the .spc probe cache the
 //                cold pass just wrote (decode and classify skipped).
 // The probe counts of all paths must agree; the binary exits non-zero
 // if they diverge, so the baseline doubles as a correctness smoke.
 //
+// Every measured path is reported as a warmed median-of-N
+// (bench::median_result) next to a memcpy GB/s baseline measured on the
+// same buffer size, so each record carries the machine's effective
+// memory bandwidth: frames/s numbers from different hosts (or a noisy
+// VM) become comparable as a fraction of memcpy. `--check-ratio=<min>`
+// turns that fraction into a CI gate — mmap_batch GB/s must clear
+// `min × memcpy GB/s` — which catches a gross ingest regression (e.g.
+// silently falling back to the per-record path) without the flakiness
+// of absolute-time assertions on shared runners.
+//
 // Usage: bench_ingest [--frames=N] [--label=STR] [--seed=N]
+//                     [--iters=N] [--warmup=N] [--check-ratio=MIN]
 // Output: one JSON object on stdout.
 #include <chrono>
 #include <cinttypes>
@@ -21,9 +32,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/ingest.h"
 #include "pcap/pcap.h"
 #include "simgen/rng.h"
@@ -59,6 +73,11 @@ struct Options {
   std::uint64_t frames = 2'000'000;
   std::uint64_t seed = 20240806;
   std::string label = "ingest";
+  int iterations = 5;
+  int warmup = 1;
+  /// Minimum mmap_batch GB/s as a fraction of the measured memcpy GB/s
+  /// baseline; < 0 disables the gate.
+  double check_ratio = -1.0;
 };
 
 Options parse(int argc, char** argv) {
@@ -71,6 +90,12 @@ Options parse(int argc, char** argv) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--label=", 0) == 0) {
       options.label = arg.substr(8);
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      options.iterations = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      options.warmup = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--check-ratio=", 0) == 0) {
+      options.check_ratio = std::strtod(arg.c_str() + 14, nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       std::exit(2);
@@ -136,6 +161,23 @@ struct PathResult {
   std::uint64_t probes = 0;
 };
 
+/// Measured memcpy bandwidth over a buffer the size of the capture —
+/// the hardware ceiling every ingest GB/s column is judged against.
+double measure_memcpy_gbps(const fs::path& capture, const Options& options) {
+  std::ifstream in(capture, std::ios::binary);
+  std::vector<char> src((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  std::vector<char> dst(src.size());
+  const double seconds = synscan::bench::median_seconds(
+      [&] {
+        std::memcpy(dst.data(), src.data(), src.size());
+        // Keep the copy observable so the optimizer cannot drop it.
+        asm volatile("" : : "r"(dst.data()) : "memory");
+      },
+      options.iterations, options.warmup);
+  return static_cast<double>(src.size()) / seconds / 1e9;
+}
+
 /// The original record-at-a-time path this PR replaced; kept in-tree as
 /// pcap::Reader, so the "pre" row stays measurable on every commit.
 PathResult run_reader_per_frame(const fs::path& path) {
@@ -188,10 +230,17 @@ int main(int argc, char** argv) {
   write_capture(capture, options);
   const auto capture_bytes = fs::file_size(capture);
 
-  const auto pre = run_reader_per_frame(capture);
-  const auto post = run_ingest(capture, /*use_cache=*/false, /*expect_hit=*/false);
+  const auto seconds_of = [](const PathResult& r) { return r.seconds; };
+  const auto median = [&](auto&& run) {
+    return synscan::bench::median_result(run, seconds_of, options.iterations,
+                                         options.warmup);
+  };
+
+  const double memcpy_gbps = measure_memcpy_gbps(capture, options);
+  const auto pre = median([&] { return run_reader_per_frame(capture); });
+  const auto post = median([&] { return run_ingest(capture, false, false); });
   (void)run_ingest(capture, true, false);  // cold pass writes the .spc
-  const auto warm = run_ingest(capture, /*use_cache=*/true, /*expect_hit=*/true);
+  const auto warm = median([&] { return run_ingest(capture, true, true); });
   fs::remove_all(dir);
 
   if (pre.probes != post.probes || pre.probes != warm.probes ||
@@ -207,16 +256,35 @@ int main(int argc, char** argv) {
   const auto fps = [](const PathResult& r) {
     return static_cast<double>(r.frames) / r.seconds;
   };
+  // Effective capture bandwidth: original capture bytes retired per
+  // second, regardless of which representation the path actually read —
+  // the one unit in which all three paths and memcpy are comparable.
+  const auto gbps = [&](const PathResult& r) {
+    return static_cast<double>(capture_bytes) / r.seconds / 1e9;
+  };
+  const double ratio = gbps(post) / memcpy_gbps;
   std::printf(
       "{\"label\":\"%s\",\"frames\":%" PRIu64 ",\"probes\":%" PRIu64 ","
       "\"capture_bytes\":%" PRIu64 ",\"peak_rss_kb\":%ld,"
-      "\"pre_seconds\":%.4f,\"pre_frames_per_sec\":%.0f,"
+      "\"iterations\":%d,\"warmup\":%d,\"memcpy_gbps\":%.2f,"
+      "\"pre_seconds\":%.4f,\"pre_frames_per_sec\":%.0f,\"pre_gbps\":%.2f,"
       "\"mmap_batch_seconds\":%.4f,\"mmap_batch_frames_per_sec\":%.0f,"
+      "\"mmap_batch_gbps\":%.2f,"
       "\"cache_warm_seconds\":%.4f,\"cache_warm_frames_per_sec\":%.0f,"
-      "\"mmap_speedup\":%.2f,\"cache_speedup\":%.2f}\n",
+      "\"cache_warm_gbps\":%.2f,"
+      "\"mmap_speedup\":%.2f,\"cache_speedup\":%.2f,"
+      "\"mmap_vs_memcpy\":%.3f}\n",
       options.label.c_str(), pre.frames, pre.probes,
-      static_cast<std::uint64_t>(capture_bytes), peak_rss_kb(), pre.seconds, fps(pre),
-      post.seconds, fps(post), warm.seconds, fps(warm), fps(post) / fps(pre),
-      fps(warm) / fps(pre));
+      static_cast<std::uint64_t>(capture_bytes), peak_rss_kb(), options.iterations,
+      options.warmup, memcpy_gbps, pre.seconds, fps(pre), gbps(pre), post.seconds,
+      fps(post), gbps(post), warm.seconds, fps(warm), gbps(warm),
+      fps(post) / fps(pre), fps(warm) / fps(pre), ratio);
+  if (options.check_ratio >= 0.0 && ratio < options.check_ratio) {
+    std::fprintf(stderr,
+                 "bench_ingest: mmap_batch %.2f GB/s is %.3fx memcpy "
+                 "(%.2f GB/s), below the --check-ratio=%.3f floor\n",
+                 gbps(post), ratio, memcpy_gbps, options.check_ratio);
+    return 1;
+  }
   return 0;
 }

@@ -16,6 +16,10 @@
 #   BUILD_DIR       build directory (default: build-bench)
 #   REPLAY_PROBES   workload size for bench_tracker_replay (default: 4000000)
 #   INGEST_FRAMES   workload size for bench_ingest (default: 2000000)
+#   INGEST_ITERS    measured iterations per ingest path (default: 5)
+#   INGEST_CHECK_RATIO  minimum mmap_batch GB/s as a fraction of the
+#                   measured memcpy baseline (default: 0.05 — a gross-
+#                   regression floor; healthy builds run ~0.3-0.4)
 #   ANALYZE_FRAMES  workload size for bench_analyze (default: 2000000)
 #   SYNSCAND_RATE   offered load for bench_synscand (default: 4000 qps)
 #   SYNSCAND_SECONDS  bench_synscand send window (default: 5)
@@ -26,6 +30,8 @@ build="${BUILD_DIR:-${repo}/build-bench}"
 label="${1:-$(git -C "${repo}" rev-parse --abbrev-ref HEAD 2>/dev/null || echo unlabeled)}"
 probes="${REPLAY_PROBES:-4000000}"
 ingest_frames="${INGEST_FRAMES:-2000000}"
+ingest_iters="${INGEST_ITERS:-5}"
+ingest_check_ratio="${INGEST_CHECK_RATIO:-0.05}"
 analyze_frames="${ANALYZE_FRAMES:-2000000}"
 synscand_rate="${SYNSCAND_RATE:-4000}"
 synscand_seconds="${SYNSCAND_SECONDS:-5}"
@@ -93,6 +99,7 @@ echo "${record}"
 
 echo "== bench_ingest (${ingest_frames} frames)" >&2
 ingest_json="$("${build}/bench/bench_ingest" --frames="${ingest_frames}" \
+  --iters="${ingest_iters}" --check-ratio="${ingest_check_ratio}" \
   --label="${label}")"
 ingest_record="$(printf '{"label":"%s","git":"%s","date":"%s","ingest":%s}' \
   "${label}" "${git_rev}" "${date_utc}" "${ingest_json}")"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -84,6 +86,8 @@ core::IngestOptions ingest_options(const Args& args) {
   core::IngestOptions options;
   options.use_cache = !args.flag("no-probe-cache");
   options.use_mmap = !args.flag("no-mmap");
+  options.scan_chunks =
+      static_cast<std::size_t>(args.number("scan-chunks", 0));  // 0 = auto
   return options;
 }
 
@@ -405,6 +409,153 @@ int run_info(const std::vector<std::string>& args) {
   table.add_row({"spoofed source", std::to_string(counters.spoofed_source)});
   std::cout << table;
   return 0;
+}
+
+namespace {
+
+const char* status_name(pcap::ReadStatus status) {
+  switch (status) {
+    case pcap::ReadStatus::kOk: return "ok";
+    case pcap::ReadStatus::kEndOfFile: return "end-of-file";
+    case pcap::ReadStatus::kTruncated: return "truncated";
+    case pcap::ReadStatus::kBadRecord: return "bad-record";
+  }
+  return "unknown";
+}
+
+const char* codec_name(core::CacheCodec codec) {
+  switch (codec) {
+    case core::CacheCodec::kRaw: return "raw";
+    case core::CacheCodec::kDeltaVarint: return "delta-varint";
+  }
+  return "unknown";
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// The capture a `.spc` path belongs to, when derivable: caches are
+/// named `<capture>.spc`, so stripping the suffix finds the sibling.
+std::optional<std::filesystem::path> sibling_capture(const std::string& cache_path) {
+  const std::string_view suffix = ".spc";
+  if (cache_path.size() <= suffix.size() ||
+      cache_path.compare(cache_path.size() - suffix.size(), suffix.size(), suffix) !=
+          0) {
+    return std::nullopt;
+  }
+  std::filesystem::path capture(
+      cache_path.substr(0, cache_path.size() - suffix.size()));
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(capture, ec) || ec) return std::nullopt;
+  return capture;
+}
+
+int run_cache_stat(const std::string& path) {
+  const auto info = core::cache_stat(path);
+  if (!info) {
+    std::cerr << "synscan cache: not a probe cache: " << path << "\n";
+    return 1;
+  }
+  std::cout << "cache:          " << path << "\n"
+            << "version:        " << info->version << "\n"
+            << "codec:          " << codec_name(info->codec) << "\n"
+            << "file size:      " << info->file_size << " bytes\n"
+            << "source size:    " << info->source_size << " bytes\n"
+            << "source mtime:   " << hex64(info->source_mtime_ns) << "\n"
+            << "frames:         " << info->frame_count << "\n"
+            << "probes:         " << info->probe_count << "\n"
+            << "terminal:       " << status_name(info->terminal_status) << "\n"
+            << "checksum:       " << hex64(info->checksum) << "\n";
+  report::Table table({"class", "frames"});
+  const auto& counters = info->sensor;
+  table.add_row({"scan probes", std::to_string(counters.scan_probes)});
+  table.add_row({"backscatter", std::to_string(counters.backscatter)});
+  table.add_row({"xmas/null", std::to_string(counters.xmas_or_null)});
+  table.add_row({"other tcp", std::to_string(counters.other_tcp)});
+  table.add_row({"udp", std::to_string(counters.udp)});
+  table.add_row({"icmp", std::to_string(counters.icmp)});
+  table.add_row({"not monitored", std::to_string(counters.not_monitored)});
+  table.add_row({"ingress blocked", std::to_string(counters.ingress_blocked)});
+  table.add_row({"malformed", std::to_string(counters.malformed)});
+  table.add_row({"spoofed source", std::to_string(counters.spoofed_source)});
+  std::cout << table;
+  return 0;
+}
+
+int run_cache_verify(const Args& parsed, const std::string& path) {
+  std::optional<core::CacheIdentity> expected;
+  if (const auto capture = parsed.flag("capture")) {
+    expected = core::cache_identity(*capture);
+    if (!expected) {
+      throw std::invalid_argument("cache verify: cannot stat capture " + *capture);
+    }
+  } else if (const auto sibling = sibling_capture(path)) {
+    expected = core::cache_identity(*sibling);
+  }
+  const auto report = core::cache_verify(path, expected);
+  if (!report.ok) {
+    std::cout << "invalid: " << report.error << "\n";
+    return 1;
+  }
+  std::cout << "valid: " << report.rows << " probes in " << report.chunks
+            << " chunk(s)"
+            << (expected ? ", matches source capture" : ", source identity unchecked")
+            << "\n";
+  return 0;
+}
+
+int run_cache_build(const Args& parsed, const std::string& capture) {
+  auto options = ingest_options(parsed);
+  options.use_cache = true;
+  if (const auto out = parsed.flag("out")) options.cache_path = *out;
+  if (const auto codec = parsed.flag("codec")) {
+    if (*codec == "raw") {
+      options.cache_codec = core::CacheCodec::kRaw;
+    } else if (*codec == "delta" || *codec == "delta-varint") {
+      options.cache_codec = core::CacheCodec::kDeltaVarint;
+    } else {
+      throw std::invalid_argument("cache build: unknown codec '" + *codec +
+                                  "' (raw | delta)");
+    }
+  }
+  const auto cache_path = options.cache_path.empty()
+                              ? std::filesystem::path(capture + ".spc")
+                              : options.cache_path;
+  if (parsed.flag("force")) {
+    std::error_code ec;
+    std::filesystem::remove(cache_path, ec);
+  }
+  const auto result = core::ingest_capture(capture, shared_telescope(), options,
+                                           [](const telescope::ProbeBatch&) {});
+  std::cout << (result.from_cache ? "already valid: " : "built: ")
+            << cache_path.string() << " (" << result.sensor.scan_probes
+            << " probes from " << result.frames << " frames, "
+            << status_name(result.status) << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_cache(const std::vector<std::string>& args) {
+  const Args parsed(args);
+  const auto& positional = parsed.positional();
+  if (positional.empty()) {
+    throw std::invalid_argument("cache requires a subcommand: stat | verify | build");
+  }
+  const auto& action = positional.front();
+  if (positional.size() < 2) {
+    throw std::invalid_argument("cache " + action + " requires a path argument");
+  }
+  const auto& path = positional[1];
+  if (action == "stat") return run_cache_stat(path);
+  if (action == "verify") return run_cache_verify(parsed, path);
+  if (action == "build") return run_cache_build(parsed, path);
+  throw std::invalid_argument("unknown cache subcommand '" + action +
+                              "' (stat | verify | build)");
 }
 
 }  // namespace synscan::cli

@@ -15,5 +15,8 @@ int run_info(const std::vector<std::string>& args);
 int run_serve(const std::vector<std::string>& args);
 /// `synscan query`: one framed command against a running daemon.
 int run_query(const std::vector<std::string>& args);
+/// `synscan cache`: probe-cache maintenance — `stat` (header dump),
+/// `verify` (full offline validation), `build` (prebuild a `.spc`).
+int run_cache(const std::vector<std::string>& args);
 
 }  // namespace synscan::cli

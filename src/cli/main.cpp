@@ -20,6 +20,10 @@
 //
 //   synscan query --socket=/run/synscand.sock QUERY campaigns tool=zmap
 //       Thin client: send one daemon command, print the response body.
+//
+//   synscan cache stat|verify|build <path> [--capture=...] [--codec=...]
+//       Probe-cache (.spc) maintenance: header dump, full offline
+//       validation, or prebuilding a cache ahead of analysis runs.
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -39,6 +43,7 @@ void print_usage(std::ostream& os) {
         "  info         capture metadata and traffic classification\n"
         "  serve        run the resident analysis daemon (synscand)\n"
         "  query        send one command to a running synscand\n"
+        "  cache        probe-cache (.spc) maintenance: stat | verify | build\n"
         "\ncommon options:\n"
         "  simulate: --year=<2015..2024> --out=<file> [--scale=<x>] [--seed=<n>]\n"
         "            [--days=<n>]\n"
@@ -49,7 +54,10 @@ void print_usage(std::ostream& os) {
         "            [--workers=<n>] [--io-workers=<n>] [--idle-timeout-ms=<n>]\n"
         "            [--poll] [--metrics]   protocol spec: docs/SYNSCAND.md\n"
         "  query:    --socket=<path> | --port=<n> [--host=<ip>] <command...>\n"
-        "            e.g. PING | STATUS | LOAD <pcap> | QUERY analyze | SHUTDOWN\n";
+        "            e.g. PING | STATUS | LOAD <pcap> | QUERY analyze | SHUTDOWN\n"
+        "  cache:    stat <file.spc> | verify <file.spc> [--capture=<pcap>] |\n"
+        "            build <capture.pcap> [--out=<file.spc>] [--codec=raw|delta]\n"
+        "            [--force] [--scan-chunks=<n>]\n";
 }
 
 }  // namespace
@@ -68,6 +76,7 @@ int main(int argc, char** argv) {
     if (command == "info") return synscan::cli::run_info(args);
     if (command == "serve") return synscan::cli::run_serve(args);
     if (command == "query") return synscan::cli::run_query(args);
+    if (command == "cache") return synscan::cli::run_cache(args);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage(std::cout);
       return 0;

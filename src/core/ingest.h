@@ -22,6 +22,7 @@
 #include <filesystem>
 #include <functional>
 
+#include "core/probe_cache.h"
 #include "pcap/pcap.h"
 #include "telescope/probe_batch.h"
 #include "telescope/sensor.h"
@@ -36,6 +37,17 @@ struct IngestOptions {
   bool use_cache = true;
   /// Frames classified per batch on the decode paths.
   std::size_t batch_frames = 4096;
+  /// Cold-scan parallelism: the capture's record region is split into
+  /// this many record-aligned chunks (`pcap::partition_records`), each
+  /// scanned and classified by its own thread, and the per-chunk probe
+  /// batches are merged back in capture order — probes, counters,
+  /// terminal status and `.spc` bytes are identical to the serial scan.
+  /// 0 = auto (one chunk per hardware thread), 1 = serial. Small
+  /// captures stay serial regardless: splitting pays off only once the
+  /// scan outweighs thread startup.
+  std::size_t scan_chunks = 0;
+  /// Chunk encoding for caches this run writes (reads auto-detect).
+  CacheCodec cache_codec = CacheCodec::kDeltaVarint;
   /// Cache location override; empty means `<capture>.spc`.
   std::filesystem::path cache_path;
 };
@@ -45,8 +57,10 @@ struct IngestResult {
   std::uint64_t frames = 0;
   pcap::ReadStatus status = pcap::ReadStatus::kEndOfFile;
   std::uint64_t batches = 0;
-  bool from_cache = false;  ///< probes came from a validated cache
-  bool mapped = false;      ///< capture bytes were mmap'ed
+  std::uint64_t chunks = 0;     ///< scan chunks used by the cold path
+  std::uint64_t simd_rows = 0;  ///< frames resolved on a vector lane
+  bool from_cache = false;      ///< probes came from a validated cache
+  bool mapped = false;          ///< capture bytes were mmap'ed
 };
 
 /// Receives each probe batch in capture order. The batch is only valid

@@ -7,6 +7,7 @@
 #include <span>
 #include <stdexcept>
 #include <system_error>
+#include <utility>
 
 #include "net/endian.h"
 
@@ -14,9 +15,11 @@ namespace synscan::core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x31637073;  // "spc1" on disk
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 constexpr std::size_t kHeaderSize = 136;
 constexpr std::size_t kBytesPerRow = 33;  ///< sum of the ten column widths
+/// Raw bytes per row of the seven columns kDeltaVarint leaves unencoded.
+constexpr std::size_t kFixedTailBytes = kBytesPerRow - 8 - 4 - 4;
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
 
@@ -68,49 +71,145 @@ void copy_column_out(const std::uint8_t*& p, std::size_t rows, std::vector<T>& o
 }
 
 template <typename T>
-void copy_column_in(std::uint8_t*& p, const std::vector<T>& column) {
+void append_raw_column(std::vector<std::uint8_t>& out, const T* data, std::size_t rows) {
+  const auto at = out.size();
+  out.resize(at + rows * sizeof(T));
+  std::uint8_t* p = out.data() + at;
   if constexpr (std::endian::native == std::endian::little) {
-    std::memcpy(p, column.data(), column.size() * sizeof(T));
-    p += column.size() * sizeof(T);
+    std::memcpy(p, data, rows * sizeof(T));
   } else {
-    for (std::size_t i = 0; i < column.size(); ++i, p += sizeof(T)) {
+    for (std::size_t i = 0; i < rows; ++i, p += sizeof(T)) {
       if constexpr (sizeof(T) == 8) {
-        net::store_le64(p, static_cast<std::uint64_t>(column[i]));
+        net::store_le64(p, static_cast<std::uint64_t>(data[i]));
       } else if constexpr (sizeof(T) == 4) {
-        net::store_le32(p, static_cast<std::uint32_t>(column[i]));
+        net::store_le32(p, static_cast<std::uint32_t>(data[i]));
       } else if constexpr (sizeof(T) == 2) {
-        net::store_le16(p, static_cast<std::uint16_t>(column[i]));
+        net::store_le16(p, static_cast<std::uint16_t>(data[i]));
       } else {
-        *p = static_cast<std::uint8_t>(column[i]);
+        *p = static_cast<std::uint8_t>(data[i]);
       }
     }
   }
 }
 
-/// Serializes `batch` as one chunk into `out` (resized to fit).
-void encode_chunk(const telescope::ProbeBatch& batch, std::vector<std::uint8_t>& out) {
-  const auto rows = batch.size();
-  out.resize(8 + rows * kBytesPerRow);
-  std::uint8_t* p = out.data();
-  net::store_le64(p, rows);
-  p += 8;
-  copy_column_in(p, batch.timestamp_us);
-  copy_column_in(p, batch.source);
-  copy_column_in(p, batch.destination);
-  copy_column_in(p, batch.source_port);
-  copy_column_in(p, batch.destination_port);
-  copy_column_in(p, batch.sequence);
-  copy_column_in(p, batch.acknowledgment);
-  copy_column_in(p, batch.ip_id);
-  copy_column_in(p, batch.window);
-  copy_column_in(p, batch.ttl);
+// --- zigzag LEB128 ---------------------------------------------------
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
 }
 
-/// Decodes the chunk at `chunk` (past the row count) into `out`.
-void decode_columns(const std::uint8_t* p, std::size_t rows, telescope::ProbeBatch& out) {
-  copy_column_out(p, rows, out.timestamp_us);
-  copy_column_out(p, rows, out.source);
-  copy_column_out(p, rows, out.destination);
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Bounds-checked LEB128 decode; false when the stream ends mid-varint
+/// or the value would not fit 64 bits.
+inline bool get_varint(const std::uint8_t*& p, const std::uint8_t* end,
+                       std::uint64_t& v) {
+  v = 0;
+  unsigned shift = 0;
+  while (p < end && shift < 64) {
+    const std::uint8_t byte = *p++;
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+/// Appends one delta+zigzag-varint column: `u64 byte_length` followed by
+/// the LEB128 stream of row-over-row deltas (row 0 against 0, so the
+/// chunk decodes standalone).
+template <typename T>
+void append_delta_column(std::vector<std::uint8_t>& out, const T* data,
+                         std::size_t rows) {
+  const auto length_at = out.size();
+  out.resize(length_at + 8);
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto cur = static_cast<std::int64_t>(static_cast<std::uint64_t>(data[i]));
+    put_varint(out, zigzag(cur - prev));
+    prev = cur;
+  }
+  net::store_le64(out.data() + length_at, out.size() - length_at - 8);
+}
+
+/// Bounds-checked inverse of append_delta_column. The cursor never moves
+/// past `end` even on malformed input; false on any inconsistency
+/// (short length field, truncated stream, trailing garbage).
+template <typename T>
+bool decode_delta_column(const std::uint8_t*& p, const std::uint8_t* end,
+                         std::size_t rows, std::vector<T>& out) {
+  if (static_cast<std::size_t>(end - p) < 8) return false;
+  const auto length = net::load_le64(p);
+  p += 8;
+  if (static_cast<std::uint64_t>(end - p) < length) return false;
+  const std::uint8_t* const stream_end = p + length;
+  out.resize(rows);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t z;
+    if (!get_varint(p, stream_end, z)) return false;
+    prev += static_cast<std::uint64_t>(unzigzag(z));
+    out[i] = static_cast<T>(prev);
+  }
+  if (p != stream_end) return false;
+  return true;
+}
+
+// --- chunk encode/decode ---------------------------------------------
+
+/// Serializes `rows` probes starting at `begin` as one chunk.
+void encode_chunk(const telescope::ProbeBatch& batch, std::size_t begin,
+                  std::size_t rows, CacheCodec codec, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.resize(8);
+  net::store_le64(out.data(), rows);
+  if (codec == CacheCodec::kDeltaVarint) {
+    append_delta_column(out, batch.timestamp_us.data() + begin, rows);
+    append_delta_column(out, batch.source.data() + begin, rows);
+    append_delta_column(out, batch.destination.data() + begin, rows);
+  } else {
+    append_raw_column(out, batch.timestamp_us.data() + begin, rows);
+    append_raw_column(out, batch.source.data() + begin, rows);
+    append_raw_column(out, batch.destination.data() + begin, rows);
+  }
+  append_raw_column(out, batch.source_port.data() + begin, rows);
+  append_raw_column(out, batch.destination_port.data() + begin, rows);
+  append_raw_column(out, batch.sequence.data() + begin, rows);
+  append_raw_column(out, batch.acknowledgment.data() + begin, rows);
+  append_raw_column(out, batch.ip_id.data() + begin, rows);
+  append_raw_column(out, batch.window.data() + begin, rows);
+  append_raw_column(out, batch.ttl.data() + begin, rows);
+}
+
+/// Decodes the chunk body at `p` (past the row count) into `out`,
+/// advancing `p` past everything consumed. Fully bounds-checked: a
+/// malformed body returns false without ever reading past `end`.
+bool decode_chunk_body(const std::uint8_t*& p, const std::uint8_t* end,
+                       std::size_t rows, CacheCodec codec,
+                       telescope::ProbeBatch& out) {
+  if (codec == CacheCodec::kDeltaVarint) {
+    if (!decode_delta_column(p, end, rows, out.timestamp_us) ||
+        !decode_delta_column(p, end, rows, out.source) ||
+        !decode_delta_column(p, end, rows, out.destination)) {
+      return false;
+    }
+    if (static_cast<std::size_t>(end - p) < rows * kFixedTailBytes) return false;
+  } else {
+    if (static_cast<std::size_t>(end - p) < rows * kBytesPerRow) return false;
+    copy_column_out(p, rows, out.timestamp_us);
+    copy_column_out(p, rows, out.source);
+    copy_column_out(p, rows, out.destination);
+  }
   copy_column_out(p, rows, out.source_port);
   copy_column_out(p, rows, out.destination_port);
   copy_column_out(p, rows, out.sequence);
@@ -118,9 +217,10 @@ void decode_columns(const std::uint8_t* p, std::size_t rows, telescope::ProbeBat
   copy_column_out(p, rows, out.ip_id);
   copy_column_out(p, rows, out.window);
   copy_column_out(p, rows, out.ttl);
+  return true;
 }
 
-void encode_header(std::uint8_t* p, const CacheIdentity& identity,
+void encode_header(std::uint8_t* p, const CacheIdentity& identity, CacheCodec codec,
                    std::uint64_t frame_count, std::uint64_t probe_count,
                    pcap::ReadStatus terminal_status,
                    const telescope::SensorCounters& sensor, std::uint64_t checksum) {
@@ -131,7 +231,7 @@ void encode_header(std::uint8_t* p, const CacheIdentity& identity,
   net::store_le64(p + 24, frame_count);
   net::store_le64(p + 32, probe_count);
   net::store_le32(p + 40, static_cast<std::uint32_t>(terminal_status));
-  net::store_le32(p + 44, 0);
+  net::store_le32(p + 44, static_cast<std::uint32_t>(codec));
   net::store_le64(p + 48, sensor.scan_probes);
   net::store_le64(p + 56, sensor.backscatter);
   net::store_le64(p + 64, sensor.xmas_or_null);
@@ -143,6 +243,100 @@ void encode_header(std::uint8_t* p, const CacheIdentity& identity,
   net::store_le64(p + 112, sensor.malformed);
   net::store_le64(p + 120, sensor.spoofed_source);
   net::store_le64(p + 128, checksum);
+}
+
+/// Raw header parse: everything `cache_stat` can report. Only rejects
+/// what makes the fields meaningless (short file, wrong magic, a
+/// terminal status outside the enum).
+const char* parse_header(std::span<const std::uint8_t> bytes, CacheFileInfo& info) {
+  if (bytes.size() < kHeaderSize) return "file shorter than the spc header";
+  const std::uint8_t* h = bytes.data();
+  if (net::load_le32(h) != kMagic) return "bad magic (not an spc file)";
+  info.version = net::load_le32(h + 4);
+  info.source_size = net::load_le64(h + 8);
+  info.source_mtime_ns = net::load_le64(h + 16);
+  info.frame_count = net::load_le64(h + 24);
+  info.probe_count = net::load_le64(h + 32);
+  const auto status = net::load_le32(h + 40);
+  if (status > static_cast<std::uint32_t>(pcap::ReadStatus::kBadRecord)) {
+    return "corrupt terminal status";
+  }
+  info.terminal_status = static_cast<pcap::ReadStatus>(status);
+  info.codec = static_cast<CacheCodec>(net::load_le32(h + 44));
+  info.sensor.scan_probes = net::load_le64(h + 48);
+  info.sensor.backscatter = net::load_le64(h + 56);
+  info.sensor.xmas_or_null = net::load_le64(h + 64);
+  info.sensor.other_tcp = net::load_le64(h + 72);
+  info.sensor.udp = net::load_le64(h + 80);
+  info.sensor.icmp = net::load_le64(h + 88);
+  info.sensor.not_monitored = net::load_le64(h + 96);
+  info.sensor.ingress_blocked = net::load_le64(h + 104);
+  info.sensor.malformed = net::load_le64(h + 112);
+  info.sensor.spoofed_source = net::load_le64(h + 120);
+  info.checksum = net::load_le64(h + 128);
+  info.file_size = bytes.size();
+  return nullptr;
+}
+
+/// Structural acceptance for replay: does this reader understand the
+/// file at all? (Version gate: a future v3 reads as "stale", never as
+/// garbage probes.)
+const char* check_header(const CacheFileInfo& info) {
+  if (info.version != 1 && info.version != kVersion) return "unsupported version";
+  if (info.version == 1 && info.codec != CacheCodec::kRaw) {
+    return "v1 file with nonzero reserved field";
+  }
+  if (info.codec != CacheCodec::kRaw && info.codec != CacheCodec::kDeltaVarint) {
+    return "unknown codec";
+  }
+  // Every encoding spends well over one byte per row, so a probe count
+  // beyond the file size is corrupt; it also bounds the chunk-size
+  // arithmetic below against overflow.
+  if (info.probe_count > info.file_size) return "probe count exceeds file size";
+  if (info.sensor.scan_probes != info.probe_count) {
+    return "probe count disagrees with sensor counters";
+  }
+  return nullptr;
+}
+
+/// Walks and checksums the chunk region. A torn write must read as "no
+/// cache", not as partial data, so every framing field is validated
+/// before anything downstream trusts it.
+const char* walk_chunks(std::span<const std::uint8_t> bytes, const CacheFileInfo& info,
+                        std::uint64_t& chunks_seen, std::uint64_t& rows_seen) {
+  chunks_seen = 0;
+  rows_seen = 0;
+  std::uint64_t checksum = kFnvOffset;
+  std::size_t offset = kHeaderSize;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < 8) return "truncated chunk header";
+    const auto rows = net::load_le64(bytes.data() + offset);
+    if (rows == 0 || rows > info.probe_count) return "implausible chunk row count";
+    std::size_t body = 0;
+    if (info.codec == CacheCodec::kDeltaVarint) {
+      // Three length-prefixed varint streams, then the fixed-width tail.
+      std::size_t at = offset + 8;
+      for (int column = 0; column < 3; ++column) {
+        if (bytes.size() - at < 8) return "truncated column length";
+        const auto length = net::load_le64(bytes.data() + at);
+        at += 8;
+        if (bytes.size() - at < length) return "truncated compressed column";
+        at += static_cast<std::size_t>(length);
+      }
+      if (bytes.size() - at < rows * kFixedTailBytes) return "truncated column";
+      body = at + rows * kFixedTailBytes - (offset + 8);
+    } else {
+      if (bytes.size() - offset - 8 < rows * kBytesPerRow) return "truncated column";
+      body = rows * kBytesPerRow;
+    }
+    checksum = fnv1a(bytes.subspan(offset, 8 + body), checksum);
+    ++chunks_seen;
+    rows_seen += rows;
+    offset += 8 + body;
+  }
+  if (rows_seen != info.probe_count) return "row total disagrees with header";
+  if (checksum != info.checksum) return "checksum mismatch";
+  return nullptr;
 }
 
 }  // namespace
@@ -163,13 +357,66 @@ std::optional<CacheIdentity> cache_identity(const std::filesystem::path& source)
   return identity;
 }
 
+std::optional<CacheFileInfo> cache_stat(const std::filesystem::path& path) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) return std::nullopt;
+  pcap::MappedFile file;
+  try {
+    file = pcap::MappedFile::open(path);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  CacheFileInfo info;
+  if (parse_header(file.bytes(), info) != nullptr) return std::nullopt;
+  return info;
+}
+
+CacheVerifyReport cache_verify(const std::filesystem::path& path,
+                               const std::optional<CacheIdentity>& expected) {
+  CacheVerifyReport report;
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+    report.error = "not a regular file";
+    return report;
+  }
+  pcap::MappedFile file;
+  try {
+    file = pcap::MappedFile::open(path);
+  } catch (const std::exception&) {
+    report.error = "cannot open file";
+    return report;
+  }
+  const auto bytes = file.bytes();
+  CacheFileInfo info;
+  if (const char* err = parse_header(bytes, info)) {
+    report.error = err;
+    return report;
+  }
+  if (const char* err = check_header(info)) {
+    report.error = err;
+    return report;
+  }
+  if (expected && (info.source_size != expected->source_size ||
+                   info.source_mtime_ns != expected->source_mtime_ns)) {
+    report.error = "stale: source capture changed since the cache was cut";
+    return report;
+  }
+  if (const char* err = walk_chunks(bytes, info, report.chunks, report.rows)) {
+    report.error = err;
+    return report;
+  }
+  report.ok = true;
+  return report;
+}
+
 ProbeCacheWriter::ProbeCacheWriter(std::filesystem::path path,
-                                   const CacheIdentity& identity)
+                                   const CacheIdentity& identity, CacheCodec codec)
     : path_(std::move(path)),
       tmp_path_(path_.native() + ".tmp"),
       stream_(tmp_path_, std::ios::binary | std::ios::trunc),
       checksum_(kFnvOffset),
-      identity_(identity) {
+      identity_(identity),
+      codec_(codec) {
   if (!stream_.is_open()) {
     throw std::runtime_error("probe cache: cannot create " + tmp_path_.string());
   }
@@ -180,21 +427,69 @@ ProbeCacheWriter::ProbeCacheWriter(std::filesystem::path path,
 
 ProbeCacheWriter::~ProbeCacheWriter() { abandon(); }
 
-void ProbeCacheWriter::append(const telescope::ProbeBatch& batch) {
-  if (!open_ || batch.empty()) return;
-  encode_chunk(batch, scratch_);
+void ProbeCacheWriter::emit_chunk(std::size_t begin, std::size_t rows) {
+  encode_chunk(staging_, begin, rows, codec_, scratch_);
   checksum_ = fnv1a(scratch_, checksum_);
-  probe_count_ += batch.size();
+  probe_count_ += rows;
   stream_.write(reinterpret_cast<const char*>(scratch_.data()),
                 static_cast<std::streamsize>(scratch_.size()));
+}
+
+void ProbeCacheWriter::flush_staging(bool final_flush) {
+  std::size_t begin = 0;
+  while (staging_.size() - begin >= kCacheRowsPerChunk) {
+    emit_chunk(begin, kCacheRowsPerChunk);
+    begin += kCacheRowsPerChunk;
+  }
+  if (final_flush && staging_.size() > begin) {
+    emit_chunk(begin, staging_.size() - begin);
+    begin = staging_.size();
+  }
+  if (begin == 0) return;
+  const auto drop = [begin](auto& column) {
+    column.erase(column.begin(),
+                 column.begin() + static_cast<std::ptrdiff_t>(begin));
+  };
+  drop(staging_.timestamp_us);
+  drop(staging_.source);
+  drop(staging_.destination);
+  drop(staging_.source_port);
+  drop(staging_.destination_port);
+  drop(staging_.sequence);
+  drop(staging_.acknowledgment);
+  drop(staging_.ip_id);
+  drop(staging_.window);
+  drop(staging_.ttl);
+}
+
+void ProbeCacheWriter::append(const telescope::ProbeBatch& batch) {
+  if (!open_ || batch.empty()) return;
+  // Restage through a fixed row grid: the emitted chunk boundaries — and
+  // therefore the file bytes — depend only on the probe stream, not on
+  // how the classifier happened to batch its appends.
+  const auto splice = [](auto& into, const auto& from) {
+    into.insert(into.end(), from.begin(), from.end());
+  };
+  splice(staging_.timestamp_us, batch.timestamp_us);
+  splice(staging_.source, batch.source);
+  splice(staging_.destination, batch.destination);
+  splice(staging_.source_port, batch.source_port);
+  splice(staging_.destination_port, batch.destination_port);
+  splice(staging_.sequence, batch.sequence);
+  splice(staging_.acknowledgment, batch.acknowledgment);
+  splice(staging_.ip_id, batch.ip_id);
+  splice(staging_.window, batch.window);
+  splice(staging_.ttl, batch.ttl);
+  flush_staging(false);
 }
 
 bool ProbeCacheWriter::commit(std::uint64_t frame_count, pcap::ReadStatus terminal_status,
                               const telescope::SensorCounters& sensor) {
   if (!open_) return false;
+  flush_staging(true);
   std::array<std::uint8_t, kHeaderSize> header{};
-  encode_header(header.data(), identity_, frame_count, probe_count_, terminal_status,
-                sensor, checksum_);
+  encode_header(header.data(), identity_, codec_, frame_count, probe_count_,
+                terminal_status, sensor, checksum_);
   stream_.seekp(0);
   stream_.write(reinterpret_cast<const char*>(header.data()),
                 static_cast<std::streamsize>(header.size()));
@@ -231,55 +526,25 @@ std::optional<ProbeCacheReader> ProbeCacheReader::open(
     return std::nullopt;
   }
   const auto bytes = reader.file_.bytes();
-  if (bytes.size() < kHeaderSize) return std::nullopt;
-  const std::uint8_t* h = bytes.data();
-  if (net::load_le32(h) != kMagic || net::load_le32(h + 4) != kVersion) {
+  CacheFileInfo info;
+  if (parse_header(bytes, info) != nullptr || check_header(info) != nullptr) {
     return std::nullopt;
   }
-  if (net::load_le64(h + 8) != expected.source_size ||
-      net::load_le64(h + 16) != expected.source_mtime_ns) {
+  if (info.source_size != expected.source_size ||
+      info.source_mtime_ns != expected.source_mtime_ns) {
     return std::nullopt;  // stale: the capture changed since the cache was cut
   }
-  reader.frame_count_ = net::load_le64(h + 24);
-  reader.probe_count_ = net::load_le64(h + 32);
-  const auto status = net::load_le32(h + 40);
-  if (status > static_cast<std::uint32_t>(pcap::ReadStatus::kBadRecord)) {
-    return std::nullopt;
-  }
-  reader.terminal_status_ = static_cast<pcap::ReadStatus>(status);
-  reader.sensor_.scan_probes = net::load_le64(h + 48);
-  reader.sensor_.backscatter = net::load_le64(h + 56);
-  reader.sensor_.xmas_or_null = net::load_le64(h + 64);
-  reader.sensor_.other_tcp = net::load_le64(h + 72);
-  reader.sensor_.udp = net::load_le64(h + 80);
-  reader.sensor_.icmp = net::load_le64(h + 88);
-  reader.sensor_.not_monitored = net::load_le64(h + 96);
-  reader.sensor_.ingress_blocked = net::load_le64(h + 104);
-  reader.sensor_.malformed = net::load_le64(h + 112);
-  reader.sensor_.spoofed_source = net::load_le64(h + 120);
-  const auto expected_checksum = net::load_le64(h + 128);
-  if (reader.sensor_.scan_probes != reader.probe_count_) return std::nullopt;
-
   // Walk the chunk framing and checksum every byte before releasing any
   // probe: a torn write must read as "no cache", not as partial data.
-  std::size_t offset = kHeaderSize;
-  std::uint64_t rows_seen = 0;
-  std::uint64_t checksum = kFnvOffset;
-  while (offset < bytes.size()) {
-    if (bytes.size() - offset < 8) return std::nullopt;
-    const auto rows = net::load_le64(bytes.data() + offset);
-    const auto chunk_size = 8 + static_cast<std::size_t>(rows) * kBytesPerRow;
-    if (rows == 0 || rows > reader.probe_count_ ||
-        bytes.size() - offset < chunk_size) {
-      return std::nullopt;
-    }
-    checksum = fnv1a(bytes.subspan(offset, chunk_size), checksum);
-    rows_seen += rows;
-    offset += chunk_size;
-  }
-  if (rows_seen != reader.probe_count_ || checksum != expected_checksum) {
-    return std::nullopt;
-  }
+  std::uint64_t chunks = 0;
+  std::uint64_t rows = 0;
+  if (walk_chunks(bytes, info, chunks, rows) != nullptr) return std::nullopt;
+
+  reader.frame_count_ = info.frame_count;
+  reader.probe_count_ = info.probe_count;
+  reader.codec_ = info.codec;
+  reader.terminal_status_ = info.terminal_status;
+  reader.sensor_ = info.sensor;
   reader.offset_ = kHeaderSize;
   return reader;
 }
@@ -290,11 +555,17 @@ bool ProbeCacheReader::next_chunk(telescope::ProbeBatch& out) {
     out.clear();
     return false;
   }
-  // Framing was fully validated in open(); this walk cannot run past the
-  // mapping.
+  // Framing was fully validated in open(); the decode below re-checks
+  // every bound anyway (memory safety over trust) and treats an
+  // inconsistency as end-of-cache.
   const auto rows = static_cast<std::size_t>(net::load_le64(bytes.data() + offset_));
-  decode_columns(bytes.data() + offset_ + 8, rows, out);
-  offset_ += 8 + rows * kBytesPerRow;
+  const std::uint8_t* p = bytes.data() + offset_ + 8;
+  if (!decode_chunk_body(p, bytes.data() + bytes.size(), rows, codec_, out)) {
+    out.clear();
+    offset_ = bytes.size();
+    return false;
+  }
+  offset_ = static_cast<std::size_t>(p - bytes.data());
   return true;
 }
 

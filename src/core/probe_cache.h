@@ -9,27 +9,41 @@
 //
 // Layout (all integers little-endian):
 //   header (136 bytes):
-//     u32 magic "spc1"        u32 version (=1)
+//     u32 magic "spc1"        u32 version (=2; v1 files stay readable)
 //     u64 source_size         u64 source_mtime_ns
 //     u64 frame_count         u64 probe_count
-//     u32 terminal_status     u32 reserved (=0)
+//     u32 terminal_status     u32 codec (CacheCodec; v1 wrote 0 here)
 //     u64 x 10 sensor counters (SensorCounters field order)
 //     u64 checksum            FNV-1a (64-bit words) over every chunk byte
 //   chunks, until probe_count rows are consumed:
-//     u64 row_count, then the ten probe columns back-to-back, each
-//     row_count elements wide (timestamp u64; source, destination,
+//     u64 row_count, then the ten probe columns back-to-back in
+//     ProbeBatch field order (timestamp u64; source, destination,
 //     sequence, acknowledgment u32; ports, ip_id, window u16; ttl u8).
+//     codec kRaw: every column is a plain little-endian array.
+//     codec kDeltaVarint: the three high-entropy-but-correlated columns
+//     (timestamp_us, source, destination) are each stored as
+//     `u64 byte_length` + a zigzag-LEB128 stream of row-over-row deltas
+//     (first delta is against 0, so every chunk decodes standalone);
+//     the remaining seven columns stay raw.
 //
-// Validity = magic + version + source identity (byte size and mtime in
-// nanoseconds) + checksum. Any mismatch invalidates the cache; callers
-// fall back to decoding and rewrite it. Writes go to a sibling ".tmp"
-// and rename into place so a crashed run never leaves a torn cache.
+// A v2 writer normalizes chunking to a fixed row count per chunk
+// (kCacheRowsPerChunk), independent of how the classifier batched its
+// appends — the cache bytes are a pure function of the probe stream, so
+// serial, chunked-parallel and SIMD-dispatch ingests commit identical
+// files (pinned by tests/integration/ingest_differential_test.cpp).
+//
+// Validity = magic + version + codec + source identity (byte size and
+// mtime in nanoseconds) + chunk framing + checksum. Any mismatch
+// invalidates the cache; callers fall back to decoding and rewrite it.
+// Writes go to a sibling ".tmp" and rename into place so a crashed run
+// never leaves a torn cache.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <string>
 
 #include "pcap/mapped_reader.h"
 #include "pcap/pcap.h"
@@ -37,6 +51,16 @@
 #include "telescope/sensor.h"
 
 namespace synscan::core {
+
+/// Chunk encoding, stored at header offset 44. v1 files predate the
+/// field and always decode as kRaw (they wrote 0 there as "reserved").
+enum class CacheCodec : std::uint32_t {
+  kRaw = 0,          ///< plain little-endian column arrays
+  kDeltaVarint = 1,  ///< delta+zigzag LEB128 on timestamp/source/destination
+};
+
+/// Rows per chunk a v2 writer emits (the last chunk may be shorter).
+inline constexpr std::size_t kCacheRowsPerChunk = 65536;
 
 /// What ties a cache file to its source capture.
 struct CacheIdentity {
@@ -49,20 +73,56 @@ struct CacheIdentity {
 [[nodiscard]] std::optional<CacheIdentity> cache_identity(
     const std::filesystem::path& source);
 
-/// Streaming writer. Chunks are appended batch-by-batch during the first
-/// decode; `commit` patches the header and renames the temp file into
-/// place. Destruction without a commit removes the temp file.
+/// Header fields of a cache file, as stored (no chunk validation).
+struct CacheFileInfo {
+  std::uint32_t version = 0;
+  CacheCodec codec = CacheCodec::kRaw;
+  std::uint64_t source_size = 0;
+  std::uint64_t source_mtime_ns = 0;
+  std::uint64_t frame_count = 0;
+  std::uint64_t probe_count = 0;
+  pcap::ReadStatus terminal_status = pcap::ReadStatus::kEndOfFile;
+  telescope::SensorCounters sensor;
+  std::uint64_t checksum = 0;
+  std::uint64_t file_size = 0;
+};
+
+/// Parses just the header (magic + version + codec sanity). nullopt when
+/// the file is missing, too short, or not an spc file. Powers the
+/// `synscan cache stat` subcommand.
+[[nodiscard]] std::optional<CacheFileInfo> cache_stat(const std::filesystem::path& path);
+
+/// Outcome of a full offline validation pass (`synscan cache verify`).
+struct CacheVerifyReport {
+  bool ok = false;
+  std::string error;  ///< first defect found; empty when ok
+  std::uint64_t chunks = 0;
+  std::uint64_t rows = 0;
+};
+
+/// Runs the same validation a replay would — header, optional source
+/// identity, chunk framing, checksum — and reports the first defect as
+/// text instead of silently falling back.
+[[nodiscard]] CacheVerifyReport cache_verify(
+    const std::filesystem::path& path,
+    const std::optional<CacheIdentity>& expected = std::nullopt);
+
+/// Streaming writer. Appended batches are restaged into fixed-row chunks
+/// (kCacheRowsPerChunk) so the file bytes do not depend on the caller's
+/// batch boundaries; `commit` flushes the tail chunk, patches the header
+/// and renames the temp file into place. Destruction without a commit
+/// removes the temp file.
 class ProbeCacheWriter {
  public:
   /// Starts writing `path`'s sibling temp file. Throws when the temp
   /// file cannot be created.
-  ProbeCacheWriter(std::filesystem::path path, const CacheIdentity& identity);
+  ProbeCacheWriter(std::filesystem::path path, const CacheIdentity& identity,
+                   CacheCodec codec = CacheCodec::kDeltaVarint);
   ~ProbeCacheWriter();
   ProbeCacheWriter(const ProbeCacheWriter&) = delete;
   ProbeCacheWriter& operator=(const ProbeCacheWriter&) = delete;
 
-  /// Appends one chunk (one column-encoded `ProbeBatch`). Empty batches
-  /// are skipped.
+  /// Stages one `ProbeBatch`, emitting every full fixed-row chunk.
   void append(const telescope::ProbeBatch& batch);
 
   /// Finalizes header + checksum and renames into place. Returns false
@@ -75,13 +135,18 @@ class ProbeCacheWriter {
   void abandon();
 
  private:
+  void emit_chunk(std::size_t begin, std::size_t rows);
+  void flush_staging(bool final_flush);
+
   std::filesystem::path path_;
   std::filesystem::path tmp_path_;
   std::ofstream stream_;
   std::vector<std::uint8_t> scratch_;
+  telescope::ProbeBatch staging_;
   std::uint64_t probe_count_ = 0;
   std::uint64_t checksum_;
   CacheIdentity identity_;
+  CacheCodec codec_;
   bool open_ = false;
 };
 
@@ -103,6 +168,7 @@ class ProbeCacheReader {
   }
   [[nodiscard]] std::uint64_t frame_count() const noexcept { return frame_count_; }
   [[nodiscard]] std::uint64_t probe_count() const noexcept { return probe_count_; }
+  [[nodiscard]] CacheCodec codec() const noexcept { return codec_; }
   [[nodiscard]] pcap::ReadStatus terminal_status() const noexcept {
     return terminal_status_;
   }
@@ -115,6 +181,7 @@ class ProbeCacheReader {
   telescope::SensorCounters sensor_;
   std::uint64_t frame_count_ = 0;
   std::uint64_t probe_count_ = 0;
+  CacheCodec codec_ = CacheCodec::kRaw;
   pcap::ReadStatus terminal_status_ = pcap::ReadStatus::kEndOfFile;
 };
 

@@ -1,6 +1,8 @@
 #include "pcap/mapped_reader.h"
 
+#include <algorithm>
 #include <array>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <utility>
@@ -26,7 +28,100 @@ std::vector<std::uint8_t> drain_stream(std::istream& stream) {
   return bytes;
 }
 
+/// Appends up to `max_frames` record views from `bytes[offset, end)` to
+/// `out`, advancing `offset` past every record consumed. kOk means the
+/// batch filled.
+detail::WalkEnd walk_records(std::span<const std::uint8_t> bytes, const FileInfo& info,
+                             std::size_t& offset, std::size_t end,
+                             std::vector<net::FrameView>& out, std::size_t max_frames) {
+  return detail::scan_records(
+      bytes, info, offset, end,
+      [&out, max_frames](net::TimeUs timestamp_us, const std::uint8_t* data,
+                         std::uint32_t captured_length) {
+        out.push_back(net::FrameView{timestamp_us, {data, captured_length}});
+        return out.size() < max_frames;
+      });
+}
+
 }  // namespace
+
+std::vector<ScanChunk> partition_records(std::span<const std::uint8_t> bytes,
+                                         const FileInfo& info, std::size_t max_chunks) {
+  const std::size_t size = bytes.size();
+  const std::size_t begin = std::min<std::size_t>(kGlobalHeaderSize, size);
+  if (max_chunks <= 1 || size - begin < 2 * kRecordHeaderSize) {
+    return {{begin, size}};
+  }
+  const std::size_t target = std::max<std::size_t>((size - begin) / max_chunks,
+                                                   kRecordHeaderSize);
+
+  std::vector<ScanChunk> chunks;
+  chunks.reserve(max_chunks);
+  std::size_t offset = begin;
+  std::size_t chunk_begin = begin;
+  (void)detail::scan_records(
+      bytes, info, offset, size,
+      [&](net::TimeUs /*timestamp_us*/, const std::uint8_t* /*data*/,
+          std::uint32_t /*captured_length*/) {
+        if (offset - chunk_begin >= target && offset < size &&
+            chunks.size() + 1 < max_chunks) {
+          chunks.push_back({chunk_begin, offset});
+          chunk_begin = offset;
+        }
+        return true;
+      });
+  // A defect (or clean EOF) ends the walk; either way the final chunk
+  // runs to the end of the file, where its scanner re-derives the exact
+  // terminal status.
+  chunks.push_back({chunk_begin, size});
+  return chunks;
+}
+
+ChunkReader::ChunkReader(std::span<const std::uint8_t> bytes, const FileInfo& info,
+                         ScanChunk chunk) noexcept
+    : bytes_(bytes),
+      info_(info),
+      offset_(std::min(chunk.begin, bytes.size())),
+      end_(std::min(chunk.end, bytes.size())) {
+  if (offset_ > end_) offset_ = end_;
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    obs_frames_ = &registry.counter("pcap.frames");
+    obs_bytes_ = &registry.counter("pcap.bytes");
+    obs_truncated_ = &registry.counter("pcap.truncated");
+    obs_bad_records_ = &registry.counter("pcap.bad_records");
+  }
+}
+
+ReadStatus ChunkReader::next_batch(std::vector<net::FrameView>& out,
+                                   std::size_t max_frames) {
+  out.clear();
+  if (pending_) {
+    const auto status = *pending_;
+    pending_.reset();
+    return status;
+  }
+  if (done_ || max_frames == 0) return done_ ? ReadStatus::kEndOfFile : ReadStatus::kOk;
+  const auto walk = walk_records(bytes_, info_, offset_, end_, out, max_frames);
+  frames_read_ += out.size();
+  if (obs_frames_ != nullptr && !out.empty()) {
+    obs_frames_->add(out.size());
+    obs_bytes_->add(walk.bytes);
+  }
+  if (walk.status == ReadStatus::kOk) return ReadStatus::kOk;  // batch filled
+  done_ = true;
+  if (walk.status == ReadStatus::kTruncated && obs_truncated_ != nullptr) {
+    obs_truncated_->add();
+  }
+  if (walk.status == ReadStatus::kBadRecord && obs_bad_records_ != nullptr) {
+    obs_bad_records_->add();
+  }
+  if (out.empty()) return walk.status;
+  // Deliver the partial batch now; owe the non-EOF terminal status to
+  // the next call (kEndOfFile re-emerges from done_ by itself).
+  if (walk.status != ReadStatus::kEndOfFile) pending_ = walk.status;
+  return ReadStatus::kOk;
+}
 
 MappedFile::~MappedFile() {
 #ifdef SYNSCAN_HAVE_MMAP
@@ -173,19 +268,26 @@ ReadStatus MappedReader::next_batch(std::vector<net::FrameView>& out,
     pending_.reset();
     return status;
   }
-  while (out.size() < max_frames) {
-    net::FrameView view;
-    const auto status = next(view);
-    if (status == ReadStatus::kOk) {
-      out.push_back(view);
-      continue;
-    }
-    if (out.empty()) return status;
-    // Deliver the partial batch now; owe the non-EOF terminal status to
-    // the next call (kEndOfFile re-emerges from next() by itself).
-    if (status != ReadStatus::kEndOfFile) pending_ = status;
-    break;
+  if (done_ || max_frames == 0) return done_ ? ReadStatus::kEndOfFile : ReadStatus::kOk;
+  const auto bytes = file_.bytes();
+  const auto walk = walk_records(bytes, info_, offset_, bytes.size(), out, max_frames);
+  frames_read_ += out.size();
+  if (obs_frames_ != nullptr && !out.empty()) {
+    obs_frames_->add(out.size());
+    obs_bytes_->add(walk.bytes);
   }
+  if (walk.status == ReadStatus::kOk) return ReadStatus::kOk;  // batch filled
+  done_ = true;
+  if (walk.status == ReadStatus::kTruncated && obs_truncated_ != nullptr) {
+    obs_truncated_->add();
+  }
+  if (walk.status == ReadStatus::kBadRecord && obs_bad_records_ != nullptr) {
+    obs_bad_records_->add();
+  }
+  if (out.empty()) return walk.status;
+  // Deliver the partial batch now; owe the non-EOF terminal status to
+  // the next call (kEndOfFile re-emerges from done_ by itself).
+  if (walk.status != ReadStatus::kEndOfFile) pending_ = walk.status;
   return ReadStatus::kOk;
 }
 

@@ -4,7 +4,9 @@
 
 #include "net/endian.h"
 #include "net/headers.h"
+#include "telescope/classify_detail.h"
 #include "telescope/probe_batch.h"
+#include "telescope/simd.h"
 
 namespace synscan::telescope {
 
@@ -70,28 +72,12 @@ FrameClass Sensor::classify_decoded(net::TimeUs timestamp_us, const net::Decoded
   return FrameClass::kMalformed;
 }
 
-namespace {
+namespace detail {
 
-/// Raw write cursor over a `ProbeBatch` whose columns are pre-sized to
-/// the batch's worst case: probe emission is ten unchecked stores plus
-/// one shared count, instead of ten `push_back` capacity checks.
-struct ProbeCursor {
-  net::TimeUs* timestamp_us;
-  std::uint32_t* source;
-  std::uint32_t* destination;
-  std::uint16_t* source_port;
-  std::uint16_t* destination_port;
-  std::uint32_t* sequence;
-  std::uint32_t* acknowledgment;
-  std::uint16_t* ip_id;
-  std::uint16_t* window;
-  std::uint8_t* ttl;
-  std::size_t count = 0;
-};
-
-// One frame of the batched fast path. Every early return mirrors a
-// rejection in decode_frame/classify_decoded so the counter histogram
-// stays bit-identical to the record-at-a-time path.
+// One frame of the batched fast path (shared with the SIMD kernels via
+// classify_detail.h). Every early return mirrors a rejection in
+// decode_frame/classify_decoded so the counter histogram stays
+// bit-identical to the record-at-a-time path.
 FrameClass classify_raw(const Telescope& telescope, net::TimeUs timestamp_us,
                         std::span<const std::uint8_t> bytes, SensorCounters& counters,
                         ProbeCursor& out) {
@@ -199,7 +185,7 @@ FrameClass classify_raw(const Telescope& telescope, net::TimeUs timestamp_us,
   return FrameClass::kMalformed;
 }
 
-}  // namespace
+}  // namespace detail
 
 std::size_t Sensor::classify_batch(std::span<const net::FrameView> frames,
                                    ProbeBatch& out) {
@@ -219,18 +205,32 @@ std::size_t Sensor::classify_batch(std::span<const net::FrameView> frames,
   out.ip_id.resize(limit);
   out.window.resize(limit);
   out.ttl.resize(limit);
-  ProbeCursor cursor{out.timestamp_us.data() + before,
-                     out.source.data() + before,
-                     out.destination.data() + before,
-                     out.source_port.data() + before,
-                     out.destination_port.data() + before,
-                     out.sequence.data() + before,
-                     out.acknowledgment.data() + before,
-                     out.ip_id.data() + before,
-                     out.window.data() + before,
-                     out.ttl.data() + before};
-  for (const auto& frame : frames) {
-    classify_raw(*telescope_, frame.timestamp_us, frame.bytes, counters_, cursor);
+  detail::ProbeCursor cursor{out.timestamp_us.data() + before,
+                             out.source.data() + before,
+                             out.destination.data() + before,
+                             out.source_port.data() + before,
+                             out.destination_port.data() + before,
+                             out.sequence.data() + before,
+                             out.acknowledgment.data() + before,
+                             out.ip_id.data() + before,
+                             out.window.data() + before,
+                             out.ttl.data() + before};
+  // Widest kernel the host (and SYNSCAN_SIMD) allows; every tier is
+  // bit-identical to the scalar loop — the kernels fall back to
+  // classify_raw per frame for anything their predicates cannot prove.
+  switch (simd::active_level()) {
+    case simd::SimdLevel::kAvx2:
+      detail::classify_frames_avx2(*telescope_, frames, counters_, cursor, simd_rows_);
+      break;
+    case simd::SimdLevel::kSse2:
+      detail::classify_frames_sse2(*telescope_, frames, counters_, cursor, simd_rows_);
+      break;
+    case simd::SimdLevel::kScalar:
+      for (const auto& frame : frames) {
+        detail::classify_raw(*telescope_, frame.timestamp_us, frame.bytes, counters_,
+                             cursor);
+      }
+      break;
   }
   const auto count = before + cursor.count;
   out.timestamp_us.resize(count);

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "test_support.h"
 
@@ -15,7 +18,11 @@ namespace fs = std::filesystem;
 class ProbeCacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "synscan_probe_cache_test";
+    // Unique per test case: ctest runs cases as parallel processes, and
+    // a shared dir would let one case's TearDown delete another's files.
+    dir_ = fs::temp_directory_path() /
+           (std::string("synscan_probe_cache_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     fs::create_directories(dir_);
     source_ = dir_ / "capture.pcap";
     cache_ = dir_ / "capture.pcap.spc";
@@ -44,6 +51,48 @@ class ProbeCacheTest : public ::testing::Test {
     return batch;
   }
 
+  /// Writes `batch` to `path` in one append, all rows as probes.
+  void write_cache(const fs::path& path, const telescope::ProbeBatch& batch,
+                   CacheCodec codec) const {
+    telescope::SensorCounters sensor;
+    sensor.scan_probes = batch.size();
+    ProbeCacheWriter writer(path, *cache_identity(source_), codec);
+    writer.append(batch);
+    ASSERT_TRUE(writer.commit(batch.size(), pcap::ReadStatus::kEndOfFile, sensor));
+  }
+
+  static void expect_rows_equal(const telescope::ProbeBatch& got, std::size_t at,
+                                const telescope::ProbeBatch& want, std::size_t from,
+                                std::size_t rows) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      EXPECT_EQ(got.timestamp_us[at + i], want.timestamp_us[from + i]);
+      EXPECT_EQ(got.source[at + i], want.source[from + i]);
+      EXPECT_EQ(got.destination[at + i], want.destination[from + i]);
+      EXPECT_EQ(got.source_port[at + i], want.source_port[from + i]);
+      EXPECT_EQ(got.destination_port[at + i], want.destination_port[from + i]);
+      EXPECT_EQ(got.sequence[at + i], want.sequence[from + i]);
+      EXPECT_EQ(got.acknowledgment[at + i], want.acknowledgment[from + i]);
+      EXPECT_EQ(got.ip_id[at + i], want.ip_id[from + i]);
+      EXPECT_EQ(got.window[at + i], want.window[from + i]);
+      EXPECT_EQ(got.ttl[at + i], want.ttl[from + i]);
+    }
+  }
+
+  static std::vector<std::uint8_t> slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  /// Reads every chunk back as one concatenated batch.
+  static telescope::ProbeBatch drain(ProbeCacheReader& reader) {
+    telescope::ProbeBatch all;
+    telescope::ProbeBatch chunk;
+    while (reader.next_chunk(chunk)) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) all.push_back(chunk.get(i));
+    }
+    return all;
+  }
+
   fs::path dir_;
   fs::path source_;
   fs::path cache_;
@@ -69,31 +118,79 @@ TEST_F(ProbeCacheTest, WriteReadRoundTrip) {
   ASSERT_TRUE(reader.has_value());
   EXPECT_EQ(reader->frame_count(), 42u);
   EXPECT_EQ(reader->probe_count(), 7u);
+  EXPECT_EQ(reader->codec(), CacheCodec::kDeltaVarint);
   EXPECT_EQ(reader->terminal_status(), pcap::ReadStatus::kEndOfFile);
   EXPECT_EQ(reader->sensor().scan_probes, 7u);
   EXPECT_EQ(reader->sensor().malformed, 3u);
   EXPECT_EQ(reader->sensor().udp, 1u);
 
+  // The writer restages appends into the fixed row grid, so the two
+  // small appends come back as one chunk holding all seven rows.
   telescope::ProbeBatch chunk;
   ASSERT_TRUE(reader->next_chunk(chunk));
-  ASSERT_EQ(chunk.size(), 4u);
-  const auto expected = sample_batch(4, 100);
-  for (std::size_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(chunk.timestamp_us[i], expected.timestamp_us[i]);
-    EXPECT_EQ(chunk.source[i], expected.source[i]);
-    EXPECT_EQ(chunk.destination[i], expected.destination[i]);
-    EXPECT_EQ(chunk.source_port[i], expected.source_port[i]);
-    EXPECT_EQ(chunk.destination_port[i], expected.destination_port[i]);
-    EXPECT_EQ(chunk.sequence[i], expected.sequence[i]);
-    EXPECT_EQ(chunk.acknowledgment[i], expected.acknowledgment[i]);
-    EXPECT_EQ(chunk.ip_id[i], expected.ip_id[i]);
-    EXPECT_EQ(chunk.window[i], expected.window[i]);
-    EXPECT_EQ(chunk.ttl[i], expected.ttl[i]);
+  ASSERT_EQ(chunk.size(), 7u);
+  expect_rows_equal(chunk, 0, sample_batch(4, 100), 0, 4);
+  expect_rows_equal(chunk, 4, sample_batch(3, 900), 0, 3);
+  EXPECT_FALSE(reader->next_chunk(chunk));
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST_F(ProbeCacheTest, RawCodecRoundTrip) {
+  const auto batch = sample_batch(9, 31);
+  write_cache(cache_, batch, CacheCodec::kRaw);
+  auto reader = ProbeCacheReader::open(cache_, identity());
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->codec(), CacheCodec::kRaw);
+  telescope::ProbeBatch chunk;
+  ASSERT_TRUE(reader->next_chunk(chunk));
+  ASSERT_EQ(chunk.size(), 9u);
+  expect_rows_equal(chunk, 0, batch, 0, 9);
+}
+
+TEST_F(ProbeCacheTest, FileBytesIndependentOfAppendBatching) {
+  const auto batch = sample_batch(23, 500);
+  const auto whole = dir_ / "whole.spc";
+  const auto split = dir_ / "split.spc";
+  write_cache(whole, batch, CacheCodec::kDeltaVarint);
+  {
+    telescope::SensorCounters sensor;
+    sensor.scan_probes = batch.size();
+    ProbeCacheWriter writer(split, identity(), CacheCodec::kDeltaVarint);
+    telescope::ProbeBatch piece;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      piece.push_back(batch.get(i));
+      if (piece.size() == 5 || i + 1 == batch.size()) {
+        writer.append(piece);
+        piece.clear();
+      }
+    }
+    ASSERT_TRUE(writer.commit(batch.size(), pcap::ReadStatus::kEndOfFile, sensor));
   }
+  EXPECT_EQ(slurp(whole), slurp(split));
+}
+
+TEST_F(ProbeCacheTest, FixedRowGridSplitsLargeStreams) {
+  const auto batch = sample_batch(kCacheRowsPerChunk + 3, 9);
+  write_cache(cache_, batch, CacheCodec::kDeltaVarint);
+  auto reader = ProbeCacheReader::open(cache_, identity());
+  ASSERT_TRUE(reader.has_value());
+  telescope::ProbeBatch chunk;
+  ASSERT_TRUE(reader->next_chunk(chunk));
+  EXPECT_EQ(chunk.size(), kCacheRowsPerChunk);
   ASSERT_TRUE(reader->next_chunk(chunk));
   EXPECT_EQ(chunk.size(), 3u);
   EXPECT_FALSE(reader->next_chunk(chunk));
-  EXPECT_TRUE(chunk.empty());
+}
+
+TEST_F(ProbeCacheTest, DeltaCodecCompressesCorrelatedColumns) {
+  // Sequential timestamps and near-sequential addresses — the shape of
+  // real probe streams — must come out smaller than the raw layout.
+  const auto batch = sample_batch(4096, 1000);
+  const auto raw = dir_ / "raw.spc";
+  const auto packed = dir_ / "packed.spc";
+  write_cache(raw, batch, CacheCodec::kRaw);
+  write_cache(packed, batch, CacheCodec::kDeltaVarint);
+  EXPECT_LT(fs::file_size(packed), fs::file_size(raw));
 }
 
 TEST_F(ProbeCacheTest, PreservesTruncatedTerminalStatus) {
@@ -112,13 +209,7 @@ TEST_F(ProbeCacheTest, PreservesTruncatedTerminalStatus) {
 
 TEST_F(ProbeCacheTest, StaleIdentityIsRejected) {
   const auto id = identity();
-  telescope::SensorCounters sensor;
-  sensor.scan_probes = 1;
-  {
-    ProbeCacheWriter writer(cache_, id);
-    writer.append(sample_batch(1, 1));
-    ASSERT_TRUE(writer.commit(1, pcap::ReadStatus::kEndOfFile, sensor));
-  }
+  write_cache(cache_, sample_batch(1, 1), CacheCodec::kDeltaVarint);
   auto changed = id;
   changed.source_size += 1;
   EXPECT_FALSE(ProbeCacheReader::open(cache_, changed).has_value());
@@ -128,38 +219,160 @@ TEST_F(ProbeCacheTest, StaleIdentityIsRejected) {
   EXPECT_TRUE(ProbeCacheReader::open(cache_, id).has_value());
 }
 
-TEST_F(ProbeCacheTest, CorruptionIsRejected) {
+TEST_F(ProbeCacheTest, BitFlipInCompressedStreamIsRejected) {
   const auto id = identity();
-  telescope::SensorCounters sensor;
-  sensor.scan_probes = 8;
-  {
-    ProbeCacheWriter writer(cache_, id);
-    writer.append(sample_batch(8, 77));
-    ASSERT_TRUE(writer.commit(8, pcap::ReadStatus::kEndOfFile, sensor));
-  }
-
-  // Flip one probe byte: the checksum must catch it.
+  write_cache(cache_, sample_batch(64, 77), CacheCodec::kDeltaVarint);
+  ASSERT_TRUE(ProbeCacheReader::open(cache_, id).has_value());
+  // 136 = header, +8 row count, +8 length prefix: this lands inside the
+  // timestamp varint stream. The checksum must catch the flip.
   {
     std::fstream file(cache_, std::ios::binary | std::ios::in | std::ios::out);
-    file.seekp(136 + 8 + 3);
-    file.put('\x5a');
+    file.seekg(136 + 8 + 8 + 5);
+    const auto byte = file.get();
+    file.seekp(136 + 8 + 8 + 5);
+    file.put(static_cast<char>(byte ^ 0x10));
   }
+  EXPECT_FALSE(ProbeCacheReader::open(cache_, id).has_value());
+  const auto report = cache_verify(cache_);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("checksum"), std::string::npos);
+}
+
+TEST_F(ProbeCacheTest, TruncatedCompressedColumnIsRejected) {
+  const auto id = identity();
+  write_cache(cache_, sample_batch(64, 3), CacheCodec::kDeltaVarint);
+  // Cut into the fixed-width tail, then deep into the varint region;
+  // both must read as "no cache", never as partial probes.
+  fs::resize_file(cache_, fs::file_size(cache_) - 5);
+  EXPECT_FALSE(ProbeCacheReader::open(cache_, id).has_value());
+  fs::resize_file(cache_, 136 + 8 + 8 + 3);
+  EXPECT_FALSE(ProbeCacheReader::open(cache_, id).has_value());
+  EXPECT_NE(cache_verify(cache_).error.find("truncated"), std::string::npos);
+  fs::resize_file(cache_, 40);  // even into the header
   EXPECT_FALSE(ProbeCacheReader::open(cache_, id).has_value());
 }
 
-TEST_F(ProbeCacheTest, TornWriteIsRejected) {
+TEST_F(ProbeCacheTest, UnsupportedVersionIsRejected) {
   const auto id = identity();
-  telescope::SensorCounters sensor;
-  sensor.scan_probes = 8;
+  write_cache(cache_, sample_batch(4, 8), CacheCodec::kDeltaVarint);
   {
-    ProbeCacheWriter writer(cache_, id);
-    writer.append(sample_batch(8, 3));
-    ASSERT_TRUE(writer.commit(8, pcap::ReadStatus::kEndOfFile, sensor));
+    std::fstream file(cache_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(4);
+    file.put('\x03');  // version 3: a future format must read as stale
   }
-  fs::resize_file(cache_, fs::file_size(cache_) - 5);
   EXPECT_FALSE(ProbeCacheReader::open(cache_, id).has_value());
-  fs::resize_file(cache_, 40);  // even into the header
+  const auto report = cache_verify(cache_);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("version"), std::string::npos);
+}
+
+TEST_F(ProbeCacheTest, UnknownCodecIsRejected) {
+  const auto id = identity();
+  write_cache(cache_, sample_batch(4, 8), CacheCodec::kDeltaVarint);
+  {
+    std::fstream file(cache_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(44);
+    file.put('\x09');
+  }
   EXPECT_FALSE(ProbeCacheReader::open(cache_, id).has_value());
+  EXPECT_NE(cache_verify(cache_).error.find("codec"), std::string::npos);
+}
+
+TEST_F(ProbeCacheTest, VersionOneFilesStayReadable) {
+  // A v1 file hand-built to the original layout: raw columns, one chunk
+  // per append, zero in the (then reserved) codec slot.
+  const auto id = identity();
+  const auto batch = sample_batch(2, 55);
+  std::vector<std::uint8_t> chunk;
+  const auto le = [&chunk](std::uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) chunk.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  le(batch.size(), 8);
+  for (std::size_t i = 0; i < batch.size(); ++i) le(batch.timestamp_us[i], 8);
+  for (std::size_t i = 0; i < batch.size(); ++i) le(batch.source[i], 4);
+  for (std::size_t i = 0; i < batch.size(); ++i) le(batch.destination[i], 4);
+  for (std::size_t i = 0; i < batch.size(); ++i) le(batch.source_port[i], 2);
+  for (std::size_t i = 0; i < batch.size(); ++i) le(batch.destination_port[i], 2);
+  for (std::size_t i = 0; i < batch.size(); ++i) le(batch.sequence[i], 4);
+  for (std::size_t i = 0; i < batch.size(); ++i) le(batch.acknowledgment[i], 4);
+  for (std::size_t i = 0; i < batch.size(); ++i) le(batch.ip_id[i], 2);
+  for (std::size_t i = 0; i < batch.size(); ++i) le(batch.window[i], 2);
+  for (std::size_t i = 0; i < batch.size(); ++i) le(batch.ttl[i], 1);
+
+  // FNV-1a over little-endian 64-bit words, zero-padded tail.
+  std::uint64_t checksum = 0xcbf29ce484222325ull;
+  for (std::size_t at = 0; at < chunk.size(); at += 8) {
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < 8 && at + i < chunk.size(); ++i) {
+      word |= static_cast<std::uint64_t>(chunk[at + i]) << (8 * i);
+    }
+    checksum = (checksum ^ word) * 0x100000001b3ull;
+  }
+
+  std::vector<std::uint8_t> header;
+  const auto hle = [&header](std::uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      header.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  hle(0x31637073, 4);  // "spc1"
+  hle(1, 4);           // version 1
+  hle(id.source_size, 8);
+  hle(id.source_mtime_ns, 8);
+  hle(batch.size(), 8);  // frame_count
+  hle(batch.size(), 8);  // probe_count
+  hle(0, 4);             // kEndOfFile
+  hle(0, 4);             // reserved (pre-codec)
+  hle(batch.size(), 8);  // scan_probes
+  for (int i = 0; i < 9; ++i) hle(0, 8);
+  hle(checksum, 8);
+  ASSERT_EQ(header.size(), 136u);
+
+  {
+    std::ofstream out(cache_, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char*>(chunk.data()),
+              static_cast<std::streamsize>(chunk.size()));
+  }
+
+  auto reader = ProbeCacheReader::open(cache_, id);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->codec(), CacheCodec::kRaw);
+  const auto got = drain(*reader);
+  ASSERT_EQ(got.size(), batch.size());
+  expect_rows_equal(got, 0, batch, 0, batch.size());
+
+  const auto info = cache_stat(cache_);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->version, 1u);
+  EXPECT_EQ(info->codec, CacheCodec::kRaw);
+}
+
+TEST_F(ProbeCacheTest, StatAndVerifyReportTheFile) {
+  write_cache(cache_, sample_batch(12, 42), CacheCodec::kDeltaVarint);
+  const auto info = cache_stat(cache_);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->version, 2u);
+  EXPECT_EQ(info->codec, CacheCodec::kDeltaVarint);
+  EXPECT_EQ(info->probe_count, 12u);
+  EXPECT_EQ(info->frame_count, 12u);
+  EXPECT_EQ(info->sensor.scan_probes, 12u);
+  EXPECT_EQ(info->file_size, fs::file_size(cache_));
+
+  auto report = cache_verify(cache_, identity());
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.chunks, 1u);
+  EXPECT_EQ(report.rows, 12u);
+
+  auto stale = identity();
+  stale.source_size += 1;
+  report = cache_verify(cache_, stale);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("stale"), std::string::npos);
+
+  EXPECT_FALSE(cache_stat(dir_ / "missing.spc").has_value());
+  EXPECT_FALSE(cache_verify(dir_ / "missing.spc").ok);
 }
 
 TEST_F(ProbeCacheTest, AbandonLeavesNoFiles) {

@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -18,6 +21,8 @@
 #include "net/endian.h"
 #include "pcap/pcap.h"
 #include "simgen/generator.h"
+#include "simgen/rng.h"
+#include "telescope/simd.h"
 #include "test_support.h"
 
 namespace synscan {
@@ -334,6 +339,207 @@ TEST_F(IngestDialects, TruncatedCaptureKeepsProbesAndReportsStatus) {
   EXPECT_EQ(warm.frames, 1u);
   EXPECT_EQ(probes, 1u);
   expect_same_sensor(warm.sensor, cold.sensor);
+}
+
+/// Restores the SIMD dispatch level a test overrode.
+class SimdLevelGuard {
+ public:
+  SimdLevelGuard() : saved_(telescope::simd::active_level()) {}
+  ~SimdLevelGuard() { telescope::simd::set_active_level(saved_); }
+  SimdLevelGuard(const SimdLevelGuard&) = delete;
+  SimdLevelGuard& operator=(const SimdLevelGuard&) = delete;
+
+ private:
+  telescope::simd::SimdLevel saved_;
+};
+
+/// The full cold-path configuration matrix — SIMD dispatch × scan
+/// parallelism × cache codec — pinned to one scalar/serial reference.
+/// The capture must clear the 4 MiB chunked-scan floor in
+/// core/ingest.cpp, so it is synthesized directly (~7 MB) rather than
+/// through the slower simgen pipeline.
+class IngestMatrix : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case: ctest runs cases as parallel processes.
+    dir_ = fs::temp_directory_path() /
+           (std::string("synscan_ingest_matrix_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    capture_ = dir_ / "matrix.pcap";
+
+    simgen::Rng rng(20250809);
+    auto writer = pcap::Writer::create(capture_);
+    net::RawFrame frame;
+    net::TimeUs now = 0;
+    for (std::uint64_t i = 0; i < kFrames; ++i) {
+      now += 35;
+      frame.timestamp_us = now;
+      const std::uint64_t draw = rng.next_u64() % 100;
+      net::TcpFrameSpec tcp;
+      tcp.src_ip = net::Ipv4Address(0x05000000u + rng.next_u32() % (1u << 20));
+      tcp.dst_ip = net::Ipv4Address(0xc6330000u + rng.next_u32() % 4096);
+      tcp.src_port = static_cast<std::uint16_t>(40000 + rng.next_u32() % 20000);
+      tcp.dst_port = (draw % 3 == 0) ? 443 : 80;
+      tcp.sequence = rng.next_u32();
+      tcp.ip_id = static_cast<std::uint16_t>(rng.next_u32());
+      if (draw < 70) {
+        // scan probe (defaults: SYN)
+      } else if (draw < 80) {
+        tcp.flags =
+            net::flag_bit(net::TcpFlag::kSyn) | net::flag_bit(net::TcpFlag::kAck);
+      } else if (draw < 88) {
+        tcp.dst_ip = net::Ipv4Address(0x08080000u + rng.next_u32() % 65536);
+      } else if (draw < 95) {
+        net::UdpFrameSpec udp;
+        udp.src_ip = tcp.src_ip;
+        udp.dst_ip = tcp.dst_ip;
+        udp.src_port = tcp.src_port;
+        udp.dst_port = 53;
+        frame.bytes = net::build_udp_frame(udp);
+        writer.write(frame);
+        continue;
+      } else {
+        tcp.dst_port = 23;  // ingress blocked
+      }
+      frame.bytes = net::build_tcp_frame(tcp);
+      writer.write(frame);
+    }
+    writer.flush();
+    ASSERT_GE(fs::file_size(capture_), std::size_t{4} << 20)
+        << "capture too small to engage the chunked scan";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  struct MatrixRun {
+    telescope::ProbeBatch probes;  ///< every probe, capture order
+    core::IngestResult result;
+  };
+
+  [[nodiscard]] MatrixRun run(const core::IngestOptions& options) const {
+    MatrixRun out;
+    out.result = core::ingest_capture(
+        capture_, test_telescope(), options,
+        [&](const telescope::ProbeBatch& batch) {
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            out.probes.push_back(batch.get(i));
+          }
+        });
+    return out;
+  }
+
+  static void expect_same_probes(const telescope::ProbeBatch& got,
+                                 const telescope::ProbeBatch& want) {
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_EQ(got.timestamp_us, want.timestamp_us);
+    EXPECT_EQ(got.source, want.source);
+    EXPECT_EQ(got.destination, want.destination);
+    EXPECT_EQ(got.source_port, want.source_port);
+    EXPECT_EQ(got.destination_port, want.destination_port);
+    EXPECT_EQ(got.sequence, want.sequence);
+    EXPECT_EQ(got.acknowledgment, want.acknowledgment);
+    EXPECT_EQ(got.ip_id, want.ip_id);
+    EXPECT_EQ(got.window, want.window);
+    EXPECT_EQ(got.ttl, want.ttl);
+  }
+
+  [[nodiscard]] static std::vector<char> slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  static constexpr std::uint64_t kFrames = 110'000;
+  fs::path dir_;
+  fs::path capture_;
+};
+
+TEST_F(IngestMatrix, SimdChunksAndCodecAllMatchScalarSerialReference) {
+  const SimdLevelGuard guard;
+  namespace simd = telescope::simd;
+
+  simd::set_active_level(simd::SimdLevel::kScalar);
+  core::IngestOptions reference_options;
+  reference_options.use_cache = false;
+  reference_options.scan_chunks = 1;
+  const auto reference = run(reference_options);
+  ASSERT_GT(reference.probes.size(), 0u);
+  ASSERT_EQ(reference.result.status, pcap::ReadStatus::kEndOfFile);
+  ASSERT_EQ(reference.result.chunks, 1u);
+
+  // Cache bytes must depend only on the probe stream and codec, never on
+  // which classify kernel or how many scan chunks produced them.
+  std::map<core::CacheCodec, std::vector<char>> cache_bytes;
+
+  int combo = 0;
+  for (const auto level : {simd::SimdLevel::kScalar, simd::detected_level()}) {
+    for (const std::size_t chunks : {std::size_t{1}, std::size_t{4}}) {
+      for (const auto codec :
+           {core::CacheCodec::kRaw, core::CacheCodec::kDeltaVarint}) {
+        SCOPED_TRACE(std::string("level=") + simd::to_string(level) +
+                     " chunks=" + std::to_string(chunks) +
+                     " codec=" + (codec == core::CacheCodec::kRaw ? "raw" : "delta"));
+        simd::set_active_level(level);
+        core::IngestOptions options;
+        options.scan_chunks = chunks;
+        options.cache_codec = codec;
+        options.cache_path = dir_ / ("matrix_" + std::to_string(combo++) + ".spc");
+        const auto cold = run(options);
+
+        EXPECT_FALSE(cold.result.from_cache);
+        EXPECT_EQ(cold.result.frames, reference.result.frames);
+        EXPECT_EQ(cold.result.status, reference.result.status);
+        if (chunks > 1) EXPECT_GT(cold.result.chunks, 1u);
+        expect_same_probes(cold.probes, reference.probes);
+        expect_same_sensor(cold.result.sensor, reference.result.sensor);
+
+        const auto bytes = slurp(options.cache_path);
+        ASSERT_FALSE(bytes.empty());
+        const auto [it, inserted] = cache_bytes.emplace(codec, bytes);
+        EXPECT_TRUE(inserted || it->second == bytes)
+            << "cache bytes differ from the first " << (codec == core::CacheCodec::kRaw ? "raw" : "delta")
+            << " file: the .spc is not path-independent";
+
+        // And the warm read of what this combo wrote round-trips.
+        const auto warm = run(options);
+        EXPECT_TRUE(warm.result.from_cache);
+        expect_same_probes(warm.probes, reference.probes);
+        expect_same_sensor(warm.result.sensor, reference.result.sensor);
+      }
+    }
+  }
+  EXPECT_NE(cache_bytes[core::CacheCodec::kRaw],
+            cache_bytes[core::CacheCodec::kDeltaVarint]);
+}
+
+TEST_F(IngestMatrix, CorruptCacheFallsBackToRescanAndRewrites) {
+  const auto spc = dir_ / "fallback.spc";
+  core::IngestOptions options;
+  options.cache_path = spc;
+  const auto cold = run(options);
+  ASSERT_FALSE(cold.result.from_cache);
+  ASSERT_TRUE(fs::exists(spc));
+
+  // Flip one byte deep in the compressed probe stream: the checksum
+  // walk rejects the cache and ingest re-scans the capture — no crash,
+  // identical probes, and a fresh valid cache left behind.
+  {
+    std::fstream file(spc, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(4096);
+    char byte = 0;
+    file.seekg(4096);
+    file.get(byte);
+    file.seekp(4096);
+    file.put(static_cast<char>(byte ^ 0x20));
+  }
+  const auto rescanned = run(options);
+  EXPECT_FALSE(rescanned.result.from_cache);
+  expect_same_probes(rescanned.probes, cold.probes);
+  expect_same_sensor(rescanned.result.sensor, cold.result.sensor);
+
+  const auto warm = run(options);
+  EXPECT_TRUE(warm.result.from_cache);
+  expect_same_probes(warm.probes, cold.probes);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "net/endian.h"
 
@@ -16,7 +17,13 @@ namespace fs = std::filesystem;
 class MappedReaderTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "synscan_mapped_reader_test";
+    // Unique per test case: ctest runs cases as parallel processes, so a
+    // shared directory would let one case's TearDown delete another's
+    // capture mid-read.
+    dir_ = fs::temp_directory_path() /
+           (std::string("synscan_mapped_reader_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }
@@ -222,6 +229,128 @@ TEST_F(MappedReaderTest, NextBatchOwesTerminalStatusAfterPartialBatch) {
   EXPECT_EQ(reader.next_batch(batch, 8), ReadStatus::kTruncated);
   EXPECT_TRUE(batch.empty());
   EXPECT_EQ(reader.next_batch(batch, 8), ReadStatus::kEndOfFile);
+}
+
+TEST_F(MappedReaderTest, PartitionSplitsOnRecordBoundariesAndCoversEveryRecord) {
+  std::vector<net::RawFrame> frames;
+  for (std::uint32_t i = 0; i < 97; ++i) {
+    // Varying lengths so chunk boundaries cannot fall on a fixed stride.
+    frames.push_back(frame(i, {}));
+    frames.back().bytes.assign(1 + i % 13, static_cast<std::uint8_t>(i));
+  }
+  write_file(path("partition.pcap"), frames);
+
+  auto reader = MappedReader::open(path("partition.pcap"));
+  const auto chunks = reader.partition(5);
+  ASSERT_GE(chunks.size(), 2u);
+  ASSERT_LE(chunks.size(), 5u);
+
+  // Contiguous cover of the record region, first to last byte.
+  EXPECT_EQ(chunks.front().begin, kGlobalHeaderSize);
+  EXPECT_EQ(chunks.back().end, reader.byte_size());
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].begin, chunks[i - 1].end) << "gap before chunk " << i;
+  }
+
+  // Scanning the chunks in order yields the serial frame sequence.
+  std::size_t seen = 0;
+  for (const auto& chunk : chunks) {
+    ChunkReader scanner(reader.bytes(), reader.info(), chunk);
+    const auto status = scanner.scan([&](net::TimeUs timestamp_us,
+                                         const std::uint8_t* data,
+                                         std::uint32_t captured_length) {
+      ASSERT_LT(seen, frames.size());
+      EXPECT_EQ(timestamp_us, frames[seen].timestamp_us);
+      ASSERT_EQ(captured_length, frames[seen].bytes.size());
+      EXPECT_EQ(std::vector<std::uint8_t>(data, data + captured_length),
+                frames[seen].bytes);
+      ++seen;
+    });
+    EXPECT_EQ(status, ReadStatus::kEndOfFile);
+  }
+  EXPECT_EQ(seen, frames.size());
+}
+
+TEST_F(MappedReaderTest, PartitionDegeneratesToOneChunkOnTinyOrEmptyCaptures) {
+  const std::vector<net::RawFrame> tiny = {frame(1, {1, 2, 3})};
+  write_file(path("tiny.pcap"), tiny);
+  auto reader = MappedReader::open(path("tiny.pcap"));
+  const auto chunks = reader.partition(8);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].begin, kGlobalHeaderSize);
+  EXPECT_EQ(chunks[0].end, reader.byte_size());
+
+  write_file(path("empty2.pcap"), {});
+  auto empty = MappedReader::open(path("empty2.pcap"));
+  const auto none = empty.partition(8);
+  ASSERT_EQ(none.size(), 1u);
+  EXPECT_EQ(none[0].begin, none[0].end);
+}
+
+TEST_F(MappedReaderTest, PartitionConfinesTruncationToTheFinalChunk) {
+  std::vector<net::RawFrame> frames;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    frames.push_back(frame(i, {}));
+    frames.back().bytes.assign(32, static_cast<std::uint8_t>(i));
+  }
+  write_file(path("trunc_chunks.pcap"), frames);
+  const auto size = fs::file_size(path("trunc_chunks.pcap"));
+  fs::resize_file(path("trunc_chunks.pcap"), size - 7);  // cut into the last body
+
+  auto reader = MappedReader::open(path("trunc_chunks.pcap"));
+  const auto chunks = reader.partition(4);
+  ASSERT_GE(chunks.size(), 2u);
+  EXPECT_EQ(chunks.back().end, reader.byte_size());
+
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    ChunkReader scanner(reader.bytes(), reader.info(), chunks[i]);
+    const auto status = scanner.scan(
+        [&](net::TimeUs, const std::uint8_t*, std::uint32_t) { ++seen; });
+    // Every chunk but the last ends exactly on a record boundary; only
+    // the final chunk may carry the defect.
+    if (i + 1 < chunks.size()) {
+      EXPECT_EQ(status, ReadStatus::kEndOfFile) << "chunk " << i;
+    } else {
+      EXPECT_EQ(status, ReadStatus::kTruncated);
+    }
+  }
+  EXPECT_EQ(seen, frames.size() - 1);
+}
+
+TEST_F(MappedReaderTest, ChunkScanAndNextBatchAgree) {
+  std::vector<net::RawFrame> frames;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    frames.push_back(frame(1000 + i, {}));
+    frames.back().bytes.assign(1 + i % 7, static_cast<std::uint8_t>(i));
+  }
+  write_file(path("scan_agree.pcap"), frames);
+
+  auto reader = MappedReader::open(path("scan_agree.pcap"));
+  const ScanChunk whole{kGlobalHeaderSize,
+                        static_cast<std::size_t>(reader.byte_size())};
+
+  std::vector<net::TimeUs> scanned;
+  ChunkReader fused(reader.bytes(), reader.info(), whole);
+  EXPECT_EQ(fused.scan([&](net::TimeUs timestamp_us, const std::uint8_t*,
+                           std::uint32_t) { scanned.push_back(timestamp_us); }),
+            ReadStatus::kEndOfFile);
+  EXPECT_EQ(fused.frames_read(), frames.size());
+  // A second scan on the same reader is a no-op, not a rewind.
+  EXPECT_EQ(fused.scan([&](net::TimeUs, const std::uint8_t*, std::uint32_t) {
+    FAIL() << "scan must not restart an exhausted chunk";
+  }),
+            ReadStatus::kEndOfFile);
+
+  std::vector<net::TimeUs> batched;
+  ChunkReader stepper(reader.bytes(), reader.info(), whole);
+  std::vector<net::FrameView> views;
+  ReadStatus status;
+  while ((status = stepper.next_batch(views, 7)) == ReadStatus::kOk) {
+    for (const auto& view : views) batched.push_back(view.timestamp_us);
+  }
+  EXPECT_EQ(status, ReadStatus::kEndOfFile);
+  EXPECT_EQ(batched, scanned);
 }
 
 }  // namespace
