@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/probe_cache.h"
+#include "core/sync.h"
 #include "obs/metrics.h"
 #include "pcap/mapped_reader.h"
 #include "pcap/pcapng.h"
@@ -194,6 +195,31 @@ struct ChunkOutcome {
   std::exception_ptr error;
 };
 
+/// Hands chunk outcomes from scan workers back to the caller. Slots are
+/// disjoint (worker i writes only slot i), so the lock is uncontended in
+/// practice; taking it anyway makes the handoff visible to the
+/// thread-safety analysis instead of leaning on the join alone.
+class ChunkMerge {
+ public:
+  explicit ChunkMerge(std::size_t chunks) : outcomes_(chunks) {}
+
+  void publish(std::size_t index, ChunkOutcome outcome) SYNSCAN_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    outcomes_[index] = std::move(outcome);
+  }
+
+  /// Moves every outcome out, in chunk (capture) order. Call once,
+  /// after all workers are joined.
+  [[nodiscard]] std::vector<ChunkOutcome> take() SYNSCAN_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return std::move(outcomes_);
+  }
+
+ private:
+  Mutex mutex_;
+  std::vector<ChunkOutcome> outcomes_ SYNSCAN_GUARDED_BY(mutex_);
+};
+
 }  // namespace
 
 IngestResult ingest_capture(const std::filesystem::path& path,
@@ -280,14 +306,15 @@ IngestResult ingest_capture(const std::filesystem::path& path,
   /// status is terminal and every later chunk is discarded.
   const auto run_chunked = [&](pcap::MappedReader& reader,
                                const std::vector<pcap::ScanChunk>& chunks) {
-    std::vector<ChunkOutcome> outcomes(chunks.size());
+    ChunkMerge merge(chunks.size());
     {
       std::vector<std::thread> workers;
       workers.reserve(chunks.size());
       for (std::size_t i = 0; i < chunks.size(); ++i) {
-        workers.emplace_back([&telescope, &reader, &chunks, &outcomes, batch_frames,
-                              i] {
-          auto& outcome = outcomes[i];
+        workers.emplace_back([&telescope, &reader, &chunks, &merge, batch_frames, i] {
+          // Workers accumulate into a private outcome and publish it
+          // whole; nothing shared is touched until the final handoff.
+          ChunkOutcome outcome;
           try {
             FusedClassifier classifier(telescope, batch_frames,
                                        [&outcome](telescope::ProbeBatch& batch) {
@@ -306,11 +333,13 @@ IngestResult ingest_capture(const std::filesystem::path& path,
           } catch (...) {
             outcome.error = std::current_exception();
           }
+          merge.publish(i, std::move(outcome));
         });
       }
       for (auto& worker : workers) worker.join();
     }
     result.chunks = chunks.size();
+    auto outcomes = merge.take();
     for (auto& outcome : outcomes) {
       if (outcome.error) std::rethrow_exception(outcome.error);
       for (auto& batch : outcome.batches) deliver_batch(batch);

@@ -31,10 +31,10 @@ ParallelAnalyzer::ParallelAnalyzer(const telescope::Telescope& telescope,
       std::vector<Slice> slices;
       for (;;) {
         {
-          std::unique_lock lock(w->mutex);
-          w->ready.wait(lock, [w] {
-            return !w->queue.empty() || !w->slice_queue.empty() || w->done;
-          });
+          UniqueLock lock(w->mutex);
+          while (w->queue.empty() && w->slice_queue.empty() && !w->done) {
+            w->ready.wait(lock);
+          }
           if (w->queue.empty() && w->slice_queue.empty() && w->done) return;
           batch.swap(w->queue);
           slices.swap(w->slice_queue);
@@ -57,7 +57,7 @@ ParallelAnalyzer::~ParallelAnalyzer() {
     // Abandon cleanly: wake workers and join.
     for (const auto& worker : workers_) {
       {
-        const std::lock_guard lock(worker->mutex);
+        const MutexLock lock(worker->mutex);
         worker->done = true;
       }
       worker->ready.notify_one();
@@ -75,7 +75,7 @@ void ParallelAnalyzer::flush(std::size_t index) {
   auto& worker = *workers_[index];
   const auto batch_size = batch.size();
   {
-    const std::lock_guard lock(worker.mutex);
+    const MutexLock lock(worker.mutex);
     if (worker.queue.empty()) {
       // Hand the whole buffer over and take the drained one back: the
       // feeder and the worker ping-pong two buffers per lane, and no
@@ -117,7 +117,7 @@ void ParallelAnalyzer::feed_probes(const telescope::ProbeBatch& batch) {
     auto& worker = *workers_[index];
     const auto row_count = rows.size();
     {
-      const std::lock_guard lock(worker.mutex);
+      const MutexLock lock(worker.mutex);
       worker.slice_queue.push_back({shared, std::move(rows)});
       worker.items += row_count;
       ++worker.batches;
@@ -163,7 +163,7 @@ PipelineResult ParallelAnalyzer::finish() {
   for (std::size_t i = 0; i < workers_.size(); ++i) flush(i);
   for (const auto& worker : workers_) {
     {
-      const std::lock_guard lock(worker->mutex);
+      const MutexLock lock(worker->mutex);
       worker->done = true;
     }
     worker->ready.notify_one();
@@ -217,15 +217,26 @@ PipelineResult ParallelAnalyzer::finish() {
     registry.counter("parallel.feeder_reallocs").add(feeder_reallocs_);
     registry.counter("parallel.slices").add(slices_);
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      const auto& worker = *workers_[i];
-      registry.counter("parallel.items").add(worker.items);
-      registry.counter("parallel.batches").add(worker.batches);
+      auto& worker = *workers_[i];
+      // The workers are joined, so the lock is uncontended; taking it
+      // anyway keeps the guarded reads visible to the analysis.
+      std::uint64_t items = 0;
+      std::uint64_t batches = 0;
+      std::size_t peak_queue = 0;
+      {
+        const MutexLock lock(worker.mutex);
+        items = worker.items;
+        batches = worker.batches;
+        peak_queue = worker.peak_queue;
+      }
+      registry.counter("parallel.items").add(items);
+      registry.counter("parallel.batches").add(batches);
       registry.gauge("parallel.peak_queue")
-          .record_max(static_cast<std::int64_t>(worker.peak_queue));
+          .record_max(static_cast<std::int64_t>(peak_queue));
       const auto prefix = "parallel.worker." + std::to_string(i);
-      registry.counter(prefix + ".items").add(worker.items);
+      registry.counter(prefix + ".items").add(items);
       registry.gauge(prefix + ".peak_queue")
-          .record_max(static_cast<std::int64_t>(worker.peak_queue));
+          .record_max(static_cast<std::int64_t>(peak_queue));
     }
   }
   return merged;

@@ -105,28 +105,33 @@ template <typename T>
 T& MetricsRegistry::get_or_create(
     std::map<std::string, std::unique_ptr<T>, std::less<>>& metrics,
     std::string_view name) {
-  const std::lock_guard lock(mutex_);
   const auto it = metrics.find(name);
   if (it != metrics.end()) return *it->second;
   return *metrics.emplace(std::string(name), std::make_unique<T>()).first->second;
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  const core::MutexLock lock(mutex_);
   return get_or_create(counters_, name);
 }
 
-Gauge& MetricsRegistry::gauge(std::string_view name) { return get_or_create(gauges_, name); }
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const core::MutexLock lock(mutex_);
+  return get_or_create(gauges_, name);
+}
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const core::MutexLock lock(mutex_);
   return get_or_create(histograms_, name);
 }
 
 Timing& MetricsRegistry::timing(std::string_view name) {
+  const core::MutexLock lock(mutex_);
   return get_or_create(timings_, name);
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard lock(mutex_);
+  const core::MutexLock lock(mutex_);
   Snapshot out;
   out.counters.reserve(counters_.size());
   for (const auto& [name, cell] : counters_) out.counters.emplace_back(name, cell->value());
@@ -142,7 +147,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
 }
 
 std::vector<std::string> MetricsRegistry::names() const {
-  const std::lock_guard lock(mutex_);
+  const core::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size() + timings_.size());
   for (const auto& [name, cell] : counters_) out.push_back(name);
@@ -154,14 +159,14 @@ std::vector<std::string> MetricsRegistry::names() const {
 }
 
 bool MetricsRegistry::contains(std::string_view name) const {
-  const std::lock_guard lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return counters_.find(name) != counters_.end() || gauges_.find(name) != gauges_.end() ||
          histograms_.find(name) != histograms_.end() ||
          timings_.find(name) != timings_.end();
 }
 
 void MetricsRegistry::reset_values() {
-  const std::lock_guard lock(mutex_);
+  const core::MutexLock lock(mutex_);
   for (const auto& [name, cell] : counters_) cell->reset();
   for (const auto& [name, cell] : gauges_) cell->reset();
   for (const auto& [name, cell] : histograms_) cell->reset();
@@ -169,7 +174,7 @@ void MetricsRegistry::reset_values() {
 }
 
 void MetricsRegistry::clear() {
-  const std::lock_guard lock(mutex_);
+  const core::MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -9,9 +9,11 @@
 //   2. Lock-cheap when enabled. Name lookup takes a mutex exactly once
 //      (registration); every subsequent update is a relaxed atomic on a
 //      stable cell. Cells never move or die before process exit.
-//   3. No dependencies. Everything below is std-only so that net, pcap,
-//      telescope and core can link it without cycles; serialization to
-//      JSON/ASCII lives in obs/run_report.h, which may depend on report.
+//   3. No dependencies. Everything below is std-only — plus the
+//      header-only, std-only lock wrappers from core/sync.h, which add
+//      no link dependency — so that net, pcap, telescope and core can
+//      link it without cycles; serialization to JSON/ASCII lives in
+//      obs/run_report.h, which may depend on report.
 //
 // Naming convention: dot-separated lowercase namespaces mirroring the
 // pipeline stages — `pcap.*`, `sensor.*`, `tracker.*`, `parallel.*`,
@@ -25,10 +27,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace synscan::obs {
 
@@ -139,10 +142,10 @@ class MetricsRegistry {
   /// The process-wide registry used by all built-in instrumentation.
   [[nodiscard]] static MetricsRegistry& global();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
-  Timing& timing(std::string_view name);
+  Counter& counter(std::string_view name) SYNSCAN_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) SYNSCAN_EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name) SYNSCAN_EXCLUDES(mutex_);
+  Timing& timing(std::string_view name) SYNSCAN_EXCLUDES(mutex_);
 
   /// A coherent point-in-time copy of every metric, each kind sorted by
   /// name. Counters registered but never touched are included (value 0).
@@ -156,28 +159,34 @@ class MetricsRegistry {
       return counters.empty() && gauges.empty() && histograms.empty() && timings.empty();
     }
   };
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const SYNSCAN_EXCLUDES(mutex_);
 
   /// Every registered metric name, sorted; for doc-consistency checks.
-  [[nodiscard]] std::vector<std::string> names() const;
-  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const SYNSCAN_EXCLUDES(mutex_);
+  [[nodiscard]] bool contains(std::string_view name) const SYNSCAN_EXCLUDES(mutex_);
 
   /// Zeroes all values; registered names and cell addresses survive.
-  void reset_values();
+  void reset_values() SYNSCAN_EXCLUDES(mutex_);
   /// Drops every metric. Only safe when no instrumented component still
   /// holds cell pointers (tests, between CLI runs).
-  void clear();
+  void clear() SYNSCAN_EXCLUDES(mutex_);
 
  private:
   template <typename T>
   T& get_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& metrics,
-                   std::string_view name);
+                   std::string_view name) SYNSCAN_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::unique_ptr<Timing>, std::less<>> timings_;
+  /// Guards registration only: the maps below never hand out iterators,
+  /// and the returned cells are stable heap objects updated lock-free.
+  mutable core::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SYNSCAN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SYNSCAN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SYNSCAN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Timing>, std::less<>> timings_
+      SYNSCAN_GUARDED_BY(mutex_);
 };
 
 }  // namespace synscan::obs

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <system_error>
 #include <unistd.h>
 #include <utility>
 
@@ -14,7 +15,9 @@ namespace synscan::server {
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  // std::system_error formats the errno message itself; std::strerror
+  // is not thread-safe (shared static buffer, concurrency-mt-unsafe).
+  throw std::system_error(errno, std::generic_category(), what);
 }
 
 void send_all(int fd, std::string_view bytes) {

@@ -9,12 +9,10 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <fcntl.h>
 #include <memory>
-#include <mutex>
 #include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
@@ -23,11 +21,13 @@
 #include <string_view>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <system_error>
 #include <thread>
 #include <unistd.h>
 #include <utility>
 #include <vector>
 
+#include "core/sync.h"
 #include "obs/metrics.h"
 #include "report/json.h"
 #include "server/protocol.h"
@@ -39,7 +39,9 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  // std::system_error formats the errno message itself; std::strerror
+  // is not thread-safe (shared static buffer, concurrency-mt-unsafe).
+  throw std::system_error(errno, std::generic_category(), what);
 }
 
 void set_nonblocking(int fd) {
@@ -55,12 +57,31 @@ void set_cloexec(int fd) { (void)::fcntl(fd, F_SETFD, FD_CLOEXEC); }
 /// state: it flags the request and writes one byte into the daemon's
 /// wake pipe. Only one daemon per process may install handlers, which
 /// is why these are globals rather than Impl members.
+///
+/// Async-signal-safety constraints (the handler can interrupt any
+/// thread, including one holding a lock):
+///   - no locks, no allocation, no I/O beyond the async-signal-safe
+///     write(2) — which is also what makes the wakeup reliable when the
+///     loop is parked in epoll_wait/poll;
+///   - both atomics must be lock-free, or the "atomic" op could take an
+///     internal lock the interrupted thread already holds (deadlock).
+///     The static_asserts make that assumption a compile-time fact.
+///   - `g_signal_pending` is relaxed: the pipe write/read pair already
+///     orders the flag store before the loop's `exchange`, and the
+///     loop also polls the flag every timeout tick.
+///   - `g_signal_wake_fd` is published with release and read with
+///     acquire so a handler running on another thread sees the pipe fd
+///     only after the pipe is fully set up.
 std::atomic<bool> g_signal_pending{false};
 std::atomic<int> g_signal_wake_fd{-1};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler requires a lock-free pending flag");
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free wake-fd cell");
 
 void on_signal(int /*signum*/) {
   g_signal_pending.store(true, std::memory_order_relaxed);
-  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  const int fd = g_signal_wake_fd.load(std::memory_order_acquire);
   if (fd >= 0) {
     const char byte = 1;
     [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
@@ -271,6 +292,89 @@ struct ResidentCapture {
   core::AnalyzedCapture analysis;
 };
 
+/// Swap cell for the resident capture pointer: workers take snapshots,
+/// loads publish replacements. The shared_ptr itself is the guarded
+/// state; the pointed-to capture is immutable once published.
+class SnapshotCell {
+ public:
+  [[nodiscard]] std::shared_ptr<const ResidentCapture> snapshot() const
+      SYNSCAN_EXCLUDES(mutex_) {
+    const core::MutexLock lock(mutex_);
+    return state_;
+  }
+
+  void publish(std::shared_ptr<const ResidentCapture> next) SYNSCAN_EXCLUDES(mutex_) {
+    const core::MutexLock lock(mutex_);
+    state_ = std::move(next);
+  }
+
+ private:
+  mutable core::Mutex mutex_;
+  std::shared_ptr<const ResidentCapture> state_ SYNSCAN_GUARDED_BY(mutex_);
+};
+
+/// Loop -> worker-pool job queue (single producer, many consumers).
+class JobQueue {
+ public:
+  /// Returns the queue depth right after the push, for the depth gauge.
+  std::size_t push(Job job) SYNSCAN_EXCLUDES(mutex_) {
+    std::size_t depth = 0;
+    {
+      const core::MutexLock lock(mutex_);
+      jobs_.push_back(std::move(job));
+      depth = jobs_.size();
+    }
+    ready_.notify_one();
+    return depth;
+  }
+
+  /// Blocks until a job arrives or the queue stops; false means stopped
+  /// and drained (the worker exits). Jobs enqueued before stop() are
+  /// still handed out, so accepted requests get answered.
+  [[nodiscard]] bool pop(Job& out) SYNSCAN_EXCLUDES(mutex_) {
+    core::UniqueLock lock(mutex_);
+    while (jobs_.empty() && !stop_) ready_.wait(lock);
+    if (jobs_.empty()) return false;  // only reachable with stop_ set
+    out = std::move(jobs_.front());
+    jobs_.pop_front();
+    return true;
+  }
+
+  void stop() SYNSCAN_EXCLUDES(mutex_) {
+    {
+      const core::MutexLock lock(mutex_);
+      stop_ = true;
+    }
+    ready_.notify_all();
+  }
+
+ private:
+  core::Mutex mutex_;
+  core::CondVar ready_;
+  std::deque<Job> jobs_ SYNSCAN_GUARDED_BY(mutex_);
+  bool stop_ SYNSCAN_GUARDED_BY(mutex_) = false;
+};
+
+/// Workers park finished responses here; the loop thread swaps out the
+/// whole batch once per iteration (one lock, no per-item traffic).
+class CompletionQueue {
+ public:
+  void push(Completion completion) SYNSCAN_EXCLUDES(mutex_) {
+    const core::MutexLock lock(mutex_);
+    completions_.push_back(std::move(completion));
+  }
+
+  /// Swaps the pending batch into `out` (expected empty on entry).
+  void drain_into(std::vector<Completion>& out) SYNSCAN_EXCLUDES(mutex_) {
+    const core::MutexLock lock(mutex_);
+    out.swap(completions_);
+  }
+
+ private:
+  core::Mutex mutex_;
+  std::vector<Completion> completions_ SYNSCAN_GUARDED_BY(mutex_);
+};
+
 }  // namespace
 
 struct Daemon::Impl {
@@ -383,8 +487,7 @@ struct Daemon::Impl {
   // ---- resident state ----------------------------------------------
 
   std::shared_ptr<const ResidentCapture> state_snapshot() {
-    const std::lock_guard<std::mutex> lock(state_mutex);
-    return state;
+    return resident_state.snapshot();
   }
 
   /// Analyzes `path` and swaps it in as the resident capture. Runs on a
@@ -393,10 +496,7 @@ struct Daemon::Impl {
     auto resident = std::make_shared<ResidentCapture>(
         path, core::analyze_capture(path, *telescope, *registry,
                                     config.analysis_workers, config.ingest));
-    {
-      const std::lock_guard<std::mutex> lock(state_mutex);
-      state = resident;
-    }
+    resident_state.publish(resident);
     if (obs_loads != nullptr) obs_loads->add();
     return resident;
   }
@@ -460,11 +560,7 @@ struct Daemon::Impl {
   }
 
   void stop_workers() {
-    {
-      const std::lock_guard<std::mutex> lock(jobs_mutex);
-      jobs_stop = true;
-    }
-    jobs_ready.notify_all();
+    job_queue.stop();
     for (auto& worker : workers) {
       if (worker.joinable()) worker.join();
     }
@@ -473,28 +569,16 @@ struct Daemon::Impl {
 
   void enqueue_job(Job job) {
     in_flight.fetch_add(1, std::memory_order_relaxed);
-    std::size_t depth = 0;
-    {
-      const std::lock_guard<std::mutex> lock(jobs_mutex);
-      jobs.push_back(std::move(job));
-      depth = jobs.size();
-    }
+    const auto depth = job_queue.push(std::move(job));
     if (obs_queue_depth != nullptr) {
       obs_queue_depth->record_max(static_cast<std::int64_t>(depth));
     }
-    jobs_ready.notify_one();
   }
 
   void worker_main() {
     for (;;) {
       Job job;
-      {
-        std::unique_lock<std::mutex> lock(jobs_mutex);
-        jobs_ready.wait(lock, [this] { return jobs_stop || !jobs.empty(); });
-        if (jobs.empty()) return;  // only reachable with jobs_stop set
-        job = std::move(jobs.front());
-        jobs.pop_front();
-      }
+      if (!job_queue.pop(job)) return;
       Completion completion;
       completion.slot = job.slot;
       completion.conn_id = job.conn_id;
@@ -533,10 +617,7 @@ struct Daemon::Impl {
         obs_latency->observe(completion.latency_us);
       }
       completion.frame = encode_frame(payload);
-      {
-        const std::lock_guard<std::mutex> lock(completions_mutex);
-        completions.push_back(std::move(completion));
-      }
+      completion_queue.push(std::move(completion));
       wake();
     }
   }
@@ -549,8 +630,10 @@ struct Daemon::Impl {
     struct sigaction previous_term {};
     const bool signals = config.install_signal_handlers;
     if (signals) {
-      g_signal_pending.store(false);
-      g_signal_wake_fd.store(wake_write);
+      g_signal_pending.store(false, std::memory_order_relaxed);
+      // Release pairs with the handler's acquire load: a handler that
+      // sees the fd also sees the fully constructed pipe behind it.
+      g_signal_wake_fd.store(wake_write, std::memory_order_release);
       struct sigaction action {};
       action.sa_handler = on_signal;
       (void)sigemptyset(&action.sa_mask);
@@ -610,7 +693,7 @@ struct Daemon::Impl {
     poller.reset();
 
     if (signals) {
-      g_signal_wake_fd.store(-1);
+      g_signal_wake_fd.store(-1, std::memory_order_release);
       (void)::sigaction(SIGINT, &previous_int, nullptr);
       (void)::sigaction(SIGTERM, &previous_term, nullptr);
     }
@@ -821,10 +904,7 @@ struct Daemon::Impl {
 
   void drain_completions() {
     std::vector<Completion> batch;
-    {
-      const std::lock_guard<std::mutex> lock(completions_mutex);
-      batch.swap(completions);
-    }
+    completion_queue.drain_into(batch);
     for (auto& completion : batch) {
       in_flight.fetch_sub(1, std::memory_order_relaxed);
       if (completion.is_query) {
@@ -922,19 +1002,17 @@ struct Daemon::Impl {
   int wake_read = -1;
   int wake_write = -1;
 
-  std::mutex state_mutex;
-  std::shared_ptr<const ResidentCapture> state;
+  // Shared state crossing the loop/worker boundary lives in the three
+  // annotated containers below; Impl itself owns no mutex, so nothing
+  // here can be touched from the wrong side without the lock.
+  SnapshotCell resident_state;
   std::atomic<bool> loading{false};
 
-  std::mutex jobs_mutex;
-  std::condition_variable jobs_ready;
-  std::deque<Job> jobs;
-  bool jobs_stop = false;  ///< guarded by jobs_mutex
+  JobQueue job_queue;
   std::vector<std::thread> workers;
   std::atomic<std::uint64_t> in_flight{0};
 
-  std::mutex completions_mutex;
-  std::vector<Completion> completions;
+  CompletionQueue completion_queue;
 
   // Everything below is owned by the event loop thread.
   std::unique_ptr<Poller> poller;

@@ -25,7 +25,10 @@ SimdLevel cpu_level() noexcept {
 /// ignored (auto) rather than erroring: a typo must not change results,
 /// only possibly speed.
 SimdLevel env_level(SimdLevel detected) noexcept {
-  const char* env = std::getenv("SYNSCAN_SIMD");
+  // getenv is mt-unsafe only against concurrent setenv; this process
+  // never writes the environment, and the value is read exactly once
+  // (static init of active_cell) before worker threads exist.
+  const char* env = std::getenv("SYNSCAN_SIMD");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return detected;
   if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
       std::strcmp(env, "0") == 0) {

@@ -1,0 +1,111 @@
+# Compile-fail harness for the thread-safety annotations in
+# src/core/sync.h, run from ctest (test `threadsafety_fixtures`) as
+#
+#   cmake -DCOMPILER=<c++> -DINCLUDE_DIR=<repo>/src
+#         -DFIXTURE_DIR=<repo>/tests/threadsafety/fixtures
+#         -DEXPECT_ANALYSIS=ON|OFF -P check_fixtures.cmake
+#
+# Each fixture is a minimal translation unit. Fixtures without "clean"
+# in their name seed exactly one locking bug and carry one or more
+# `// expect: <substring>` lines naming the diagnostic they provoke.
+#
+# EXPECT_ANALYSIS=ON (clang, SYNSCAN_THREAD_SAFETY on): every seeded
+# fixture must (a) be REJECTED under -Werror=thread-safety with all
+# expected substrings present in the compiler output, and (b) compile
+# WITHOUT the analysis flags — proving the rejection comes from the
+# analysis, not from a broken fixture. Clean fixtures must compile WITH
+# the flags.
+#
+# EXPECT_ANALYSIS=OFF (gcc: the macros expand to nothing): every
+# fixture must simply compile, so the fixtures cannot rot on toolchains
+# without the analysis.
+#
+# Plain execute_process + -fsyntax-only rather than try_compile:
+# try_compile is unavailable in script (-P) mode, and syntax-only keeps
+# the harness fast enough to run in every ctest invocation.
+
+if(NOT COMPILER OR NOT INCLUDE_DIR OR NOT FIXTURE_DIR)
+  message(FATAL_ERROR
+    "check_fixtures.cmake requires COMPILER, INCLUDE_DIR and FIXTURE_DIR")
+endif()
+
+set(base_flags -std=c++20 -fsyntax-only -I${INCLUDE_DIR})
+set(analysis_flags -Wthread-safety -Werror=thread-safety)
+
+# Compiles `fixture`; `with_analysis` toggles the analysis flags.
+# Returns the exit code and combined output through the two out-vars.
+function(compile_fixture fixture with_analysis result_var output_var)
+  set(command ${COMPILER} ${base_flags})
+  if(with_analysis)
+    list(APPEND command ${analysis_flags})
+  endif()
+  list(APPEND command ${fixture})
+  execute_process(COMMAND ${command}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(${result_var} "${code}" PARENT_SCOPE)
+  set(${output_var} "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+file(GLOB fixtures ${FIXTURE_DIR}/*.cpp)
+list(SORT fixtures)
+if(NOT fixtures)
+  message(FATAL_ERROR "no fixtures found under ${FIXTURE_DIR}")
+endif()
+
+set(checked 0)
+foreach(fixture IN LISTS fixtures)
+  get_filename_component(name ${fixture} NAME)
+  string(FIND "${name}" "clean" clean_at)
+
+  if(NOT EXPECT_ANALYSIS)
+    # No analysis available: every fixture must simply compile.
+    compile_fixture(${fixture} FALSE code output)
+    if(NOT code EQUAL 0)
+      message(SEND_ERROR "${name}: must compile without analysis:\n${output}")
+    endif()
+  elseif(NOT clean_at EQUAL -1)
+    # Clean fixture: correct usage must survive the analysis.
+    compile_fixture(${fixture} TRUE code output)
+    if(NOT code EQUAL 0)
+      message(SEND_ERROR
+        "${name}: clean fixture rejected under analysis:\n${output}")
+    endif()
+  else()
+    # Seeded fixture: must be rejected, with the expected diagnostics...
+    compile_fixture(${fixture} TRUE code output)
+    if(code EQUAL 0)
+      message(SEND_ERROR
+        "${name}: compiled clean under -Werror=thread-safety; "
+        "the seeded violation was not detected")
+    else()
+      file(STRINGS ${fixture} expect_lines REGEX "^// expect: ")
+      if(NOT expect_lines)
+        message(SEND_ERROR "${name}: seeded fixture has no '// expect:' lines")
+      endif()
+      foreach(line IN LISTS expect_lines)
+        string(REPLACE "// expect: " "" pattern "${line}")
+        string(FIND "${output}" "${pattern}" found_at)
+        if(found_at EQUAL -1)
+          message(SEND_ERROR
+            "${name}: diagnostic lacks expected substring "
+            "'${pattern}'; compiler output was:\n${output}")
+        endif()
+      endforeach()
+    endif()
+    # ... and must be valid C++ once the analysis is off, proving the
+    # rejection comes from the analysis rather than a broken fixture.
+    compile_fixture(${fixture} FALSE code output)
+    if(NOT code EQUAL 0)
+      message(SEND_ERROR
+        "${name}: must compile without the analysis flags "
+        "(the fixture itself is broken):\n${output}")
+    endif()
+  endif()
+
+  math(EXPR checked "${checked}+1")
+endforeach()
+
+message(STATUS
+  "threadsafety: ${checked} fixtures checked (analysis: ${EXPECT_ANALYSIS})")

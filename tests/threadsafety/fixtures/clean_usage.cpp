@@ -1,0 +1,56 @@
+// Control fixture: exercises every wrapper and annotation correctly.
+// Must compile cleanly WITH -Werror=thread-safety — if this one fails,
+// the harness is flagging correct code, not catching seeded bugs.
+#include "core/sync.h"
+
+#include <deque>
+
+namespace {
+
+using synscan::core::CondVar;
+using synscan::core::Mutex;
+using synscan::core::MutexLock;
+using synscan::core::UniqueLock;
+
+class Queue {
+ public:
+  void push(int v) SYNSCAN_EXCLUDES(mutex_) {
+    {
+      const MutexLock lock(mutex_);
+      push_locked(v);
+    }
+    ready_.notify_one();
+  }
+
+  [[nodiscard]] int pop() SYNSCAN_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    while (items_.empty()) ready_.wait(lock);
+    const int v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+  [[nodiscard]] bool try_flag() SYNSCAN_EXCLUDES(mutex_) {
+    if (!mutex_.try_lock()) return false;
+    flagged_ = true;
+    mutex_.unlock();
+    return true;
+  }
+
+ private:
+  void push_locked(int v) SYNSCAN_REQUIRES(mutex_) { items_.push_back(v); }
+
+  Mutex mutex_;
+  CondVar ready_;
+  std::deque<int> items_ SYNSCAN_GUARDED_BY(mutex_);
+  bool flagged_ SYNSCAN_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace
+
+int touch() {
+  Queue queue;
+  queue.push(7);
+  (void)queue.try_flag();
+  return queue.pop();
+}

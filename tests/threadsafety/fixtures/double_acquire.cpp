@@ -1,0 +1,10 @@
+// Seeded violation: acquires the same mutex twice in one scope — a
+// self-deadlock at runtime, a compile error under the analysis.
+// expect: already held
+#include "core/sync.h"
+
+void double_acquire() {
+  synscan::core::Mutex mutex;
+  const synscan::core::MutexLock first(mutex);
+  const synscan::core::MutexLock second(mutex);  // the bug: deadlock
+}

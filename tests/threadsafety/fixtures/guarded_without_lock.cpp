@@ -1,0 +1,24 @@
+// Seeded violation: writes a SYNSCAN_GUARDED_BY member without holding
+// its mutex. check_fixtures.cmake compiles this with
+// -Werror=thread-safety (must be rejected, with the diagnostic below)
+// and without it (must pass, proving the fixture is valid C++).
+// expect: requires holding mutex
+#include "core/sync.h"
+
+namespace {
+
+class Tally {
+ public:
+  void bump() { ++count_; }  // the bug: no MutexLock on mutex_
+
+ private:
+  synscan::core::Mutex mutex_;
+  int count_ SYNSCAN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void touch() {
+  Tally tally;
+  tally.bump();
+}

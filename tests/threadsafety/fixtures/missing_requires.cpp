@@ -1,0 +1,28 @@
+// Seeded violation: calls a SYNSCAN_REQUIRES(mutex_) function without
+// holding the mutex. Rejected under -Werror=thread-safety; compiles
+// without the analysis (see check_fixtures.cmake).
+// expect: calling function
+// expect: requires holding mutex
+#include "core/sync.h"
+
+namespace {
+
+class Register {
+ public:
+  void set(int v) {
+    set_locked(v);  // the bug: caller never took mutex_
+  }
+
+ private:
+  void set_locked(int v) SYNSCAN_REQUIRES(mutex_) { value_ = v; }
+
+  synscan::core::Mutex mutex_;
+  int value_ SYNSCAN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void touch() {
+  Register reg;
+  reg.set(1);
+}

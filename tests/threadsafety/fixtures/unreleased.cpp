@@ -1,0 +1,10 @@
+// Seeded violation: returns with the mutex still held (a manual lock()
+// with no matching unlock() on the exit path).
+// expect: still held at the end of function
+#include "core/sync.h"
+
+void leak_lock() {
+  synscan::core::Mutex mutex;
+  mutex.lock();
+  // the bug: no unlock() before returning
+}

@@ -22,6 +22,18 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
   test-registration   every tests/**/*_test.cpp is wired into
                       tests/CMakeLists.txt, and every file referenced
                       there exists.
+  raw-sync-primitive  naked std::mutex / std::condition_variable /
+                      std::lock_guard & friends are banned in the
+                      annotated concurrent core (src/core, src/obs,
+                      src/server); the capability-annotated wrappers in
+                      src/core/sync.h (the one allowed owner of the
+                      primitives) are mandatory so clang thread-safety
+                      analysis sees every lock.
+  guarded-by          in a class that directly owns a core/sync.h Mutex,
+                      every mutable data member must carry
+                      SYNSCAN_GUARDED_BY / SYNSCAN_PT_GUARDED_BY (locks,
+                      condvars, atomics and threads are exempt) — or an
+                      allow() naming the out-of-band exclusion.
 
 Suppression: append `// synscan-lint: allow(<rule>[, <rule>...])` to the
 offending line (or put it on a comment line directly above), or add
@@ -46,6 +58,8 @@ HOT_PATH_DIRS = (
     "src/server",
     "src/telescope",
 )
+SYNC_ANNOTATED_DIRS = ("src/core", "src/obs", "src/server")
+SYNC_LAYER_HEADER = "src/core/sync.h"
 METRIC_CODE_DIRS = ("src", "bench")
 NAKED_NEW_DIRS = ("src", "bench", "examples")
 HEADER_DIRS = ("src", "tests", "bench", "examples")
@@ -71,6 +85,29 @@ DOC_METRIC = re.compile(r"`([a-z]+(?:\.[a-z0-9_]+)+)`")
 
 NEW_DELETE = re.compile(r"\b(new|delete)\b")
 
+RAW_SYNC = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+RAW_SYNC_HEADER = re.compile(r"#include\s*<(mutex|condition_variable|shared_mutex)>")
+
+# A direct data member of the annotated wrapper type from core/sync.h
+# (std::mutex deliberately excluded: that is raw-sync-primitive's job).
+MUTEX_OWNER = re.compile(r"^(?:mutable\s+)?(?:(?:synscan::)?core::)?Mutex\s+\w+")
+# Member types that never need GUARDED_BY: the synchronization objects
+# themselves, atomics (their own ordering), threads (handles, not data)
+# and compile-time/immutable members.
+GUARDED_EXEMPT = re.compile(
+    r"^(?:mutable\s+)?(?:(?:synscan::)?core::)?(?:Mutex|CondVar)\b"
+    r"|^(?:mutable\s+)?std::(?:atomic\b|thread\b|jthread\b)"
+    r"|^(?:static|const|constexpr)\b"
+)
+CLASS_HEAD = re.compile(r"\b(class|struct)\s+(?:SYNSCAN_\w+(?:\([^)]*\))?\s+)*(\w+)")
+ACCESS_LABEL = re.compile(r"^(?:\s*(?:public|private|protected)\s*:)+\s*")
+MEMBER_SKIP = re.compile(r"^(?:using|typedef|friend|static|template|enum|class|struct)\b")
+
 ALLOW_LINE = re.compile(r"synscan-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 ALLOW_FILE = re.compile(r"synscan-lint:\s*allow-file\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -81,6 +118,8 @@ RULES = (
     "include-order",
     "naked-new",
     "test-registration",
+    "raw-sync-primitive",
+    "guarded-by",
 )
 
 
@@ -413,6 +452,135 @@ class Linter:
                         "containers, pools, or smart pointers",
                     )
 
+    # --- raw-sync-primitive ------------------------------------------------
+
+    def check_raw_sync_primitive(self):
+        for path in self.files_under(SYNC_ANNOTATED_DIRS, {".h", ".cpp"}):
+            source = self.load(path)
+            if source.rel == SYNC_LAYER_HEADER:
+                continue  # the single allowed owner of the std primitives
+            for number, line in enumerate(source.stripped_lines, start=1):
+                m = RAW_SYNC.search(line) or RAW_SYNC_HEADER.search(line)
+                if m:
+                    self.emit(
+                        source,
+                        number,
+                        "raw-sync-primitive",
+                        f"`{m.group(0).strip()}` in the annotated concurrent core "
+                        "— use the capability-annotated wrappers from core/sync.h "
+                        "(Mutex, MutexLock, UniqueLock, CondVar) so the clang "
+                        "thread-safety analysis sees this lock",
+                    )
+
+    # --- guarded-by --------------------------------------------------------
+
+    @staticmethod
+    def _class_members(source):
+        """Yield (class_name, [(line, statement), ...]) for every class
+        or struct in the stripped text, where statements are the
+        member declarations at the class's own brace depth (function
+        bodies and nested scopes contribute nothing).
+
+        A textual brace tracker, not a parser: scopes whose closing
+        brace is followed by `;` (brace-initialized members, nested type
+        definitions) keep their head text so the terminating `;` yields
+        one statement; other scopes (function bodies, namespaces)
+        discard theirs."""
+        text = source.stripped
+        results = []
+        stack = []  # {"name": str|None, "members": [...]} per open brace
+        buf = []
+        buf_line = 1  # line of the first non-space char in buf
+        line = 1
+        i, n = 0, len(text)
+        while i < n:
+            c = text[i]
+            if c == "\n":
+                line += 1
+                if buf:
+                    buf.append(" ")
+            elif c == "{":
+                head = "".join(buf).strip()
+                m = CLASS_HEAD.search(ACCESS_LABEL.sub("", head))
+                name = m.group(2) if m and not head.endswith("=") else None
+                stack.append(
+                    {"name": name, "members": [], "head": head, "head_line": buf_line}
+                )
+                buf = []
+                buf_line = line
+            elif c == "}":
+                scope = stack.pop() if stack else None
+                if scope and scope["name"] and scope["members"]:
+                    results.append((scope["name"], scope["members"]))
+                buf = []
+                buf_line = line
+                if scope:
+                    j = i + 1
+                    while j < n and text[j].isspace():
+                        j += 1
+                    if j < n and text[j] == ";":
+                        # `Type member{init};` or a nested type: restore
+                        # the head so the `;` terminates one statement.
+                        buf = list(scope["head"] + "{}")
+                        buf_line = scope["head_line"]
+            elif c == ";":
+                statement = ACCESS_LABEL.sub("", "".join(buf)).strip()
+                if stack and stack[-1]["name"] and statement:
+                    stack[-1]["members"].append((buf_line, statement))
+                buf = []
+                buf_line = line
+            elif c.isspace():
+                if buf:
+                    buf.append(" ")
+            else:
+                if not buf:
+                    buf_line = line
+                buf.append(c)
+            i += 1
+        return results
+
+    @staticmethod
+    def _is_data_member(statement):
+        """True for plain data-member declarations; functions, aliases
+        and nested type declarations return False."""
+        if MEMBER_SKIP.match(statement):
+            return False
+        # The annotation macros carry parentheses of their own; strip
+        # them (and brace initializers) before testing for a signature.
+        bare = re.sub(r"SYNSCAN_\w+\s*\([^)]*\)", "", statement)
+        bare = re.sub(r"\{[^}]*\}", "", bare)
+        return "(" not in bare
+
+    def check_guarded_by(self):
+        for path in self.files_under(SYNC_ANNOTATED_DIRS, {".h", ".cpp"}):
+            source = self.load(path)
+            if source.rel == SYNC_LAYER_HEADER:
+                continue  # the wrappers themselves hold the raw primitives
+            for class_name, members in self._class_members(source):
+                if not any(
+                    MUTEX_OWNER.match(statement) for _, statement in members
+                ):
+                    continue
+                for number, statement in members:
+                    if not self._is_data_member(statement):
+                        continue
+                    if GUARDED_EXEMPT.match(statement):
+                        continue
+                    if "SYNSCAN_GUARDED_BY" in statement or (
+                        "SYNSCAN_PT_GUARDED_BY" in statement
+                    ):
+                        continue
+                    self.emit(
+                        source,
+                        number,
+                        "guarded-by",
+                        f"member of mutex-owning `{class_name}` lacks "
+                        "SYNSCAN_GUARDED_BY — name the guarding mutex, or "
+                        "allow(guarded-by) with a comment naming the "
+                        "out-of-band exclusion (thread join, slot "
+                        "disjointness)",
+                    )
+
     # --- test-registration -------------------------------------------------
 
     def check_test_registration(self):
@@ -451,6 +619,8 @@ class Linter:
             "include-order": self.check_include_order,
             "naked-new": self.check_naked_new,
             "test-registration": self.check_test_registration,
+            "raw-sync-primitive": self.check_raw_sync_primitive,
+            "guarded-by": self.check_guarded_by,
         }
         for rule in rules:
             dispatch[rule]()

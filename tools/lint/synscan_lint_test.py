@@ -27,6 +27,8 @@ EXPECTED = {
     "include-order": 2,       # own header not first + unsorted block
     "naked-new": 2,           # new + delete in naked.cpp
     "test-registration": 2,   # orphan_test.cpp + missing gone_test.cpp
+    "raw-sync-primitive": 4,  # locking.cpp: 2 includes, member, lock_guard
+    "guarded-by": 2,          # guarded.h: open_ + draining_ unannotated
 }
 
 

@@ -1,0 +1,29 @@
+// Exercises raw-sync-primitive and guarded-by on correct code: the
+// class uses only core/sync.h wrappers and annotates every mutable
+// member, so neither rule may fire.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "core/sync.h"
+
+namespace synscan::core {
+
+class LockedWidget {
+ public:
+  void bump() SYNSCAN_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  CondVar changed_;
+  std::uint64_t count_ SYNSCAN_GUARDED_BY(mutex_) = 0;
+  std::atomic<bool> enabled_{false};
+  std::thread worker_;
+  static constexpr int kLimit = 8;
+};
+
+}  // namespace synscan::core

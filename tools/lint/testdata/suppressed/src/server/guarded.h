@@ -1,0 +1,25 @@
+// The guarded-by violations from testdata/violations, waived with both
+// annotation shapes: inline on the member, and on the comment line
+// directly above it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sync.h"
+
+namespace synscan::server {
+
+class Sessions {
+ public:
+  void bump();
+
+ private:
+  core::Mutex mutex_;
+  core::CondVar changed_;
+  int open_ = 0;  // loop-thread only. synscan-lint: allow(guarded-by)
+  // Written before the workers start. synscan-lint: allow(guarded-by)
+  bool draining_ = false;
+  std::uint64_t total_ SYNSCAN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace synscan::server

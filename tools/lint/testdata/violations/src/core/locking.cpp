@@ -1,0 +1,22 @@
+// Seeded raw-sync-primitive violations: the std primitives are banned
+// in the annotated concurrent core; the wrappers in core/sync.h are
+// mandatory there. Four findings: two banned includes, the member, and
+// the lock_guard use.
+#include <condition_variable>
+#include <mutex>
+
+namespace synscan::core {
+
+class RawLocked {
+ public:
+  void set(int v) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    value_ = v;
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace synscan::core

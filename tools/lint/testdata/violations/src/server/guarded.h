@@ -1,0 +1,24 @@
+// Seeded guarded-by violations: `Sessions` owns a core/sync.h Mutex,
+// so its mutable members must be annotated. Two findings (`open_`,
+// `draining_`); `total_` is annotated, the lock and condvar are exempt.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sync.h"
+
+namespace synscan::server {
+
+class Sessions {
+ public:
+  void bump();
+
+ private:
+  core::Mutex mutex_;
+  core::CondVar changed_;
+  int open_ = 0;
+  bool draining_ = false;
+  std::uint64_t total_ SYNSCAN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace synscan::server
