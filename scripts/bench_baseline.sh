@@ -6,9 +6,11 @@
 # BENCH_ingest.json; then run the bench_analyze warm-cache analytics
 # workload and append one record to BENCH_analyze.json; then run the
 # bench_synscand open-loop daemon load harness and append one record to
-# BENCH_synscand.json. Run this before and after any change to the
-# tracker, ingest, analyze or daemon hot paths so the perf trajectory
-# stays auditable in-repo (see docs/PERFORMANCE.md, docs/SYNSCAND.md).
+# BENCH_synscand.json; then run the bench_rollup sharded-analysis
+# workload and append one record to BENCH_rollup.json. Run this before
+# and after any change to the tracker, ingest, analyze, daemon or
+# rollup hot paths so the perf trajectory stays auditable in-repo (see
+# docs/PERFORMANCE.md, docs/SYNSCAND.md).
 #
 # Usage:
 #   scripts/bench_baseline.sh [label]
@@ -23,6 +25,11 @@
 #   ANALYZE_FRAMES  workload size for bench_analyze (default: 2000000)
 #   SYNSCAND_RATE   offered load for bench_synscand (default: 4000 qps)
 #   SYNSCAND_SECONDS  bench_synscand send window (default: 5)
+#   ROLLUP_FRAMES   workload size for bench_rollup (default: 2000000)
+#   ROLLUP_SHARDS   shard count for bench_rollup (default: 8)
+#   ROLLUP_CHECK_RATIO  minimum cold/warm speedup for bench_rollup
+#                   (default: 3 — a gross-regression floor; healthy
+#                   builds run well above 10x)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,10 +42,14 @@ ingest_check_ratio="${INGEST_CHECK_RATIO:-0.05}"
 analyze_frames="${ANALYZE_FRAMES:-2000000}"
 synscand_rate="${SYNSCAND_RATE:-4000}"
 synscand_seconds="${SYNSCAND_SECONDS:-5}"
+rollup_frames="${ROLLUP_FRAMES:-2000000}"
+rollup_shards="${ROLLUP_SHARDS:-8}"
+rollup_check_ratio="${ROLLUP_CHECK_RATIO:-3}"
 out="${repo}/BENCH_tracker.json"
 ingest_out="${repo}/BENCH_ingest.json"
 analyze_out="${repo}/BENCH_analyze.json"
 synscand_out="${repo}/BENCH_synscand.json"
+rollup_out="${repo}/BENCH_rollup.json"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== build (${build}, Release)" >&2
@@ -48,7 +59,7 @@ cmake -B "${build}" -S "${repo}" -G Ninja \
   -DSYNSCAN_BUILD_EXAMPLES=OFF >&2
 cmake --build "${build}" -j "${jobs}" \
   --target bench_micro bench_tracker_replay bench_ingest bench_analyze \
-           bench_synscand >&2
+           bench_synscand bench_rollup >&2
 
 # Appends one record to a JSON-array trajectory file kept as one record
 # per line, so appending is a three-line edit rather than a JSON-parser
@@ -124,3 +135,13 @@ synscand_record="$(printf '{"label":"%s","git":"%s","date":"%s","synscand":%s}' 
 append_record "${synscand_out}" "${synscand_record}"
 echo "== appended record to ${synscand_out}" >&2
 echo "${synscand_record}"
+
+echo "== bench_rollup (${rollup_frames} frames, ${rollup_shards} shards)" >&2
+rollup_json="$("${build}/bench/bench_rollup" --frames="${rollup_frames}" \
+  --shards="${rollup_shards}" --check-ratio="${rollup_check_ratio}" \
+  --label="${label}")"
+rollup_record="$(printf '{"label":"%s","git":"%s","date":"%s","rollup":%s}' \
+  "${label}" "${git_rev}" "${date_utc}" "${rollup_json}")"
+append_record "${rollup_out}" "${rollup_record}"
+echo "== appended record to ${rollup_out}" >&2
+echo "${rollup_record}"

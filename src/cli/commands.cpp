@@ -8,6 +8,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string_view>
 #include <thread>
@@ -17,6 +18,8 @@
 #include "core/analysis_summary.h"
 #include "core/analysis_types.h"
 #include "core/ingest.h"
+#include "core/rollup_store.h"
+#include "core/shard.h"
 #include "fingerprint/evidence_table.h"
 #include "obs/run_report.h"
 #include "pcap/pcap.h"
@@ -538,7 +541,97 @@ int run_cache_build(const Args& parsed, const std::string& capture) {
   return 0;
 }
 
+/// Shared by `rollup build|query` and the daemon's ROLLUP verb: plan the
+/// capture set in capture-time order and execute it over the `.spr`
+/// store.
+core::ShardRunResult run_rollup_shards(const Args& parsed,
+                                       std::span<const std::string> captures) {
+  std::vector<std::filesystem::path> paths(captures.begin(), captures.end());
+  const auto plan = core::plan_shards(paths);
+  core::ShardRunOptions options;
+  options.workers = static_cast<std::size_t>(parsed.number("workers", 0));
+  options.use_rollup_store = !parsed.flag("no-rollup-store");
+  options.ingest = ingest_options(parsed);
+  return core::run_shards(plan, shared_telescope(),
+                          enrich::InternetRegistry::synthetic_default(),
+                          core::TrackerConfig{}, options);
+}
+
+int run_rollup_stat(const std::string& path) {
+  const auto info = core::rollup_stat(path);
+  if (!info) {
+    std::cerr << "synscan rollup: not a rollup file: " << path << "\n";
+    return 1;
+  }
+  std::cout << "rollup:         " << path << "\n"
+            << "version:        " << info->version << "\n"
+            << "file size:      " << info->file_size << " bytes\n"
+            << "payload size:   " << info->payload_size << " bytes\n"
+            << "source size:    " << info->source_size << " bytes\n"
+            << "source mtime:   " << hex64(info->source_mtime_ns) << "\n"
+            << "fingerprint:    " << hex64(info->analysis_fingerprint) << "\n"
+            << "campaigns:      " << info->campaigns << "\n"
+            << "segments:       " << info->segments << "\n"
+            << "checksum:       " << hex64(info->checksum) << "\n";
+  return 0;
+}
+
+int run_rollup_build(const Args& parsed, std::span<const std::string> captures) {
+  const auto result = run_rollup_shards(parsed, captures);
+  const auto& stats = result.stats;
+  std::cout << "shards:         " << stats.shards << "\n"
+            << "store hits:     " << stats.store_hits << "\n"
+            << "re-analyzed:    " << stats.store_misses << "\n"
+            << "rollups saved:  " << stats.store_writes << "\n"
+            << "campaigns:      " << result.analysis.result.campaigns.size() << "\n"
+            << "scan probes:    " << result.analysis.result.sensor.scan_probes << "\n";
+  warn_on_truncation(result.analysis);
+  return 0;
+}
+
+int run_rollup_query(const Args& parsed, std::span<const std::string> captures) {
+  const auto result = run_rollup_shards(parsed, captures);
+  warn_on_truncation(result.analysis);
+  // The exact byte stream `analyze --json` writes for the concatenated
+  // captures: counters line, then one campaign per line.
+  std::string payload;
+  report::append_counters_json(payload, result.analysis.result);
+  payload.push_back('\n');
+  report::append_campaigns_jsonl(payload, result.analysis.result.campaigns);
+  if (const auto json_path = parsed.flag("json")) {
+    std::ofstream json_out(*json_path, std::ios::trunc | std::ios::binary);
+    if (!json_out.is_open()) {
+      throw std::runtime_error("cannot write " + *json_path);
+    }
+    json_out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    std::cout << "wrote counters + " << result.analysis.result.campaigns.size()
+              << " campaigns to " << *json_path << " (JSON lines)\n";
+  } else {
+    std::cout << payload;
+  }
+  return 0;
+}
+
 }  // namespace
+
+int run_rollup(const std::vector<std::string>& args) {
+  const Args parsed(args);
+  const auto& positional = parsed.positional();
+  if (positional.empty()) {
+    throw std::invalid_argument("rollup requires a subcommand: build | stat | query");
+  }
+  const auto& action = positional.front();
+  if (positional.size() < 2) {
+    throw std::invalid_argument("rollup " + action + " requires a path argument");
+  }
+  const std::span<const std::string> rest(positional.data() + 1,
+                                          positional.size() - 1);
+  if (action == "stat") return run_rollup_stat(positional[1]);
+  if (action == "build") return run_rollup_build(parsed, rest);
+  if (action == "query") return run_rollup_query(parsed, rest);
+  throw std::invalid_argument("unknown rollup subcommand '" + action +
+                              "' (build | stat | query)");
+}
 
 int run_cache(const std::vector<std::string>& args) {
   const Args parsed(args);

@@ -18,5 +18,9 @@ int run_query(const std::vector<std::string>& args);
 /// `synscan cache`: probe-cache maintenance — `stat` (header dump),
 /// `verify` (full offline validation), `build` (prebuild a `.spc`).
 int run_cache(const std::vector<std::string>& args);
+/// `synscan rollup`: sharded multi-capture analysis over the `.spr`
+/// rollup store — `build` (analyze shards, persist rollups), `stat`
+/// (rollup header dump), `query` (merged report, analyze-identical).
+int run_rollup(const std::vector<std::string>& args);
 
 }  // namespace synscan::cli

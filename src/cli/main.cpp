@@ -24,6 +24,10 @@
 //   synscan cache stat|verify|build <path> [--capture=...] [--codec=...]
 //       Probe-cache (.spc) maintenance: header dump, full offline
 //       validation, or prebuilding a cache ahead of analysis runs.
+//
+//   synscan rollup build|stat|query <captures...> [--workers=N] [--json=file]
+//       Sharded multi-capture analysis over the .spr rollup store:
+//       analyze each capture once, answer from merged rollups after.
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -44,6 +48,7 @@ void print_usage(std::ostream& os) {
         "  serve        run the resident analysis daemon (synscand)\n"
         "  query        send one command to a running synscand\n"
         "  cache        probe-cache (.spc) maintenance: stat | verify | build\n"
+        "  rollup       sharded multi-capture analysis: build | stat | query\n"
         "\ncommon options:\n"
         "  simulate: --year=<2015..2024> --out=<file> [--scale=<x>] [--seed=<n>]\n"
         "            [--days=<n>]\n"
@@ -57,7 +62,10 @@ void print_usage(std::ostream& os) {
         "            e.g. PING | STATUS | LOAD <pcap> | QUERY analyze | SHUTDOWN\n"
         "  cache:    stat <file.spc> | verify <file.spc> [--capture=<pcap>] |\n"
         "            build <capture.pcap> [--out=<file.spc>] [--codec=raw|delta]\n"
-        "            [--force] [--scan-chunks=<n>]\n";
+        "            [--force] [--scan-chunks=<n>]\n"
+        "  rollup:   build|query <captures...> [--workers=<n>] [--json=<file>]\n"
+        "            [--no-rollup-store] | stat <file.spr>   (docs/ARCHITECTURE.md\n"
+        "            \"Rollup store\": merged reports match analyze --json bytes)\n";
 }
 
 }  // namespace
@@ -77,6 +85,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return synscan::cli::run_serve(args);
     if (command == "query") return synscan::cli::run_query(args);
     if (command == "cache") return synscan::cli::run_cache(args);
+    if (command == "rollup") return synscan::cli::run_rollup(args);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage(std::cout);
       return 0;

@@ -1,6 +1,7 @@
 #include "core/analysis_geo.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace synscan::core {
 namespace {
@@ -49,6 +50,24 @@ void GeoTally::observe_batch(const telescope::ProbeBatch& batch,
     ++packets_per_country_[memo_country_.packed()];
     ++packets_per_port_country_[port_country_key(port, memo_country_)];
     packets_per_port_.add(port, 1);
+  }
+}
+
+void GeoTally::merge(const GeoTally& other) {
+  if (registry_ != other.registry_) {
+    throw std::invalid_argument("GeoTally::merge: registry mismatch");
+  }
+  total_ += other.total_;
+  other.packets_per_country_.for_each(
+      [&](std::uint32_t packed, std::uint64_t packets) {
+        packets_per_country_[packed] += packets;
+      });
+  other.packets_per_port_country_.for_each(
+      [&](std::uint32_t key, std::uint64_t packets) {
+        packets_per_port_country_[key] += packets;
+      });
+  for (const auto [port, packets] : other.packets_per_port_) {
+    packets_per_port_.add(port, packets);
   }
 }
 

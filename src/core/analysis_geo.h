@@ -27,6 +27,11 @@ class GeoTally final : public ProbeObserver {
   void observe_batch(const telescope::ProbeBatch& batch,
                      std::span<const std::uint32_t> rows) override;
 
+  /// Folds another tally in (order-independent sums, so shard merges
+  /// equal whole-capture tallying). Both tallies must be bound to the
+  /// same registry; throws `std::invalid_argument` otherwise.
+  void merge(const GeoTally& other);
+
   /// A country's share of the total packet volume.
   struct CountryShare {
     enrich::CountryCode country;
@@ -83,6 +88,8 @@ class GeoTally final : public ProbeObserver {
   FlatHashMap<std::uint32_t, std::uint64_t> packets_per_port_country_;
   PortPacketMap packets_per_port_;
   std::uint64_t total_ = 0;
+
+  friend struct RollupTallyIo;  ///< `.spr` serialization (rollup_store.cpp)
 };
 
 /// Country shares weighted by campaigns instead of packets.

@@ -5,6 +5,7 @@
 // synscan-lint: allow-file(hot-path-container)
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace synscan::core {
 namespace {
@@ -42,6 +43,23 @@ void TypeTally::observe_batch(const telescope::ProbeBatch& batch,
     sources_[index].insert(source);
     ++port_type_packets_[port_type_key(port, memo_type_)];
     port_packets_.add(port, 1);
+  }
+}
+
+void TypeTally::merge(const TypeTally& other) {
+  if (registry_ != other.registry_) {
+    throw std::invalid_argument("TypeTally::merge: registry mismatch");
+  }
+  total_packets_ += other.total_packets_;
+  for (std::size_t i = 0; i < enrich::kScannerTypeCount; ++i) {
+    packets_[i] += other.packets_[i];
+    sources_[i].insert(other.sources_[i].begin(), other.sources_[i].end());
+  }
+  for (const auto& [key, packets] : other.port_type_packets_) {
+    port_type_packets_[key] += packets;
+  }
+  for (const auto [port, packets] : other.port_packets_) {
+    port_packets_.add(port, packets);
   }
 }
 

@@ -36,6 +36,11 @@ class TypeTally final : public ProbeObserver {
   void observe_batch(const telescope::ProbeBatch& batch,
                      std::span<const std::uint32_t> rows) override;
 
+  /// Folds another tally in (order-independent sums and set unions, so
+  /// shard merges equal whole-capture tallying). Both tallies must be
+  /// bound to the same registry; throws `std::invalid_argument` otherwise.
+  void merge(const TypeTally& other);
+
   [[nodiscard]] std::uint64_t packets(enrich::ScannerType type) const noexcept {
     return packets_[enrich::scanner_type_index(type)];
   }
@@ -64,6 +69,8 @@ class TypeTally final : public ProbeObserver {
   std::unordered_map<std::uint32_t, std::uint64_t> port_type_packets_;
   PortPacketMap port_packets_;
   std::uint64_t total_packets_ = 0;
+
+  friend struct RollupTallyIo;  ///< `.spr` serialization (rollup_store.cpp)
 };
 
 /// Table 2: share of sources / scans / packets per scanner type.

@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
 #include "obs/timer.h"
 
 namespace synscan::core {
@@ -75,6 +77,17 @@ PipelineResult Pipeline::finish() {
   }
   PipelineResult result;
   result.campaigns = std::move(campaigns_);
+  // Canonical order, matching ParallelAnalyzer::finish(): closure order
+  // depends on sweep scheduling and flow-table layout; reports must not.
+  std::sort(result.campaigns.begin(), result.campaigns.end(),
+            [](const Campaign& a, const Campaign& b) {
+              if (a.first_seen_us != b.first_seen_us) {
+                return a.first_seen_us < b.first_seen_us;
+              }
+              return a.source < b.source;
+            });
+  std::uint64_t next_id = 1;
+  for (auto& campaign : result.campaigns) campaign.id = next_id++;
   result.sensor = sensor_.counters();
   result.sensor.add(absorbed_);
   result.tracker = tracker_.counters();

@@ -60,8 +60,20 @@ class Pipeline {
   /// ingest classifies on the feeder, not here) into `finish()`'s result.
   void absorb_sensor_counters(const telescope::SensorCounters& counters);
 
-  /// Flushes the tracker and returns all results.
+  /// Flushes the tracker and returns all results. Campaigns come back in
+  /// canonical order — by first packet, then source, ids re-issued 1..N —
+  /// the same order `ParallelAnalyzer::finish()` produces, so reports are
+  /// identical whatever the worker count.
   [[nodiscard]] PipelineResult finish();
+
+  /// Carry mode only (TrackerConfig::carry_boundary_flows): moves out the
+  /// boundary flow segments the tracker exported. Call after `finish()`.
+  [[nodiscard]] std::vector<FlowSegment> take_carried_segments() {
+    return tracker_.take_boundary_segments();
+  }
+
+  /// Maximum probe timestamp the tracker observed (the stream's "now").
+  [[nodiscard]] net::TimeUs max_timestamp() const noexcept { return tracker_.now(); }
 
   [[nodiscard]] const telescope::Telescope& telescope() const noexcept { return *telescope_; }
   [[nodiscard]] const telescope::SensorCounters& sensor_counters() const noexcept {

@@ -24,6 +24,23 @@ void PortTally::observe_batch(const telescope::ProbeBatch& batch,
   }
 }
 
+void PortTally::merge(const PortTally& other) {
+  total_packets_ += other.total_packets_;
+  for (const auto [port, packets] : other.packets_per_port_) {
+    packets_per_port_.add(port, packets);
+  }
+  // The per-source port sets drive the distinct-source counts exactly as
+  // in on_probe: an insert that returns true is a new (source, port) pair.
+  other.ports_per_source_.for_each([&](std::uint32_t source, const HybridU32Set& ports) {
+    auto& mine = ports_per_source_[source];
+    ports.for_each([&](std::uint32_t port) {
+      if (mine.insert(port)) {
+        sources_per_port_.add(static_cast<std::uint16_t>(port), 1);
+      }
+    });
+  });
+}
+
 namespace {
 
 std::vector<PortCount> top_n(const PortPacketMap& counts, std::size_t n,

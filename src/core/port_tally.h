@@ -32,6 +32,11 @@ class PortTally final : public ProbeObserver {
   void observe_batch(const telescope::ProbeBatch& batch,
                      std::span<const std::uint32_t> rows) override;
 
+  /// Folds another tally in. All state is order-independent sums and
+  /// set unions, so merging per-shard tallies in any order equals
+  /// tallying the whole capture in one pass (the rollup invariant).
+  void merge(const PortTally& other);
+
   /// Total probes observed.
   [[nodiscard]] std::uint64_t total_packets() const noexcept { return total_packets_; }
 
@@ -79,6 +84,8 @@ class PortTally final : public ProbeObserver {
   PortPacketMap sources_per_port_;
   FlatHashMap<std::uint32_t, HybridU32Set> ports_per_source_;
   std::uint64_t total_packets_ = 0;
+
+  friend struct RollupTallyIo;  ///< `.spr` serialization (rollup_store.cpp)
 };
 
 }  // namespace synscan::core

@@ -1,0 +1,117 @@
+// Mergeable per-shard analysis rollups (the decade-scale layer).
+//
+// A ten-year capture set is analyzed once, shard by shard, and every
+// later question is answered by *merging summaries* instead of touching
+// probes again. The unit is a `CaptureRollup`: everything one capture's
+// analysis produced — counters, interior campaigns, tallies — plus the
+// tracker's boundary `FlowSegment`s (core/tracker.h), which carry enough
+// state (full destination set, port tally, fingerprint accumulator) that
+// flows spanning shard boundaries can be re-joined exactly.
+//
+// `RollupMerger` left-folds rollups in capture-time order: a shard's
+// head segment joins the previous shard's open tail when the gap is
+// within the tracker expiry, exactly as the whole-capture tracker would
+// have kept the flow alive; everything else finalizes through the same
+// qualification rule `CampaignTracker::close_flow` applies. The result
+// is an `AnalyzedCapture` whose JSON report is byte-identical to
+// analyzing the concatenated captures in one pass (pinned by
+// tests/integration/rollup_differential_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/analysis_session.h"
+#include "core/flat_map.h"
+#include "core/ingest.h"
+#include "core/tracker.h"
+#include "enrich/registry.h"
+#include "pcap/pcap.h"
+#include "telescope/telescope.h"
+
+namespace synscan::core {
+
+/// One capture's mergeable analysis summary. Produced by `analyze_shard`
+/// (or loaded from a `.spr` rollup file, core/rollup_store.h); consumed
+/// by `RollupMerger` in capture-time order.
+struct CaptureRollup {
+  explicit CaptureRollup(const enrich::InternetRegistry& registry)
+      : types(registry), geo(registry) {}
+
+  std::filesystem::path capture;  ///< source capture path (diagnostics)
+  std::uint64_t frames = 0;
+  pcap::ReadStatus final_status = pcap::ReadStatus::kEndOfFile;
+  bool from_cache = false;         ///< probes came from a `.spc` cache
+  net::TimeUs max_timestamp_us = 0;  ///< the shard tracker's final "now"
+  telescope::SensorCounters sensor;
+  /// Interior tracker counters only: boundary segments are not counted
+  /// until the merger decides their fate.
+  TrackerCounters tracker;
+  /// Campaigns that closed entirely inside the shard, canonical order.
+  std::vector<Campaign> campaigns;
+  /// Boundary flows, sorted by (source, first_seen) for deterministic
+  /// `.spr` bytes and merge order.
+  std::vector<FlowSegment> segments;
+  PortTally ports;
+  TypeTally types;
+  GeoTally geo;
+};
+
+/// Analyzes one capture as a shard: the serial batch-native pipeline
+/// with all standard observers, tracker in carry mode. The telescope and
+/// registry must outlive the returned value.
+[[nodiscard]] CaptureRollup analyze_shard(const std::filesystem::path& path,
+                                          const telescope::Telescope& telescope,
+                                          const enrich::InternetRegistry& registry,
+                                          const TrackerConfig& tracker_config,
+                                          const IngestOptions& options);
+
+/// Left-fold reducer over shard rollups. `add` shards in capture-time
+/// order (ShardPlan order); `finish` closes the remaining open tails and
+/// returns the merged analysis. One-shot: use a fresh merger per query.
+class RollupMerger {
+ public:
+  /// `tracker_config` must match the configuration the shards were
+  /// analyzed with — the expiry drives the boundary-join decision and
+  /// the thresholds drive qualification.
+  RollupMerger(const telescope::Telescope& telescope,
+               const enrich::InternetRegistry& registry,
+               const TrackerConfig& tracker_config);
+
+  /// Folds the next shard in. Shards must arrive in capture-time order;
+  /// boundary segments of adjacent shards are joined here.
+  void add(CaptureRollup&& shard);
+
+  /// Closes all still-open tail flows (stream end across the whole
+  /// capture set) and returns the merged analysis.
+  [[nodiscard]] AnalyzedCapture finish();
+
+ private:
+  /// Applies the tracker's qualification rule to a (possibly joined)
+  /// boundary segment. `gap_closed` marks segments that were followed by
+  /// more same-source traffic after an expiry gap (always expired);
+  /// stream-end closes are expired only when the final "now" is more
+  /// than `expiry` past the segment's last packet.
+  void finalize_segment(FlowSegment&& segment, bool gap_closed);
+
+  /// Joins `later` (a head segment) onto `earlier` (the previous open
+  /// tail of the same source), splicing the fingerprint evidence across
+  /// the seam. Returns the combined segment.
+  [[nodiscard]] FlowSegment join_segments(FlowSegment&& earlier,
+                                          FlowSegment&& later) const;
+
+  TrackerConfig config_;
+  stats::TelescopeModel model_;
+  AnalyzedCapture merged_;
+  /// Open tail flows between shards: slots in `open_tails_`, located by
+  /// `tail_index_` (source -> slot + 1; 0 = none). The index map never
+  /// erases, so consumed slots simply go dead.
+  FlatHashMap<std::uint32_t, std::uint32_t> tail_index_;
+  std::vector<FlowSegment> open_tails_;
+  net::TimeUs now_ = 0;  ///< max timestamp over all folded shards
+  bool any_shard_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace synscan::core

@@ -1,5 +1,6 @@
 #include "core/tracker.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "telescope/probe_batch.h"
@@ -43,8 +44,14 @@ void CampaignTracker::feed(const telescope::ScanProbe& probe) {
     // The source went quiet for longer than the expiry: that scan is
     // over; what follows is a new one. Reset in place — the containers
     // keep their backing stores (no realloc on restart).
-    close_flow(probe.source, flow);
-    ++counters_.expired_flows;
+    if (config_.carry_boundary_flows && carried_sources_.insert(probe.source.value())) {
+      // The source's first flow in this shard: it may continue a
+      // previous shard's open flow, so export it unjudged.
+      export_segment(probe.source, flow, /*head=*/true, /*tail=*/false);
+    } else {
+      close_flow(probe.source, flow);
+      ++counters_.expired_flows;
+    }
     ++counters_.flow_reuses;
     flow.reset(config_.classifier);
     flow.first_seen_us = probe.timestamp_us;
@@ -110,6 +117,28 @@ void CampaignTracker::close_flow(net::Ipv4Address source, Flow& flow) {
   }
 }
 
+void CampaignTracker::export_segment(net::Ipv4Address source, const Flow& flow,
+                                     bool head, bool tail) {
+  FlowSegment segment;
+  segment.source = source;
+  segment.head = head;
+  segment.tail = tail;
+  segment.first_seen_us = flow.first_seen_us;
+  segment.last_seen_us = flow.last_seen_us;
+  segment.packets = flow.packets;
+  segment.destinations.reserve(flow.destinations.size());
+  flow.destinations.for_each(
+      [&](std::uint32_t dest) { segment.destinations.push_back(dest); });
+  std::sort(segment.destinations.begin(), segment.destinations.end());
+  segment.port_packets.reserve(flow.port_packets.size());
+  for (const auto [port, packets] : flow.port_packets) {
+    segment.port_packets.emplace_back(port, packets);
+  }
+  std::sort(segment.port_packets.begin(), segment.port_packets.end());
+  segment.evidence = flow.evidence.state();
+  segments_.push_back(std::move(segment));
+}
+
 void CampaignTracker::sweep(net::TimeUs now) {
   ++counters_.sweeps;
   // Collect first, erase after: backward-shift deletion moves entries
@@ -121,9 +150,14 @@ void CampaignTracker::sweep(net::TimeUs now) {
   });
   for (const auto source : sweep_keys_) {
     const auto* slot = table_.find(source);
-    close_flow(net::Ipv4Address(source), pool_[*slot]);
-    ++counters_.expired_flows;
-    pool_[*slot].reset(config_.classifier);
+    Flow& flow = pool_[*slot];
+    if (config_.carry_boundary_flows && carried_sources_.insert(source)) {
+      export_segment(net::Ipv4Address(source), flow, /*head=*/true, /*tail=*/false);
+    } else {
+      close_flow(net::Ipv4Address(source), flow);
+      ++counters_.expired_flows;
+    }
+    flow.reset(config_.classifier);
     free_.push_back(*slot);
     table_.erase(source);
   }
@@ -131,8 +165,18 @@ void CampaignTracker::sweep(net::TimeUs now) {
 
 void CampaignTracker::finish() {
   table_.for_each([&](std::uint32_t source, std::uint32_t slot) {
-    close_flow(net::Ipv4Address(source), pool_[slot]);
-    pool_[slot].reset(config_.classifier);
+    Flow& flow = pool_[slot];
+    if (config_.carry_boundary_flows) {
+      // Every still-open flow may continue into the next shard; if no
+      // earlier flow of this source closed inside the shard, it is also
+      // the source's first (head and tail at once).
+      const bool head = carried_sources_.insert(source);
+      export_segment(net::Ipv4Address(source), flow, head, /*tail=*/true);
+    } else {
+      if (now_ - flow.last_seen_us > config_.expiry) ++counters_.expired_flows;
+      close_flow(net::Ipv4Address(source), flow);
+    }
+    flow.reset(config_.classifier);
     free_.push_back(slot);
   });
   table_.clear();

@@ -40,6 +40,31 @@ struct TrackerConfig {
   /// Sweep for expired sources every this many fed probes.
   std::uint64_t sweep_interval = 1 << 16;
   fingerprint::ClassifierConfig classifier;
+  /// Shard mode (core/rollup.h): instead of finalizing flows whose
+  /// qualification could depend on traffic outside this capture's time
+  /// range, export them as `FlowSegment`s — each source's *first* flow
+  /// (it may continue a previous shard's open flow) and every flow still
+  /// open at stream end (it may continue into the next shard). Interior
+  /// flows close normally. `take_boundary_segments()` collects the
+  /// exports after `finish()`.
+  bool carry_boundary_flows = false;
+};
+
+/// One source's flow state at a shard boundary, exported by a tracker
+/// running in carry mode. Holds everything `close_flow` needs —
+/// including the full destination set and fingerprint evidence — so
+/// that joining the segments of adjacent shards and then finalizing is
+/// bit-identical to having tracked the whole capture in one pass.
+struct FlowSegment {
+  net::Ipv4Address source;
+  bool head = false;  ///< first flow of this source in the shard
+  bool tail = false;  ///< still open at stream end
+  net::TimeUs first_seen_us = 0;
+  net::TimeUs last_seen_us = 0;
+  std::uint64_t packets = 0;
+  std::vector<std::uint32_t> destinations;  ///< distinct, sorted
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> port_packets;  ///< sorted by port
+  fingerprint::EvidenceState evidence;
 };
 
 /// Counters describing everything the tracker saw, including traffic
@@ -80,8 +105,22 @@ class CampaignTracker {
   void feed_batch(const telescope::ProbeBatch& batch,
                   std::span<const std::uint32_t> rows);
 
-  /// Flushes all open flows (end of measurement window).
+  /// Flushes all open flows (end of measurement window). A flow whose
+  /// last packet is more than `expiry` before the final observed
+  /// timestamp counts as expired — the scan had ended, the stream end
+  /// merely delivered the verdict — which keeps `expired_flows` a pure
+  /// function of the probe timestamps (and therefore shard-mergeable)
+  /// instead of an artifact of sweep scheduling.
   void finish();
+
+  /// Carry mode only: the boundary segments collected so far (heads as
+  /// they closed, tails at `finish()`). Moves the collection out.
+  [[nodiscard]] std::vector<FlowSegment> take_boundary_segments() {
+    return std::move(segments_);
+  }
+
+  /// Maximum probe timestamp observed ("now" for expiry decisions).
+  [[nodiscard]] net::TimeUs now() const noexcept { return now_; }
 
   [[nodiscard]] const TrackerCounters& counters() const noexcept { return counters_; }
 
@@ -124,6 +163,8 @@ class CampaignTracker {
   std::uint32_t acquire_flow();
 
   void close_flow(net::Ipv4Address source, Flow& flow);
+  /// Copies `flow` out as a boundary segment (carry mode).
+  void export_segment(net::Ipv4Address source, const Flow& flow, bool head, bool tail);
   void sweep(net::TimeUs now);
 
   TrackerConfig config_;
@@ -133,6 +174,8 @@ class CampaignTracker {
   std::vector<Flow> pool_;           ///< flow storage, indexed by the table
   std::vector<std::uint32_t> free_;  ///< recycled pool slots
   std::vector<std::uint32_t> sweep_keys_;  ///< scratch: sources expiring this sweep
+  std::vector<FlowSegment> segments_;      ///< carry mode: exported boundary flows
+  HybridU32Set carried_sources_;  ///< carry mode: sources whose head was already exported
   TrackerCounters counters_;
   net::TimeUs now_ = 0;
   std::uint64_t next_id_ = 1;

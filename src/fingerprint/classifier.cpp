@@ -3,6 +3,7 @@
 namespace synscan::fingerprint {
 
 void ToolEvidence::observe(const telescope::ScanProbe& probe) noexcept {
+  if (probes_ == 0) first_ = probe;
   ++probes_;
   if (matches_zmap(probe)) ++zmap_hits_;
   if (matches_masscan(probe)) ++masscan_hits_;
@@ -15,6 +16,58 @@ void ToolEvidence::observe(const telescope::ScanProbe& probe) noexcept {
   }
   previous_ = probe;
   have_previous_ = true;
+}
+
+void ToolEvidence::append(const ToolEvidence& later) noexcept {
+  if (later.probes_ == 0) return;
+  if (probes_ == 0) first_ = later.first_;
+  // The pair spanning the seam: this run's last probe against the later
+  // run's first. Everything else was already counted on either side.
+  if (have_previous_) {
+    ++pairs_;
+    if (matches_nmap_pair(previous_.sequence, later.first_.sequence)) ++nmap_pair_hits_;
+    if (matches_unicorn_pair(previous_, later.first_)) ++unicorn_pair_hits_;
+  }
+  probes_ += later.probes_;
+  zmap_hits_ += later.zmap_hits_;
+  masscan_hits_ += later.masscan_hits_;
+  mirai_hits_ += later.mirai_hits_;
+  nmap_pair_hits_ += later.nmap_pair_hits_;
+  unicorn_pair_hits_ += later.unicorn_pair_hits_;
+  pairs_ += later.pairs_;
+  previous_ = later.previous_;
+  have_previous_ = later.have_previous_;
+}
+
+EvidenceState ToolEvidence::state() const noexcept {
+  EvidenceState state;
+  state.probes = probes_;
+  state.zmap_hits = zmap_hits_;
+  state.masscan_hits = masscan_hits_;
+  state.mirai_hits = mirai_hits_;
+  state.nmap_pair_hits = nmap_pair_hits_;
+  state.unicorn_pair_hits = unicorn_pair_hits_;
+  state.pairs = pairs_;
+  state.have_previous = have_previous_;
+  state.first = first_;
+  state.previous = previous_;
+  return state;
+}
+
+ToolEvidence ToolEvidence::from_state(ClassifierConfig config,
+                                      const EvidenceState& state) noexcept {
+  ToolEvidence evidence(config);
+  evidence.probes_ = state.probes;
+  evidence.zmap_hits_ = state.zmap_hits;
+  evidence.masscan_hits_ = state.masscan_hits;
+  evidence.mirai_hits_ = state.mirai_hits;
+  evidence.nmap_pair_hits_ = state.nmap_pair_hits;
+  evidence.unicorn_pair_hits_ = state.unicorn_pair_hits;
+  evidence.pairs_ = state.pairs;
+  evidence.have_previous_ = state.have_previous;
+  evidence.first_ = state.first;
+  evidence.previous_ = state.previous;
+  return evidence;
 }
 
 std::uint64_t ToolEvidence::matches(Tool tool) const noexcept {

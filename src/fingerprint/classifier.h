@@ -25,6 +25,24 @@ struct ClassifierConfig {
   double min_fraction = 0.5;
 };
 
+/// The complete accumulator state of a `ToolEvidence`, exposed so
+/// evidence can be persisted (the `.spr` rollup store) and merged across
+/// shard boundaries. `first` is valid when `probes > 0`; `previous` when
+/// `have_previous` — both are needed to splice the pairwise fingerprints
+/// exactly when two evidence streams of the same source are concatenated.
+struct EvidenceState {
+  std::uint64_t probes = 0;
+  std::uint64_t zmap_hits = 0;
+  std::uint64_t masscan_hits = 0;
+  std::uint64_t mirai_hits = 0;
+  std::uint64_t nmap_pair_hits = 0;
+  std::uint64_t unicorn_pair_hits = 0;
+  std::uint64_t pairs = 0;
+  bool have_previous = false;
+  telescope::ScanProbe first{};
+  telescope::ScanProbe previous{};
+};
+
 /// Accumulates fingerprint evidence for one traffic source.
 class ToolEvidence {
  public:
@@ -33,6 +51,21 @@ class ToolEvidence {
 
   /// Feeds the next probe of this source, in arrival order.
   void observe(const telescope::ScanProbe& probe) noexcept;
+
+  /// Appends evidence accumulated over a *later* contiguous probe run of
+  /// the same source: counters add, and the pairwise fingerprints are
+  /// evaluated once across the seam (this evidence's last probe against
+  /// `later`'s first), so the result is bit-identical to having observed
+  /// the concatenated probe sequence in one pass. Associative over
+  /// consecutive runs — the shard-rollup merge relies on both properties.
+  void append(const ToolEvidence& later) noexcept;
+
+  /// Snapshot of the full accumulator state (for the rollup store).
+  [[nodiscard]] EvidenceState state() const noexcept;
+
+  /// Rebuilds evidence from a stored state; inverse of `state()`.
+  [[nodiscard]] static ToolEvidence from_state(ClassifierConfig config,
+                                               const EvidenceState& state) noexcept;
 
   /// Probes observed so far.
   [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
@@ -57,6 +90,7 @@ class ToolEvidence {
   std::uint64_t unicorn_pair_hits_ = 0;
   std::uint64_t pairs_ = 0;
   bool have_previous_ = false;
+  telescope::ScanProbe first_{};  ///< valid when probes_ > 0
   telescope::ScanProbe previous_{};
 };
 

@@ -139,10 +139,11 @@ void append_counters(Appender& out, const core::PipelineResult& result) {
   out.number(result.tracker.subthreshold_packets);
   out.text(",\"expired_flows\":");
   out.number(result.tracker.expired_flows);
-  out.text(",\"sweeps\":");
-  out.number(result.tracker.sweeps);
-  out.text(",\"peak_open_flows\":");
-  out.number(result.tracker.peak_open_flows);
+  // sweeps and peak_open_flows are deliberately NOT emitted: both depend
+  // on sweep scheduling and worker/shard interleaving, so they would
+  // break the invariant that merged shard rollups reproduce the whole-
+  // capture report byte for byte. They remain visible as metrics and in
+  // `TrackerCounters` for diagnostics.
   out.ch('}');
 }
 

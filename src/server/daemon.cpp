@@ -12,6 +12,7 @@
 #include <cstring>
 #include <deque>
 #include <fcntl.h>
+#include <filesystem>
 #include <memory>
 #include <netinet/in.h>
 #include <poll.h>
@@ -27,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/shard.h"
 #include "core/sync.h"
 #include "obs/metrics.h"
 #include "report/json.h"
@@ -501,6 +503,47 @@ struct Daemon::Impl {
     return resident;
   }
 
+  /// Analyzes a sharded capture set (ROLLUP) through the `.spr` rollup
+  /// store and swaps the merged result in as the resident capture.
+  /// Returns the summary body. Runs on a worker; throws on failure.
+  std::string load_rollup_set(const std::vector<std::string>& paths) {
+    std::vector<std::filesystem::path> captures;
+    captures.reserve(paths.size());
+    for (const auto& path : paths) captures.emplace_back(path);
+    const auto plan = core::plan_shards(captures);
+    core::ShardRunOptions options;
+    options.workers = config.analysis_workers;
+    options.ingest = config.ingest;
+    auto run = core::run_shards(plan, *telescope, *registry, core::TrackerConfig{},
+                                options);
+    std::string joined;
+    for (const auto& path : paths) {
+      if (!joined.empty()) joined.push_back(' ');
+      joined.append(path);
+    }
+    auto resident = std::make_shared<ResidentCapture>(std::move(joined),
+                                                      std::move(run.analysis));
+    resident_state.publish(resident);
+    if (obs_loads != nullptr) obs_loads->add();
+    std::string body;
+    body.append("{\"captures\":");
+    body.append(std::to_string(paths.size()));
+    body.append(",\"store_hits\":");
+    body.append(std::to_string(run.stats.store_hits));
+    body.append(",\"store_misses\":");
+    body.append(std::to_string(run.stats.store_misses));
+    body.append(",\"frames\":");
+    body.append(std::to_string(resident->analysis.frames));
+    body.append(",\"scan_probes\":");
+    body.append(std::to_string(resident->analysis.result.sensor.scan_probes));
+    body.append(",\"campaigns\":");
+    body.append(std::to_string(resident->analysis.result.campaigns.size()));
+    body.append(",\"from_cache\":");
+    body.append(resident->analysis.from_cache ? "true" : "false");
+    body.append("}\n");
+    return body;
+  }
+
   static std::string load_summary(const ResidentCapture& resident) {
     std::string body;
     body.append("{\"capture\":\"");
@@ -598,6 +641,16 @@ struct Daemon::Impl {
             payload = error_response(error);
           }
         }
+      } else if (job.request.kind == RequestKind::kRollup) {
+        try {
+          std::string summary = load_rollup_set(job.request.paths);
+          payload.assign(kOkHeader);
+          payload.append(summary);
+          completion.ok = true;
+        } catch (const std::exception& e) {
+          payload = error_response(std::string("rollup failed: ") + e.what());
+        }
+        loading.store(false, std::memory_order_release);
       } else {  // RequestKind::kLoad
         try {
           const auto resident = load_capture(job.request.argument);
@@ -845,6 +898,7 @@ struct Daemon::Impl {
         begin_shutdown();
         break;
       case RequestKind::kLoad:
+      case RequestKind::kRollup:
         if (draining) {
           ++errors;
           if (obs_errors != nullptr) obs_errors->add();

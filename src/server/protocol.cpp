@@ -51,6 +51,15 @@ bool parse_request(std::string_view payload, Request& request, std::string& erro
     }
     request.argument.assign(rest);
     rest = {};
+  } else if (verb == "ROLLUP") {
+    request.kind = RequestKind::kRollup;
+    for (auto token = take_token(rest); !token.empty(); token = take_token(rest)) {
+      request.paths.emplace_back(token);
+    }
+    if (request.paths.empty()) {
+      error = "ROLLUP requires at least one capture path";
+      return false;
+    }
   } else if (verb == "QUERY") {
     request.kind = RequestKind::kQuery;
     const auto report = take_token(rest);

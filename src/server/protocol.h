@@ -6,8 +6,13 @@
 //   PING
 //   STATUS
 //   LOAD <capture-path>
+//   ROLLUP <capture-path> [capture-path ...]
 //   QUERY <report> [key=value ...]
 //   SHUTDOWN
+//
+// ROLLUP paths are space-delimited, so paths containing spaces cannot
+// be expressed (LOAD, whose argument is the remainder verbatim, can
+// still load such a capture on its own).
 //
 // Responses are `OK\n<body>` (body may be empty) or `ERR <message>`.
 // For QUERY the body bytes are exactly what the offline `analyze`
@@ -29,6 +34,7 @@ enum class RequestKind : std::uint8_t {
   kPing,
   kStatus,
   kLoad,
+  kRollup,
   kQuery,
   kShutdown,
 };
@@ -45,6 +51,8 @@ struct Request {
   std::string argument;
   /// QUERY filters, in request order.
   std::vector<QueryFilter> filters;
+  /// ROLLUP: the capture paths, in request order.
+  std::vector<std::string> paths;
 };
 
 /// Parses one request payload. Returns false and fills `error` (a

@@ -66,7 +66,13 @@ class ReferenceTracker {
   }
 
   void finish() {
-    for (auto& [source, flow] : flows_) close_flow(source, flow);
+    for (auto& [source, flow] : flows_) {
+      // Stream-end closes count as expired when the scan had already
+      // gone quiet for longer than the expiry (mirrors the production
+      // tracker's timestamp-pure expired_flows definition).
+      if (now_ - flow.last_seen_us > config_.expiry) ++counters_.expired_flows;
+      close_flow(source, flow);
+    }
     flows_.clear();
   }
 

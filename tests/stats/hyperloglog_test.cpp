@@ -75,6 +75,50 @@ TEST(HyperLogLog, MergeMatchesUnion) {
   EXPECT_NEAR(a.estimate(), combined.estimate(), combined.estimate() * 0.01);
 }
 
+// The rollup merge (core/rollup.h) relies on merge() being an exact
+// register-wise max: the identity, commutativity and idempotence checks
+// below compare estimates for strict equality, not approximately.
+TEST(HyperLogLog, MergeWithEmptyIsIdentity) {
+  HyperLogLog populated(12);
+  simgen::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) populated.add(rng.next_u64());
+  const double before = populated.estimate();
+
+  populated.merge(HyperLogLog(12));  // empty right-hand side
+  EXPECT_EQ(populated.estimate(), before);
+
+  HyperLogLog empty(12);  // empty left-hand side: merge is a copy
+  empty.merge(populated);
+  EXPECT_EQ(empty.estimate(), before);
+}
+
+TEST(HyperLogLog, MergeOfTwoEmptySketchesStaysEmpty) {
+  HyperLogLog a(12);
+  a.merge(HyperLogLog(12));
+  EXPECT_NEAR(a.estimate(), 0.0, 1e-9);
+}
+
+TEST(HyperLogLog, MergeIsCommutativeAndIdempotent) {
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  simgen::Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    const auto value = rng.next_u64();
+    (i % 3 == 0 ? a : b).add(value);
+  }
+  HyperLogLog ab = a;
+  ab.merge(b);
+  HyperLogLog ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.estimate(), ba.estimate());
+
+  // Folding the same shard twice must not change the union (max is
+  // idempotent) — re-running a shard merge cannot inflate cardinality.
+  HyperLogLog twice = ab;
+  twice.merge(b);
+  EXPECT_EQ(twice.estimate(), ab.estimate());
+}
+
 TEST(HyperLogLog, MergePrecisionMismatchThrows) {
   HyperLogLog a(12);
   const HyperLogLog b(10);
